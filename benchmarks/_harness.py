@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, experiment, *args, **kwargs):
+    """Run ``experiment`` once under the benchmark clock and return it.
+
+    The experiments are multi-second whole-machine simulations; pedantic
+    single-round mode records their wall time without re-running them.
+    """
+    return benchmark.pedantic(experiment, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+def publish(results_dir, name: str, text: str) -> None:
+    """Print a rendered figure and archive it under results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,20 @@
+"""Ablation: error-correcting codes over the raw channel (extension).
+
+The paper reports raw rates "without any error handling"; this benchmark
+quantifies what light coding buys at aggressive window sizes.
+"""
+
+from repro.experiments import ablations
+
+from _harness import publish, run_once
+
+
+def test_ablation_error_correcting_codes(benchmark, results_dir):
+    result = run_once(benchmark, ablations.run_coding, seed=1, data_bits=400)
+    publish(results_dir, "ablation_coding", ablations.render_coding(result))
+
+    rows = {(scheme, window): (raw, residual, goodput) for scheme, window, raw, residual, goodput in result.rows}
+    for window in (7500, 10000, 15000):
+        raw_residual = rows[("raw", window)][1]
+        repetition_residual = rows[("repetition3", window)][1]
+        assert repetition_residual <= raw_residual

@@ -1,0 +1,36 @@
+"""Ablation: MEE replacement policies, including randomization as a defense.
+
+Paper Section 5.5 argues LLC defenses need rework for the MEE cache; a
+randomized replacement policy is the one knob the MEE itself could turn.
+"""
+
+from repro.experiments import ablations
+
+from _harness import publish, run_once
+
+
+def test_ablation_replacement_policies(benchmark, results_dir):
+    result = run_once(
+        benchmark,
+        ablations.run_policies,
+        seed=1,
+        bits=400,
+        policies=("rrip", "lru", "plru", "random"),
+    )
+    publish(results_dir, "ablation_policies", ablations.render_policies(result))
+
+    # SRRIP and true LRU are reliably attackable.
+    for policy in ("rrip", "lru"):
+        assert policy not in result.setup_failures
+        assert result.metrics_by_policy[policy].error_rate < 0.15
+    # Tree-PLRU leaves the channel fragile: depending on frame placement
+    # the setup fails or the error rate balloons — but it never *hardens*
+    # the cache outright (the attack sometimes fully succeeds; see the
+    # mitigation_study example).  Accept either outcome here.
+    assert "plru" in result.setup_failures or "plru" in result.metrics_by_policy
+    # Random replacement either breaks setup or degrades the channel.
+    if "random" not in result.setup_failures:
+        assert (
+            result.metrics_by_policy["random"].error_rate
+            > 2 * result.metrics_by_policy["rrip"].error_rate
+        )

@@ -1,0 +1,18 @@
+"""Ablation: the paper's two-phase eviction vs a single forward sweep.
+
+Validates Section 5.3's claim that approximate-LRU replacement makes a
+one-directional eviction sweep unreliable.
+"""
+
+from repro.experiments import ablations
+
+from _harness import publish, run_once
+
+
+def test_ablation_two_phase_eviction(benchmark, results_dir):
+    result = run_once(benchmark, ablations.run_two_phase, seed=1, bits=500)
+    publish(results_dir, "ablation_two_phase", ablations.render_two_phase(result))
+
+    assert result.one_phase_worse
+    assert result.two_phase.error_rate < 0.05
+    assert result.one_phase.error_rate > result.two_phase.error_rate + 0.05

@@ -1,0 +1,14 @@
+"""Regenerates the Section 4 conclusion: 64 KB, 8-way, 128-set MEE cache."""
+
+from repro.experiments import algorithm1
+
+from _harness import publish, run_once
+
+
+def test_algorithm1_recovers_geometry(benchmark, results_dir):
+    result = run_once(benchmark, algorithm1.run, seed=1)
+    publish(results_dir, "algorithm1_geometry", algorithm1.render(result))
+
+    assert result.capacity_bytes == 64 * 1024
+    assert result.associativity == 8
+    assert result.num_sets == 128

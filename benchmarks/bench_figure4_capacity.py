@@ -1,0 +1,18 @@
+"""Regenerates Figure 4: eviction probability vs candidate-set size."""
+
+from repro.experiments import figure4
+
+from _harness import publish, run_once
+
+
+def test_figure4_capacity_curve(benchmark, results_dir):
+    result = run_once(benchmark, figure4.run, seed=1, trials=100)
+    publish(results_dir, "figure4_capacity", figure4.render(result))
+
+    probabilities = result.curve.probabilities
+    # Shape: monotone trend reaching 100% at 64 addresses (paper §4.1).
+    assert probabilities[-1] >= 0.97
+    assert probabilities[0] < 0.2
+    assert probabilities[-1] > probabilities[len(probabilities) // 2]
+    # The paper's capacity arithmetic: 64 x 16 x 64 B = 64 KB.
+    assert result.inferred_capacity_bytes == 64 * 1024

@@ -1,0 +1,23 @@
+"""Regenerates Figure 5: protected-access latency by integrity-tree level."""
+
+from repro.experiments import figure5
+
+from _harness import publish, run_once
+
+
+def test_figure5_latency_histogram(benchmark, results_dir):
+    result = run_once(benchmark, figure5.run, seed=1, accesses_per_stride=600)
+    publish(results_dir, "figure5_latency", figure5.render(result))
+
+    # All five latency classes observed, ordered versions < ... < root.
+    order = ["versions", "level0", "level1", "level2", "root"]
+    assert set(result.level_stats) == set(order)
+    medians = [result.level_stats[level].median for level in order]
+    assert medians == sorted(medians)
+    # Paper anchors: ~480 vs ~750 with a gap of (at least) ~270-300 cycles.
+    assert abs(result.versions_hit_estimate - 480) < 40
+    assert abs(result.versions_miss_estimate - 750) < 40
+    assert result.hit_miss_gap >= 240
+    # "The difference between level 2 ... or the root level is relatively small."
+    gaps = [b - a for a, b in zip(medians, medians[1:])]
+    assert gaps[-1] == min(gaps)

@@ -1,0 +1,24 @@
+"""Regenerates Figure 6: Prime+Probe fails where this work's channel works."""
+
+from repro.experiments import figure6
+
+from _harness import publish, run_once
+
+
+def test_figure6_prime_probe_vs_this_work(benchmark, results_dir):
+    result = run_once(benchmark, figure6.run, seed=1, bits=64, pp_bits=80)
+    publish(results_dir, "figure6_channels", figure6.render(result))
+
+    # (a) the full-set probe costs >3500 cycles and cannot carry the bits.
+    assert min(result.prime_probe.probe_times) > 3000
+    assert result.prime_probe_failed
+    # (b) this work's single-address probe separates ~480 vs ~750.
+    assert result.this_work_succeeded
+    assert max(result.this_work.probe_times) < 2500
+    # The asymmetry the paper's Section 5.3 builds on: an 8-way probe vs a
+    # single-way probe differ by ~8x in cost.
+    import numpy as np
+
+    assert np.median(result.prime_probe.probe_times) > 4 * np.median(
+        result.this_work.probe_times
+    )

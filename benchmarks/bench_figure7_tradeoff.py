@@ -1,0 +1,22 @@
+"""Regenerates Figure 7: bit rate / error rate vs timing window."""
+
+from repro.experiments import figure7
+
+from _harness import publish, run_once
+
+
+def test_figure7_window_tradeoff(benchmark, results_dir):
+    result = run_once(benchmark, figure7.run, seed=1, bits_per_window=600)
+    publish(results_dir, "figure7_tradeoff", figure7.render(result))
+
+    rates = {p.window_cycles: p.metrics for p in result.points}
+    # Bit rate is pure cycle arithmetic: 35 KBps at 15000, 105 at 5000.
+    assert abs(rates[15000].bit_rate - 35.0) < 0.1
+    assert abs(rates[5000].bit_rate - 105.0) < 0.1
+    # The error knee sits between 7500 and 10000 (paper: 34% -> 5.2%),
+    # because a '1' costs ~9000 cycles to send.
+    assert rates[7500].error_rate > 0.2
+    assert rates[10000].error_rate < 0.15
+    assert rates[7500].error_rate > 2.5 * rates[10000].error_rate
+    # The paper's operating point: ~1.7% at 15000.
+    assert rates[15000].error_rate < 0.05

@@ -1,0 +1,20 @@
+"""Regenerates Figure 8: 128-bit transmissions under four noise regimes."""
+
+from repro.experiments import figure8
+
+from _harness import publish, run_once
+
+
+def test_figure8_noise_robustness(benchmark, results_dir):
+    result = run_once(benchmark, figure8.run, seed=1, bit_count=128)
+    publish(results_dir, "figure8_noise", figure8.render(result))
+
+    counts = result.error_counts()
+    # (a) no noise: ~1 error bit in 128 (paper Figure 8a).
+    assert counts["no-noise"] <= 5
+    # (b) cache/memory stress barely matters — the MEE cache is untouched.
+    assert counts["memory-stress"] <= counts["no-noise"] + 4
+    # (c)/(d) MEE-stride noise is the regime that hurts (paper: 4-5 bits).
+    assert counts["mee-512B"] + counts["mee-4KB"] >= counts["no-noise"]
+    for name in figure8.ENVIRONMENTS:
+        assert len(result.results[name].received) == 128

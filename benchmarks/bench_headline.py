@@ -1,0 +1,14 @@
+"""Regenerates the headline claim: 35 KBps at 1.7% error, no error handling."""
+
+from repro.experiments import headline
+
+from _harness import publish, run_once
+
+
+def test_headline_35kbps(benchmark, results_dir):
+    result = run_once(benchmark, headline.run, seed=1, bits=2000)
+    publish(results_dir, "headline", headline.render(result))
+
+    assert result.bit_rate_matches  # 35 KBps is exact cycle arithmetic
+    assert result.metrics.error_rate < 0.05  # paper: 1.7%
+    assert result.metrics.error_rate >= 0.0

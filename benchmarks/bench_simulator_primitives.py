@@ -1,0 +1,60 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+These are true pytest-benchmark microbenchmarks (many rounds): they track
+the throughput of the primitives every experiment is built on, so
+performance regressions in the substrate are caught alongside the figure
+reproductions.
+"""
+
+import numpy as np
+
+from repro.config import CacheGeometry, skylake_i7_6700k
+from repro.mem.cache import SetAssociativeCache
+from repro.system.machine import Machine
+from repro.system.workload import stride_reader
+from repro.units import MIB
+
+
+def test_bench_cache_access_throughput(benchmark):
+    cache = SetAssociativeCache(CacheGeometry(64 * 1024, 8, 64, policy="rrip"))
+    addresses = [int(a) * 64 for a in np.random.default_rng(0).integers(0, 4096, 4096)]
+
+    def run():
+        for addr in addresses:
+            cache.access(addr)
+
+    benchmark(run)
+    assert cache.stats.accesses > 0
+
+
+def test_bench_mee_walk_throughput(benchmark):
+    machine = Machine(skylake_i7_6700k(seed=0))
+    base = machine.physical.protected_base
+    addresses = [base + int(p) * 4096 for p in np.random.default_rng(0).integers(0, 8192, 512)]
+
+    def run():
+        for paddr in addresses:
+            machine.mee.access(paddr)
+
+    benchmark(run)
+    assert machine.mee.stats.accesses > 0
+
+
+def test_bench_full_machine_stride_run(benchmark):
+    def run():
+        machine = Machine(skylake_i7_6700k(seed=0))
+        space = machine.new_address_space("bench")
+        enclave = machine.create_enclave("bench-e", space)
+        region = enclave.alloc(1 * MIB)
+        machine.spawn(
+            "reader",
+            stride_reader(region, 512, 400),
+            core=0,
+            space=space,
+            enclave=enclave,
+        )
+        machine.run()
+        return machine
+
+    machine = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert machine.mee.stats.accesses >= 400

@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper figure/table: it runs the experiment
+exactly once under pytest-benchmark (``pedantic`` mode — these are
+multi-second simulations, not microseconds), prints the rendered result,
+and archives it under ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the rendered figure outputs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

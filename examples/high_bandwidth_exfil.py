@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Beyond the paper: framed, multi-lane exfiltration at ~50 KBps.
+
+Combines the repository's two channel extensions:
+
+* **multi-lane signaling** — one eviction set per 512 B unit, several bits
+  per (stretched) window; three lanes reach ~50 KBps vs the paper's 35;
+* **framing** — preamble + length + CRC-16, so the spy locks onto the
+  message without knowing when it starts and rejects corrupted frames.
+
+Run:  python examples/high_bandwidth_exfil.py
+"""
+
+from repro import Machine, skylake_i7_6700k
+from repro.core.ecc import repetition_decode, repetition_encode
+from repro.core.multichannel import MultiChannel
+from repro.core.protocol import FrameCodec
+
+
+SECRET = "exfiltrated: RSA p=0xF2A7...19, q=0xC4B1...8D (2048-bit factors)"
+
+
+def main() -> None:
+    machine = Machine(skylake_i7_6700k(seed=31337))
+    channel = MultiChannel(machine, lanes=3)
+    print("setting up 3 lanes (Algorithm 1 + monitor search per 512 B unit)...")
+    channel.setup()
+
+    codec = FrameCodec()
+    payload = SECRET.encode()
+    # Link stack: frame (preamble+length+CRC) under 3x repetition coding.
+    # The spy shares only the window grid: repetition groups are aligned
+    # to the grid, while the frame's position inside the stream is found
+    # by the preamble scan.
+    frame_bits = codec.encode(payload)
+    link_bits = [0] * 10 + frame_bits + [0] * 4
+    stream = repetition_encode(link_bits, factor=3)
+    result = channel.transmit(stream)
+
+    metrics = result.metrics
+    print(f"\nchannel: {metrics.bit_rate:.1f} KBps raw at {metrics.error_rate:.2%} BER "
+          f"(paper single-lane: 35 KBps); {metrics.bit_rate / 3:.1f} KBps after coding")
+
+    decoded_link = repetition_decode(result.received, factor=3)
+    frames = codec.decode_stream(decoded_link)
+    if not frames:
+        print("no frame recovered — retransmission needed")
+        return
+    clean = [f for f in frames if f.crc_ok]
+    frame = clean[0] if clean else frames[0]
+    status = "CRC OK" if frame.crc_ok else "CRC FAILED (would retransmit)"
+    print(f"frame found at link-stream offset {frame.start_index} ({status})")
+    print(f"payload: {frame.payload.decode(errors='replace')!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Mitigation study: which MEE-cache designs resist the attack?
+
+Paper Section 5.5 notes LLC defenses do not transfer directly to the MEE
+cache.  The one lever the MEE itself controls is its replacement policy.
+This example mounts the *full* attack (reverse engineering + channel)
+against four policies and reports where it breaks.
+
+Run:  python examples/mitigation_study.py
+"""
+
+from repro import ChannelError, CovertChannel, Machine, MEECacheConfig, skylake_i7_6700k
+from repro.core.encoding import pattern_100100
+
+
+def attack(policy: str, seed: int) -> tuple:
+    """(verdict, detail) for one attack attempt against ``policy``."""
+    config = skylake_i7_6700k(seed=seed).with_mee_cache(MEECacheConfig(policy=policy))
+    machine = Machine(config)
+    channel = CovertChannel(machine)
+    try:
+        channel.setup()
+    except ChannelError as exc:
+        return "setup-failed", f"setup FAILED ({exc})"
+    result = channel.transmit(pattern_100100(128))
+    metrics = result.metrics
+    if metrics.error_rate > 0.2:
+        verdict = "unusable"
+    elif metrics.error_rate > 0.05:
+        verdict = "degraded"
+    else:
+        verdict = "succeeds"
+    detail = (f"assoc={channel.eviction_result.associativity} recovered, "
+              f"BER {metrics.error_rate:.1%} at {metrics.bit_rate:.0f} KBps")
+    return verdict, detail
+
+
+def main() -> None:
+    # A determined attacker retries with fresh allocations; a mitigation
+    # only counts if it holds across attempts.
+    seeds = (99, 3, 17)
+    print(f"mounting the full attack against MEE replacement policies "
+          f"({len(seeds)} attempts each):\n")
+    summary = {}
+    for policy, description in [
+        ("rrip", "2-bit SRRIP (modeled hardware default)"),
+        ("lru", "true LRU"),
+        ("plru", "tree pseudo-LRU"),
+        ("random", "randomized replacement (candidate mitigation)"),
+    ]:
+        print(f"{policy:>7} ({description}):")
+        verdicts = []
+        for seed in seeds:
+            verdict, detail = attack(policy, seed)
+            verdicts.append(verdict)
+            print(f"         attempt(seed={seed}): {detail if verdict != 'setup-failed' else detail} -> {verdict}")
+        summary[policy] = verdicts
+        print()
+
+    def ever_leaks(policy):
+        return any(v == "succeeds" for v in summary[policy])
+
+    print("conclusion:")
+    for policy in ("rrip", "lru", "plru"):
+        if ever_leaks(policy):
+            print(f"  {policy:>7}: leaks (attack succeeded in at least one attempt)")
+        else:
+            print(f"  {policy:>7}: no successful attempt in this run")
+    if ever_leaks("random"):
+        print("   random: LEAKED — randomization insufficient at this strength")
+    else:
+        print("   random: held across attempts — the policy-level mitigation,")
+        print("           at the cost of worse MEE hit rates for honest workloads")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Exfiltrate a key under noise, with and without error correction.
+
+Scenario from the paper's introduction: a trojan implanted in a victim
+enclave leaks an encryption key to a spy on another core while the rest
+of the machine keeps working.  We run the Figure 8 noise regimes and show
+how block-repetition coding turns the raw ~2-4% channel into a lossless
+one at one third of the rate.
+
+Run:  python examples/noisy_exfiltration.py
+"""
+
+from repro import CovertChannel, Machine, bits_to_text, skylake_i7_6700k, text_to_bits
+from repro.core.ecc import block_repetition_decode, block_repetition_encode
+from repro.system.noise import mee_stride_stressor
+from repro.units import MIB
+
+
+SECRET = "key=0x2b7e151628aed2a6"
+
+
+def run_with_noise(seed: int, use_coding: bool) -> None:
+    machine = Machine(skylake_i7_6700k(seed=seed))
+    channel = CovertChannel(machine)
+    channel.setup()
+
+    # Figure 8(c)-style background: another enclave hammering the MEE
+    # cache at a 512 B stride on a third core.
+    noise_space = machine.new_address_space("noise-proc")
+    noise_enclave = machine.create_enclave("noise-enclave", noise_space)
+    noise_region = noise_enclave.alloc(2 * MIB)
+
+    payload = text_to_bits(SECRET)
+    if use_coding:
+        payload = block_repetition_encode(payload, copies=3)
+    duration = (len(payload) + 20) * channel.config.window_cycles
+    noise = [("mee-noise", mee_stride_stressor(noise_region, 512, duration), 2, noise_space, noise_enclave)]
+
+    result = channel.transmit(payload, extra_processes=noise)
+    received = result.received
+    if use_coding:
+        received = block_repetition_decode(received, copies=3)
+    recovered = bits_to_text(received)
+
+    label = "with 3x block repetition" if use_coding else "raw channel          "
+    ok = "EXACT" if recovered == SECRET else "corrupted"
+    print(f"  {label}: channel BER {result.metrics.error_rate:.2%}, "
+          f"recovered {recovered!r} ({ok})")
+
+
+def main() -> None:
+    print(f"exfiltrating {SECRET!r} under MEE-cache noise (512 B stride stressor):")
+    run_with_noise(seed=7, use_coding=False)
+    run_with_noise(seed=7, use_coding=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Tune the timing window: the Figure 7 trade-off as a design procedure.
+
+An attacker deploying the channel must pick ``Tsync``: too small and the
+trojan's ~9000-cycle eviction no longer fits (the error knee between 7500
+and 10000 cycles); too large and bandwidth is wasted.  This example sweeps
+the window, prints the trade-off, and selects the best operating point by
+error-discounted goodput.
+
+Run:  python examples/window_tuning.py
+"""
+
+import numpy as np
+
+from repro import CovertChannel, Machine, skylake_i7_6700k
+from repro.core.encoding import random_bits
+
+
+def main() -> None:
+    machine = Machine(skylake_i7_6700k(seed=1337))
+    channel = CovertChannel(machine)
+    print("setting up channel...")
+    channel.setup()
+
+    rng = np.random.default_rng(0)
+    print(f"{'window':>8} {'bit rate':>10} {'error':>8} {'capacity':>9}")
+    best = None
+    for window in (5000, 7500, 10000, 12500, 15000, 20000, 30000):
+        result = channel.transmit(random_bits(400, rng), window_cycles=window)
+        metrics = result.metrics
+        print(f"{window:>8} {metrics.bit_rate:>8.1f} KB {metrics.error_rate:>7.1%} "
+              f"{metrics.capacity_kbps:>7.1f} KB")
+        # Rank by binary-symmetric-channel capacity: raw speed means
+        # nothing once errors approach a coin flip.
+        if best is None or metrics.capacity_kbps > best[1].capacity_kbps:
+            best = (window, metrics)
+
+    window, metrics = best
+    print(f"\nbest operating point: window={window} cycles "
+          f"({metrics.bit_rate:.1f} KBps at {metrics.error_rate:.1%} error)")
+    print("paper's choice: 15000 cycles -> 35 KBps at 1.7% error")
+
+
+if __name__ == "__main__":
+    main()

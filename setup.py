@@ -1,0 +1,6 @@
+"""Setuptools shim: enables legacy editable installs where the ``wheel``
+package is unavailable (all metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

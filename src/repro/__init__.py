@@ -1,0 +1,110 @@
+"""repro — reproduction of "A Novel Covert Channel Attack Using Memory
+Encryption Engine Cache" (Han & Kim, DAC 2019).
+
+The package builds the whole system in simulation: an SGX-capable
+multi-core machine with a Memory Encryption Engine and its cache
+(:mod:`repro.mee`, :mod:`repro.system`), and the paper's attack on top of
+it (:mod:`repro.core`): MEE-cache reverse engineering (Figure 4 /
+Algorithm 1) and the role-reversed covert channel (Algorithm 2).
+
+Quickstart::
+
+    from repro import Machine, skylake_i7_6700k, CovertChannel, text_to_bits
+
+    machine = Machine(skylake_i7_6700k(seed=7))
+    channel = CovertChannel(machine)
+    channel.setup()
+    result = channel.transmit(text_to_bits("hi"))
+    print(result.metrics.error_rate, result.metrics.bit_rate, "KBps")
+"""
+
+from .config import (
+    CacheGeometry,
+    DRAMConfig,
+    HierarchyConfig,
+    MEECacheConfig,
+    MEELatencyConfig,
+    NoiseConfig,
+    PagingConfig,
+    SystemConfig,
+    TimerConfig,
+    skylake_i7_6700k,
+)
+from .core import (
+    CandidateAddressSet,
+    ChannelConfig,
+    ChannelMetrics,
+    ChannelResult,
+    CovertChannel,
+    EvictionSetResult,
+    LatencyCalibration,
+    PrimeProbeResult,
+    ThresholdClassifier,
+    allocate_candidate_pages,
+    alternating_bits,
+    bit_error_rate,
+    bit_rate_kbps,
+    bits_to_bytes,
+    bits_to_text,
+    bytes_to_bits,
+    calibrate_classifier,
+    capacity_experiment,
+    find_eviction_set,
+    find_monitor_address,
+    pattern_100100,
+    run_prime_probe_channel,
+    text_to_bits,
+)
+from .errors import (
+    ChannelError,
+    ConfigurationError,
+    EnclaveError,
+    IntegrityError,
+    ReproError,
+)
+from .system import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "CandidateAddressSet",
+    "ChannelConfig",
+    "ChannelError",
+    "ChannelMetrics",
+    "ChannelResult",
+    "ConfigurationError",
+    "CovertChannel",
+    "DRAMConfig",
+    "EnclaveError",
+    "EvictionSetResult",
+    "HierarchyConfig",
+    "IntegrityError",
+    "LatencyCalibration",
+    "MEECacheConfig",
+    "MEELatencyConfig",
+    "Machine",
+    "NoiseConfig",
+    "PagingConfig",
+    "PrimeProbeResult",
+    "ReproError",
+    "SystemConfig",
+    "ThresholdClassifier",
+    "TimerConfig",
+    "allocate_candidate_pages",
+    "alternating_bits",
+    "bit_error_rate",
+    "bit_rate_kbps",
+    "bits_to_bytes",
+    "bits_to_text",
+    "bytes_to_bits",
+    "calibrate_classifier",
+    "capacity_experiment",
+    "find_eviction_set",
+    "find_monitor_address",
+    "pattern_100100",
+    "run_prime_probe_channel",
+    "skylake_i7_6700k",
+    "text_to_bits",
+    "__version__",
+]

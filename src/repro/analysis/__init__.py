@@ -1,0 +1,24 @@
+"""Analysis helpers: histograms, summary statistics, ASCII rendering.
+
+The benchmark harness prints every figure and table as text; these
+utilities keep that rendering consistent and testable.
+"""
+
+from .histogram import Histogram, latency_histogram
+from .render import render_curve, render_histogram, render_series, render_table
+from .stats import SummaryStats, summarize
+from .timeline import ChannelTimeline, WindowActivity, build_timeline
+
+__all__ = [
+    "ChannelTimeline",
+    "Histogram",
+    "SummaryStats",
+    "WindowActivity",
+    "build_timeline",
+    "latency_histogram",
+    "render_curve",
+    "render_histogram",
+    "render_series",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,72 @@
+"""Histogram construction for latency distributions (paper Figure 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Histogram", "latency_histogram"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Fixed-width histogram over a numeric sample."""
+
+    bin_edges: tuple  # len == len(counts) + 1
+    counts: tuple
+
+    @property
+    def total(self) -> int:
+        return int(sum(self.counts))
+
+    def bin_centers(self) -> List[float]:
+        """Midpoints of the bins."""
+        edges = self.bin_edges
+        return [(edges[i] + edges[i + 1]) / 2.0 for i in range(len(self.counts))]
+
+    def mode_bin(self) -> Tuple[float, int]:
+        """(center, count) of the most populated bin."""
+        index = int(np.argmax(self.counts))
+        return self.bin_centers()[index], int(self.counts[index])
+
+    def peaks(self, min_separation: int = 2, min_count: int = 1) -> List[float]:
+        """Bin centers of local maxima, for locating latency classes.
+
+        A bin is a peak when it is at least ``min_count`` high and strictly
+        greater than every bin within ``min_separation`` on each side.
+        """
+        counts = self.counts
+        centers = self.bin_centers()
+        found: List[float] = []
+        for i, count in enumerate(counts):
+            if count < min_count:
+                continue
+            lo = max(0, i - min_separation)
+            hi = min(len(counts), i + min_separation + 1)
+            neighborhood = list(counts[lo:i]) + list(counts[i + 1 : hi])
+            if all(count > other for other in neighborhood):
+                found.append(centers[i])
+        return found
+
+
+def latency_histogram(
+    samples: Sequence[float], bin_width: float = 25.0, lo: float = None, hi: float = None
+) -> Histogram:
+    """Bin latency samples at ``bin_width`` cycles.
+
+    Bounds default to the sample range, expanded to bin-width multiples.
+    """
+    if len(samples) == 0:
+        raise ValueError("cannot histogram an empty sample")
+    data = np.asarray(samples, dtype=float)
+    if lo is None:
+        lo = float(np.floor(data.min() / bin_width) * bin_width)
+    if hi is None:
+        hi = float(np.ceil(data.max() / bin_width) * bin_width)
+    if hi <= lo:
+        hi = lo + bin_width
+    bins = int(round((hi - lo) / bin_width))
+    counts, edges = np.histogram(data, bins=bins, range=(lo, hi))
+    return Histogram(bin_edges=tuple(float(e) for e in edges), counts=tuple(int(c) for c in counts))

@@ -1,0 +1,86 @@
+"""ASCII rendering of figures and tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .histogram import Histogram
+
+__all__ = ["render_table", "render_histogram", "render_curve", "render_series"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Left-padded fixed-width table with a header rule."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+        cells.append([str(value) for value in row])
+    widths = [max(len(row[col]) for row in cells) for col in range(columns)]
+    lines: List[str] = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_histogram(histogram: Histogram, width: int = 50, label: str = "cycles") -> str:
+    """Horizontal bar rendering of a histogram."""
+    peak = max(histogram.counts) if histogram.counts else 1
+    peak = max(peak, 1)
+    lines: List[str] = []
+    for center, count in zip(histogram.bin_centers(), histogram.counts):
+        if count == 0:
+            continue
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"{center:8.0f} {label} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def render_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str,
+    y_label: str,
+    y_max: float = 1.0,
+    width: int = 40,
+) -> str:
+    """One bar per x point, scaled to ``y_max`` (e.g. probability curves)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be the same length")
+    lines = [f"{y_label} vs {x_label}"]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, round(width * y / y_max)) if y_max > 0 else ""
+        lines.append(f"{x:>10} | {bar} {y:.3f}")
+    return "\n".join(lines)
+
+
+def render_series(
+    values: Sequence[float],
+    marks: Sequence[int] = (),
+    width: int = 40,
+    lo: float = None,
+    hi: float = None,
+) -> str:
+    """Time-series dots (the probe-time plots of Figures 6 and 8).
+
+    ``marks`` indexes are flagged with ``*`` — used for error bits, like
+    the paper's red circles.
+    """
+    if not values:
+        return "(empty series)"
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = max(hi - lo, 1e-9)
+    marked = set(marks)
+    lines: List[str] = []
+    for index, value in enumerate(values):
+        position = round((value - lo) / span * (width - 1))
+        position = min(max(position, 0), width - 1)
+        row = [" "] * width
+        row[position] = "*" if index in marked else "o"
+        flag = "  <-- error" if index in marked else ""
+        lines.append(f"{index:4d} |{''.join(row)}| {value:7.0f}{flag}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Summary statistics for experiment outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of a numeric sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p5: float
+    median: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f} sd={self.std:.1f} "
+            f"min={self.minimum:.1f} p5={self.p5:.1f} med={self.median:.1f} "
+            f"p95={self.p95:.1f} max={self.maximum:.1f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> SummaryStats:
+    """Build a :class:`SummaryStats` from a non-empty sample."""
+    if len(samples) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    data = np.asarray(samples, dtype=float)
+    return SummaryStats(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(data.min()),
+        p5=float(np.percentile(data, 5)),
+        median=float(np.median(data)),
+        p95=float(np.percentile(data, 95)),
+        maximum=float(data.max()),
+    )

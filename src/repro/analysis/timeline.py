@@ -1,0 +1,112 @@
+"""Window-aligned timelines: reconstruct what each party did per window.
+
+Debugging a covert channel means asking "what happened in window 17?".
+This module folds a machine trace onto the channel's window grid and
+summarizes per-window activity — trojan evictions, spy probes and their
+verdicts — which is how the peel-phase and eviction-reliability bugs in
+this repository's own development were located.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["WindowActivity", "ChannelTimeline", "build_timeline"]
+
+
+@dataclass
+class WindowActivity:
+    """Everything observed within one timing window."""
+
+    index: int
+    start: float
+    accesses: int = 0
+    evictions: int = 0
+    hit_levels: List[int] = field(default_factory=list)
+    by_process: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def versions_misses(self) -> int:
+        return sum(1 for level in self.hit_levels if level > 0)
+
+    def describe(self) -> str:
+        processes = ",".join(f"{name}:{count}" for name, count in sorted(self.by_process.items()))
+        return (
+            f"w{self.index:04d} +{self.start:.0f}: {self.accesses} acc "
+            f"({self.versions_misses} vmiss, {self.evictions} evict) [{processes}]"
+        )
+
+
+@dataclass(frozen=True)
+class ChannelTimeline:
+    """A sequence of window activities plus grid metadata."""
+
+    windows: tuple
+    window_cycles: float
+    start_time: float
+
+    def window_of(self, time: float) -> Optional[WindowActivity]:
+        """The window containing ``time``, or None when out of range."""
+        index = int((time - self.start_time) // self.window_cycles)
+        if 0 <= index < len(self.windows):
+            return self.windows[index]
+        return None
+
+    def busiest(self) -> WindowActivity:
+        """The window with the most accesses."""
+        return max(self.windows, key=lambda w: w.accesses)
+
+    def quiet_windows(self) -> List[int]:
+        """Indices of windows with no MEE activity at all."""
+        return [w.index for w in self.windows if w.accesses == 0]
+
+    def render(self, limit: int = 40) -> str:
+        """Text view of up to ``limit`` windows."""
+        lines = [w.describe() for w in self.windows[:limit]]
+        if len(self.windows) > limit:
+            lines.append(f"... ({len(self.windows) - limit} more windows)")
+        return "\n".join(lines)
+
+
+def build_timeline(
+    machine,
+    start_time: float,
+    window_cycles: float,
+    window_count: int,
+    processes: Optional[Sequence[str]] = None,
+) -> ChannelTimeline:
+    """Fold the machine trace onto a window grid.
+
+    Args:
+        machine: machine whose trace (``kind == "access"``) was recorded.
+        start_time: grid origin in reference cycles (the channel's t0).
+        window_cycles: grid pitch (``Tsync``).
+        window_count: number of windows to materialize.
+        processes: optional filter — only count these process names.
+
+    Returns:
+        The assembled :class:`ChannelTimeline`.
+    """
+    names = set(processes) if processes is not None else None
+    windows = [
+        WindowActivity(index=i, start=start_time + i * window_cycles)
+        for i in range(window_count)
+    ]
+    for event in machine.trace.of_kind("access"):
+        if names is not None and event.process not in names:
+            continue
+        outcome = event.detail
+        if outcome.mee is None:
+            continue
+        index = int((event.time - start_time) // window_cycles)
+        if not 0 <= index < window_count:
+            continue
+        window = windows[index]
+        window.accesses += 1
+        window.hit_levels.append(outcome.mee.hit_level)
+        window.evictions += len(outcome.mee.evicted_lines)
+        window.by_process[event.process] = window.by_process.get(event.process, 0) + 1
+    return ChannelTimeline(
+        windows=tuple(windows), window_cycles=window_cycles, start_time=start_time
+    )

@@ -1,0 +1,286 @@
+"""Configuration dataclasses for the simulated machine.
+
+Every tunable of the reproduction lives here: cache geometries, DRAM timing,
+the MEE latency anchors from DESIGN.md Section 5, SGX timer costs, and the
+``skylake_i7_6700k`` preset that mirrors the paper's evaluation platform
+(i7-6700K, 4 cores, 32 GB DRAM, 128 MB MEE region, ~4.2 GHz turbo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigurationError
+from .units import CACHE_LINE, KIB, MIB, is_power_of_two
+
+__all__ = [
+    "CacheGeometry",
+    "HierarchyConfig",
+    "DRAMConfig",
+    "MEECacheConfig",
+    "MEELatencyConfig",
+    "PagingConfig",
+    "TimerConfig",
+    "NoiseConfig",
+    "SystemConfig",
+    "skylake_i7_6700k",
+]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache level.
+
+    Attributes:
+        size_bytes: total capacity in bytes.
+        ways: associativity.
+        line_bytes: cache-line size in bytes.
+        hit_cycles: access latency on a hit, in core cycles.
+        policy: replacement policy name ("lru", "plru" or "random").
+    """
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = CACHE_LINE
+    hit_cycles: int = 4
+    policy: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError("cache geometry values must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ConfigurationError(
+                f"cache size {self.size_bytes} is not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ConfigurationError(
+                f"number of sets must be a power of two, got {self.num_sets}"
+            )
+        if self.policy not in ("lru", "plru", "rrip", "random"):
+            raise ConfigurationError(f"unknown replacement policy {self.policy!r}")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """The on-chip data-cache hierarchy (L1D, L2, inclusive LLC)."""
+
+    l1: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(32 * KIB, 8, hit_cycles=4)
+    )
+    l2: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(256 * KIB, 4, hit_cycles=14)
+    )
+    llc: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(8 * MIB, 16, hit_cycles=42)
+    )
+    clflush_cycles: int = 40
+    mfence_cycles: int = 25
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """DRAM timing model.
+
+    ``access_cycles`` is the mean line-fetch latency; Gaussian jitter with
+    ``jitter_sigma`` plus, with probability ``tail_probability``, an
+    exponential spike of mean ``tail_mean_cycles`` model real-system noise
+    (row conflicts, refresh, memory-controller queueing).  The heavy tail is
+    what makes the 8-access Prime+Probe probe unreliable in Figure 6(a).
+    """
+
+    access_cycles: float = 165.0
+    jitter_sigma: float = 40.0
+    tail_probability: float = 0.02
+    tail_mean_cycles: float = 220.0
+    #: additional mean latency per concurrent stressor process (bus contention)
+    contention_cycles_per_stressor: float = 18.0
+
+    def __post_init__(self) -> None:
+        if self.access_cycles <= 0:
+            raise ConfigurationError("DRAM access latency must be positive")
+        if not 0.0 <= self.tail_probability <= 1.0:
+            raise ConfigurationError("tail_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MEECacheConfig:
+    """Geometry of the MEE cache (ground truth the attack rediscovers)."""
+
+    size_bytes: int = 64 * KIB
+    ways: int = 8
+    line_bytes: int = CACHE_LINE
+    #: "approximate LRU" per the paper; 2-bit SRRIP matches the observed
+    #: behaviour (two-phase sweeps needed, single-line eviction reliable)
+    policy: str = "rrip"
+    lookup_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        geometry = CacheGeometry(
+            self.size_bytes, self.ways, self.line_bytes, policy=self.policy
+        )
+        # geometry validates divisibility / power-of-two constraints
+        object.__setattr__(self, "_num_sets", geometry.num_sets)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of MEE cache sets (128 for the paper's configuration)."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    def as_geometry(self, hit_cycles: int = 2) -> CacheGeometry:
+        """View this configuration as a generic :class:`CacheGeometry`."""
+        return CacheGeometry(
+            self.size_bytes,
+            self.ways,
+            self.line_bytes,
+            hit_cycles=hit_cycles,
+            policy=self.policy,
+        )
+
+
+@dataclass(frozen=True)
+class MEELatencyConfig:
+    """Latency anchors for protected-region accesses (DESIGN.md Section 5).
+
+    A protected access always pays ``uncore_cycles`` + one DRAM data fetch +
+    ``mee_base_cycles`` (decrypt + MAC).  Each integrity-tree level that
+    *misses* in the MEE cache adds the corresponding entry of
+    ``level_miss_cycles`` (index 0 = versions miss, 1 = L0 miss, ...).
+    With the defaults: versions hit ≈ 480, versions miss/L0 hit ≈ 750,
+    L1 hit ≈ 950, L2 hit ≈ 1100, root ≈ 1160 cycles.
+    """
+
+    uncore_cycles: float = 215.0
+    mee_base_cycles: float = 100.0
+    level_miss_cycles: tuple = (270.0, 200.0, 150.0, 60.0)
+
+    def __post_init__(self) -> None:
+        if len(self.level_miss_cycles) < 2:
+            raise ConfigurationError(
+                "level_miss_cycles needs at least versions + one tree level"
+            )
+
+    def expected_latency(self, dram_cycles: float, hit_level: int) -> float:
+        """Mean total latency when the walk first hits at ``hit_level``.
+
+        ``hit_level`` 0 means a versions hit; ``len(level_miss_cycles)``
+        means the walk went all the way to the SRAM root.
+        """
+        extra = sum(self.level_miss_cycles[:hit_level])
+        return self.uncore_cycles + dram_cycles + self.mee_base_cycles + extra
+
+
+@dataclass(frozen=True)
+class PagingConfig:
+    """Virtual-memory configuration for simulated processes."""
+
+    #: frames available to the allocator inside the protected region
+    protected_frames: int = 32768  # 128 MB / 4 KB
+    #: frames available outside the protected region
+    general_frames: int = 262144
+    #: randomize physical frame selection (True matches a real OS and is
+    #: what makes Figure 4 probabilistic)
+    randomize_frames: bool = True
+    #: mean sequential-run length of the EPC free list (set to model an SGX
+    #: driver handing out mostly-ascending frames); None = fully random,
+    #: the default — candidate-to-set mapping is then uniform, which is
+    #: what makes Figure 4 a smooth sigmoid
+    epc_cluster_mean_run: Optional[int] = None
+    #: EPC oversubscription: maximum protected pages resident at once,
+    #: enforced via EWB/ELDU paging; None (default) disables paging — the
+    #: paper's 128 MB MEE region is never oversubscribed in its evaluation
+    epc_resident_limit_pages: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TimerConfig:
+    """Costs of the three timing mechanisms of paper Figure 2."""
+
+    rdtsc_cycles: int = 24
+    ocall_min_cycles: int = 8000
+    ocall_max_cycles: int = 15000
+    counter_thread_read_cycles: int = 50
+    #: staleness of the counter-thread value: the helper thread updates the
+    #: shared slot every ~update_interval cycles, so a read observes a value
+    #: up to that many cycles old.
+    counter_thread_update_interval: int = 30
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Background-noise environment knobs (paper Figure 8)."""
+
+    #: probability per spy window that ambient system activity (OS, SGX
+    #: driver, other tenants) touches a protected page that collides with
+    #: the channel's MEE cache set.  Produces the paper's ~1.7% error floor.
+    ambient_collision_probability: float = 0.012
+    #: cycles a memory stressor spends per iteration touching DRAM
+    stressor_period_cycles: int = 2200
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of the simulated machine."""
+
+    cores: int = 4
+    clock_hz: float = 4.2e9
+    #: per-core relative clock-rate mismatch (trojan and spy drift apart)
+    clock_skew_ppm: float = 30.0
+    #: expected OS interrupts per core cycle (timer ticks, RCU, IPIs — a
+    #: quiet pinned core loses a slice roughly every 1.4 ms)
+    interrupt_rate_per_cycle: float = 1.0 / 6.0e6
+    #: mean cycles stolen per interrupt
+    interrupt_duration_cycles: float = 8000.0
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    mee_cache: MEECacheConfig = field(default_factory=MEECacheConfig)
+    mee_latency: MEELatencyConfig = field(default_factory=MEELatencyConfig)
+    paging: PagingConfig = field(default_factory=PagingConfig)
+    timers: TimerConfig = field(default_factory=TimerConfig)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    mee_region_bytes: int = 128 * MIB
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError("need at least one core")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock frequency must be positive")
+
+    def with_seed(self, seed: int) -> "SystemConfig":
+        """Return a copy of this configuration with a different RNG seed."""
+        return replace(self, seed=seed)
+
+    def with_mee_cache(self, mee_cache: MEECacheConfig) -> "SystemConfig":
+        """Return a copy with a different MEE cache geometry (ablations)."""
+        return replace(self, mee_cache=mee_cache)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert core cycles to wall-clock seconds at ``clock_hz``."""
+        return cycles / self.clock_hz
+
+
+def skylake_i7_6700k(seed: int = 0, noise: Optional[NoiseConfig] = None) -> SystemConfig:
+    """The paper's evaluation platform: i7-6700K, 4 cores, 128 MB MEE region.
+
+    Args:
+        seed: RNG seed for the machine (frame placement, DRAM jitter...).
+        noise: optional noise-environment override.
+
+    Returns:
+        A fully populated :class:`SystemConfig`.
+    """
+    if noise is None:
+        noise = NoiseConfig()
+    return SystemConfig(cores=4, clock_hz=4.2e9, seed=seed, noise=noise)

@@ -1,0 +1,96 @@
+"""The paper's contribution: the MEE-cache covert channel.
+
+Everything in this package plays by attacker rules: it observes only the
+latencies of its own operations (via the Figure 2 timers) and the agreed
+parameters of the protocol — never the simulator's ground-truth state.
+
+Modules map to the paper's sections:
+
+* :mod:`~repro.core.latency` — latency classification (Figure 5),
+* :mod:`~repro.core.candidates` — candidate address sets (Section 4),
+* :mod:`~repro.core.reverse_engineering` — capacity probing (Figure 4) and
+  Algorithm 1 (eviction sets / associativity),
+* :mod:`~repro.core.monitor` — the spy's monitor-address discovery,
+* :mod:`~repro.core.channel` — Algorithm 2, the working covert channel,
+* :mod:`~repro.core.primeprobe` — the failing Prime+Probe baseline
+  (Figure 6a),
+* :mod:`~repro.core.encoding` / :mod:`~repro.core.ecc` — payload framing
+  and error-correcting extensions,
+* :mod:`~repro.core.metrics` — bit-rate / error-rate accounting.
+"""
+
+from .candidates import CandidateAddressSet, allocate_candidate_pages
+from .channel import (
+    ChannelConfig,
+    ChannelResult,
+    CovertChannel,
+    spy_body,
+    trojan_body,
+    wait_until,
+)
+from .encoding import (
+    alternating_bits,
+    bits_to_bytes,
+    bits_to_text,
+    bytes_to_bits,
+    pattern_100100,
+    text_to_bits,
+)
+from .ecc import (
+    hamming74_decode,
+    hamming74_encode,
+    repetition_decode,
+    repetition_encode,
+)
+from .latency import LatencyCalibration, ThresholdClassifier, calibrate_classifier
+from .metrics import ChannelMetrics, bit_error_rate, bit_rate_kbps
+from .monitor import find_monitor_address
+from .multichannel import MultiChannel, MultiChannelResult, lane_window_cycles
+from .protocol import DecodedFrame, FrameCodec, crc16_ccitt
+from .primeprobe import PrimeProbeResult, run_prime_probe_channel
+from .reverse_engineering import (
+    EvictionSetResult,
+    capacity_experiment,
+    eviction_test,
+    find_eviction_set,
+)
+
+__all__ = [
+    "CandidateAddressSet",
+    "ChannelConfig",
+    "ChannelMetrics",
+    "DecodedFrame",
+    "FrameCodec",
+    "crc16_ccitt",
+    "ChannelResult",
+    "CovertChannel",
+    "EvictionSetResult",
+    "LatencyCalibration",
+    "MultiChannel",
+    "MultiChannelResult",
+    "PrimeProbeResult",
+    "ThresholdClassifier",
+    "lane_window_cycles",
+    "allocate_candidate_pages",
+    "alternating_bits",
+    "bit_error_rate",
+    "bit_rate_kbps",
+    "bits_to_bytes",
+    "bits_to_text",
+    "bytes_to_bits",
+    "calibrate_classifier",
+    "capacity_experiment",
+    "eviction_test",
+    "find_eviction_set",
+    "find_monitor_address",
+    "hamming74_decode",
+    "hamming74_encode",
+    "pattern_100100",
+    "repetition_decode",
+    "repetition_encode",
+    "run_prime_probe_channel",
+    "spy_body",
+    "text_to_bits",
+    "trojan_body",
+    "wait_until",
+]

@@ -1,0 +1,84 @@
+"""Candidate address sets (paper Section 4 / Figure 3).
+
+A *candidate address set* is a set of virtual addresses that can load their
+versions data into the same *index set*: virtual addresses at a 4 KB stride
+sharing the same 512 B unit within their page.  Which *actual* MEE-cache
+set each one lands in depends on the (unknown to the attacker) physical
+frame, so candidate sets are the raw material both for the capacity probe
+(Figure 4) and for Algorithm 1's eviction-set search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ChannelError
+from ..mem.paging import MappedRegion
+from ..sgx.enclave import Enclave
+from ..units import CHUNK_SIZE, CHUNKS_PER_PAGE, PAGE_SIZE
+
+__all__ = ["CandidateAddressSet", "allocate_candidate_pages"]
+
+
+@dataclass(frozen=True)
+class CandidateAddressSet:
+    """Virtual addresses with 4 KB stride and a common in-page 512 B unit.
+
+    Attributes:
+        unit: the agreed 512 B unit within each 4 KB page (0..7) — the
+            paper's "same index in consecutive versions data region".
+        addresses: one virtual address per page, at that unit's offset.
+    """
+
+    unit: int
+    addresses: tuple
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.unit < CHUNKS_PER_PAGE:
+            raise ChannelError(f"unit must be 0..7, got {self.unit}")
+        for vaddr in self.addresses:
+            if (vaddr % PAGE_SIZE) // CHUNK_SIZE != self.unit:
+                raise ChannelError(
+                    f"address {vaddr:#x} does not sit on unit {self.unit}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self):
+        return iter(self.addresses)
+
+    def subset(self, count: int) -> "CandidateAddressSet":
+        """The first ``count`` candidates (capacity sweeps use prefixes)."""
+        if count > len(self.addresses):
+            raise ChannelError(
+                f"requested {count} candidates, only {len(self.addresses)} available"
+            )
+        return CandidateAddressSet(unit=self.unit, addresses=self.addresses[:count])
+
+    @classmethod
+    def from_region(
+        cls, region: MappedRegion, unit: int, count: int = None
+    ) -> "CandidateAddressSet":
+        """Build candidates from every page of ``region`` at ``unit``."""
+        pages = region.size // PAGE_SIZE
+        if count is None:
+            count = pages
+        if count > pages:
+            raise ChannelError(f"region has {pages} pages, need {count}")
+        addresses = tuple(
+            region.base + page * PAGE_SIZE + unit * CHUNK_SIZE for page in range(count)
+        )
+        return cls(unit=unit, addresses=addresses)
+
+
+def allocate_candidate_pages(
+    enclave: Enclave, pages: int, unit: int
+) -> CandidateAddressSet:
+    """Allocate ``pages`` enclave pages and derive their candidate set.
+
+    Returns:
+        A :class:`CandidateAddressSet` with one address per fresh page.
+    """
+    region = enclave.alloc(pages * PAGE_SIZE)
+    return CandidateAddressSet.from_region(region, unit=unit, count=pages)

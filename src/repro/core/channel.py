@@ -1,0 +1,321 @@
+"""The MEE-cache covert channel (paper Section 5 / Algorithm 2).
+
+Role reversal is the paper's key protocol idea: the **trojan** holds the
+full eviction set and sweeps it (forward then backward, to beat the
+approximate-LRU replacement) to send a '1'; the **spy** probes just a
+*single* address — its monitor address — so the decode signal is the clean
+~300-cycle versions hit/miss gap rather than a noisy 8-access probe.
+
+Timing: both parties divide time into windows of ``Tsync`` cycles anchored
+at an agreed start.  The trojan evicts at the start of each window; the
+spy probes near the *end* of the window (its probe doubles as the next
+window's prime).  Both sides keep window alignment with the counter-thread
+timer of Figure 2(c), so OS interrupts cause isolated bit errors rather
+than permanent desynchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence
+
+from ..errors import ChannelError
+from ..sgx.timing import CounterThreadTimer, TimerMechanism, measured_access
+from ..sim.ops import Access, Fence, Flush, Operation, OpResult
+from .candidates import allocate_candidate_pages
+from .latency import LatencyCalibration, ThresholdClassifier, calibrate_classifier
+from .metrics import ChannelMetrics
+from .monitor import MonitorSearchResult, find_monitor_address
+from .reverse_engineering import EvictionSetResult, find_eviction_set, sweep_addresses
+
+__all__ = [
+    "ChannelConfig",
+    "ChannelResult",
+    "CovertChannel",
+    "trojan_body",
+    "spy_body",
+    "wait_until",
+]
+
+
+def wait_until(
+    timer: TimerMechanism, target: float
+) -> Generator[Operation, OpResult, int]:
+    """Busy-wait until the timer reads at least ``target`` cycles.
+
+    Implements "busy loop for remaining time of Tsync" from Algorithm 2
+    with *absolute* deadlines, so a stolen time slice slips one window
+    instead of shifting every subsequent window.
+    """
+    from ..sim.ops import Busy  # local import to keep module deps flat
+
+    now = yield from timer.read()
+    while now < target:
+        yield Busy(int(max(target - now, 1)))
+        now = yield from timer.read()
+    return now
+
+
+def trojan_body(
+    bits: Sequence[int],
+    eviction_set: Sequence[int],
+    start_time: float,
+    window_cycles: int,
+    timer: TimerMechanism,
+    two_phase: bool = True,
+) -> Generator[Operation, OpResult, int]:
+    """Algorithm 2, trojan side.
+
+    For every '1', sweep the eviction set forward and backward (access +
+    flush each address, fenced); for every '0', stay idle.  Either way,
+    busy-loop until the next window boundary.  ``two_phase=False`` drops
+    the backward pass — the paper's discussion of why that is insufficient
+    under approximate-LRU replacement is validated by the one-phase
+    ablation benchmark.
+
+    Returns:
+        Number of bits transmitted.
+    """
+    yield from wait_until(timer, start_time)
+    for index, bit in enumerate(bits):
+        if bit == 1:
+            # Per-bit rotation keeps pseudo-LRU from settling into a cycle
+            # that spares the spy's monitor line (see sweep_addresses).
+            yield from sweep_addresses(
+                eviction_set, two_phase=two_phase, rotation=index
+            )
+        elif bit != 0:
+            raise ChannelError(f"bits must be 0/1, got {bit!r}")
+        yield from wait_until(timer, start_time + (index + 1) * window_cycles)
+    return len(bits)
+
+
+def spy_body(
+    bit_count: int,
+    monitor: int,
+    start_time: float,
+    window_cycles: int,
+    probe_margin: int,
+    timer: TimerMechanism,
+    classifier: ThresholdClassifier,
+    probe_times_out: List[float],
+    bits_out: List[int],
+) -> Generator[Operation, OpResult, int]:
+    """Algorithm 2, spy side.
+
+    Probes the monitor address once per window, ``probe_margin`` cycles
+    before the boundary; the probe reloads the versions data, so it is
+    also the prime for the next window (paper Section 5.3: "the probe and
+    prime stage for the next communication bit is overlapped").
+
+    Returns:
+        Number of bits decoded.
+    """
+    # Initial prime so window 0 starts from a known cached state.
+    yield Access(monitor)
+    yield Flush(monitor)
+    yield Fence()
+    for index in range(bit_count):
+        deadline = start_time + index * window_cycles + (window_cycles - probe_margin)
+        yield from wait_until(timer, deadline)
+        elapsed = yield from measured_access(timer, monitor, flush_after=True)
+        probe_times_out.append(float(elapsed))
+        bits_out.append(classifier.decode_bit(elapsed))
+    return bit_count
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Protocol and setup parameters for one channel instance."""
+
+    window_cycles: int = 15_000
+    #: agreed 512 B unit within each 4 KB page (any value 0..7 works)
+    unit: int = 3
+    #: cycles before the window boundary at which the spy probes
+    probe_margin: int = 1_200
+    #: trojan-side candidate pool for Algorithm 1
+    candidate_pool: int = 128
+    #: spy-side candidates for the monitor search
+    monitor_candidates: int = 64
+    monitor_trials: int = 6
+    calibration_samples: int = 64
+    #: eviction-test repetitions inside Algorithm 1
+    repeats: int = 3
+    trojan_core: int = 0
+    spy_core: int = 1
+    #: lead time between setup completing and the first window
+    start_slack_cycles: int = 50_000
+    #: sweep the eviction set forward *and* backward (paper Section 5.3);
+    #: False is the one-phase ablation
+    eviction_two_phase: bool = True
+
+
+@dataclass
+class ChannelResult:
+    """One transmission's full record."""
+
+    sent: List[int]
+    received: List[int]
+    probe_times: List[float]
+    window_cycles: int
+    clock_hz: float
+    metrics: ChannelMetrics = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.metrics = ChannelMetrics.from_bits(
+            self.sent, self.received, self.window_cycles, self.clock_hz
+        )
+
+    @property
+    def error_positions(self) -> List[int]:
+        """Indices where received != sent (Figure 8's red circles)."""
+        return [i for i, (s, r) in enumerate(zip(self.sent, self.received)) if s != r]
+
+
+class CovertChannel:
+    """End-to-end orchestration: setup once, transmit many times.
+
+    Typical use::
+
+        machine = Machine(skylake_i7_6700k())
+        channel = CovertChannel(machine)
+        channel.setup()
+        result = channel.transmit([1, 0, 1, 1, 0])
+    """
+
+    def __init__(self, machine, config: Optional[ChannelConfig] = None):
+        self.machine = machine
+        self.config = config if config is not None else ChannelConfig()
+        timers = machine.config.timers
+        self.trojan_timer = CounterThreadTimer(timers.counter_thread_read_cycles)
+        self.spy_timer = CounterThreadTimer(timers.counter_thread_read_cycles)
+
+        self.trojan_space = machine.new_address_space("trojan-proc")
+        self.spy_space = machine.new_address_space("spy-proc")
+        self.trojan_enclave = machine.create_enclave("trojan-enclave", self.trojan_space)
+        self.spy_enclave = machine.create_enclave("spy-enclave", self.spy_space)
+
+        self.calibration: Optional[LatencyCalibration] = None
+        self.eviction_result: Optional[EvictionSetResult] = None
+        self.monitor_result: Optional[MonitorSearchResult] = None
+
+    # -- setup ------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Calibrate, reverse-engineer the eviction set, find the monitor."""
+        config = self.config
+        self.calibration = calibrate_classifier(
+            self.machine,
+            self.spy_space,
+            self.spy_enclave,
+            self.spy_timer,
+            samples=config.calibration_samples,
+            core=config.spy_core,
+        )
+        classifier = self.calibration.classifier
+
+        candidates = allocate_candidate_pages(
+            self.trojan_enclave, config.candidate_pool, config.unit
+        )
+        self.eviction_result = find_eviction_set(
+            self.machine,
+            self.trojan_space,
+            self.trojan_enclave,
+            candidates,
+            self.trojan_timer,
+            classifier,
+            repeats=config.repeats,
+            core=config.trojan_core,
+        )
+
+        spy_candidates = allocate_candidate_pages(
+            self.spy_enclave, config.monitor_candidates, config.unit
+        )
+        self.monitor_result = find_monitor_address(
+            self.machine,
+            self.spy_space,
+            self.spy_enclave,
+            self.trojan_space,
+            self.trojan_enclave,
+            self.eviction_result.eviction_set,
+            spy_candidates,
+            self.spy_timer,
+            classifier,
+            trials=config.monitor_trials,
+            spy_core=config.spy_core,
+            trojan_core=config.trojan_core,
+        )
+
+    @property
+    def is_ready(self) -> bool:
+        """True once setup() has produced an eviction set and a monitor."""
+        return self.eviction_result is not None and self.monitor_result is not None
+
+    # -- transmission -------------------------------------------------------------
+
+    def transmit(
+        self,
+        bits: Sequence[int],
+        window_cycles: Optional[int] = None,
+        extra_processes: Sequence = (),
+    ) -> ChannelResult:
+        """Send ``bits`` trojan→spy; returns the decoded stream + metrics.
+
+        Args:
+            bits: payload bits.
+            window_cycles: override the configured ``Tsync``.
+            extra_processes: ``(name, body, core, space, enclave)`` tuples
+                spawned alongside the channel — the noise workloads of
+                Figure 8 plug in here.
+        """
+        if not self.is_ready:
+            raise ChannelError("call setup() before transmit()")
+        config = self.config
+        window = window_cycles if window_cycles is not None else config.window_cycles
+        classifier = self.calibration.classifier
+        start_time = self.machine.now + config.start_slack_cycles
+
+        probe_times: List[float] = []
+        received: List[int] = []
+        self.machine.spawn(
+            "trojan",
+            trojan_body(
+                list(bits),
+                list(self.eviction_result.eviction_set),
+                start_time,
+                window,
+                self.trojan_timer,
+                two_phase=config.eviction_two_phase,
+            ),
+            core=config.trojan_core,
+            space=self.trojan_space,
+            enclave=self.trojan_enclave,
+        )
+        self.machine.spawn(
+            "spy",
+            spy_body(
+                len(bits),
+                self.monitor_result.monitor,
+                start_time,
+                window,
+                config.probe_margin,
+                self.spy_timer,
+                classifier,
+                probe_times,
+                received,
+            ),
+            core=config.spy_core,
+            space=self.spy_space,
+            enclave=self.spy_enclave,
+        )
+        for name, body, core, space, enclave in extra_processes:
+            self.machine.spawn(name, body, core=core, space=space, enclave=enclave)
+        self.machine.run()
+
+        return ChannelResult(
+            sent=list(bits),
+            received=received,
+            probe_times=probe_times,
+            window_cycles=window,
+            clock_hz=self.machine.config.clock_hz,
+        )

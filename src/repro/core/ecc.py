@@ -1,0 +1,140 @@
+"""Error-correcting codes for the channel (extension beyond the paper).
+
+The paper reports raw error rates "without any error handling"; a
+practical channel would add coding.  We provide the two standard
+lightweight options — Hamming(7,4) with single-error correction, and
+N-fold repetition with majority vote — and use them in the examples and
+the coding ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "hamming74_encode",
+    "hamming74_decode",
+    "repetition_encode",
+    "repetition_decode",
+    "block_repetition_encode",
+    "block_repetition_decode",
+]
+
+# Parity-check positions for Hamming(7,4), 1-indexed codeword layout:
+# p1 p2 d1 p4 d2 d3 d4   (parity bits at positions 1, 2, 4)
+_DATA_POSITIONS = (3, 5, 6, 7)
+_PARITY_POSITIONS = (1, 2, 4)
+
+
+def _check_bits(bits: Sequence[int]) -> None:
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+
+
+def hamming74_encode(bits: Sequence[int]) -> List[int]:
+    """Encode data bits into Hamming(7,4) codewords.
+
+    Input length must be a multiple of 4; output is 7/4 times longer.
+    """
+    _check_bits(bits)
+    if len(bits) % 4 != 0:
+        raise ValueError(f"Hamming(7,4) needs a multiple of 4 bits, got {len(bits)}")
+    encoded: List[int] = []
+    for start in range(0, len(bits), 4):
+        nibble = bits[start : start + 4]
+        word = [0] * 8  # 1-indexed; word[0] unused
+        for position, bit in zip(_DATA_POSITIONS, nibble):
+            word[position] = bit
+        for parity in _PARITY_POSITIONS:
+            value = 0
+            for position in range(1, 8):
+                if position & parity and position != parity:
+                    value ^= word[position]
+            word[parity] = value
+        encoded.extend(word[1:])
+    return encoded
+
+
+def hamming74_decode(bits: Sequence[int]) -> tuple:
+    """Decode Hamming(7,4), correcting single-bit errors per codeword.
+
+    Returns:
+        ``(data_bits, corrections)`` — the decoded bits and how many
+        codewords needed a correction.  Double-bit errors miscorrect, as
+        Hamming(7,4) inherently does.
+    """
+    _check_bits(bits)
+    if len(bits) % 7 != 0:
+        raise ValueError(f"Hamming(7,4) codewords are 7 bits, got {len(bits)}")
+    data: List[int] = []
+    corrections = 0
+    for start in range(0, len(bits), 7):
+        word = [0] + list(bits[start : start + 7])  # 1-indexed
+        syndrome = 0
+        for parity in _PARITY_POSITIONS:
+            value = 0
+            for position in range(1, 8):
+                if position & parity:
+                    value ^= word[position]
+            if value:
+                syndrome += parity
+        if syndrome:
+            word[syndrome] ^= 1
+            corrections += 1
+        data.extend(word[position] for position in _DATA_POSITIONS)
+    return data, corrections
+
+
+def repetition_encode(bits: Sequence[int], factor: int = 3) -> List[int]:
+    """Repeat every bit ``factor`` times (odd factors decode unambiguously)."""
+    _check_bits(bits)
+    if factor < 1 or factor % 2 == 0:
+        raise ValueError(f"repetition factor must be odd and >= 1, got {factor}")
+    out: List[int] = []
+    for bit in bits:
+        out.extend([bit] * factor)
+    return out
+
+
+def repetition_decode(bits: Sequence[int], factor: int = 3) -> List[int]:
+    """Majority-vote decode of :func:`repetition_encode` output."""
+    _check_bits(bits)
+    if factor < 1 or factor % 2 == 0:
+        raise ValueError(f"repetition factor must be odd and >= 1, got {factor}")
+    if len(bits) % factor != 0:
+        raise ValueError(f"bit count {len(bits)} not a multiple of {factor}")
+    data: List[int] = []
+    for start in range(0, len(bits), factor):
+        group = bits[start : start + factor]
+        data.append(1 if sum(group) * 2 > factor else 0)
+    return data
+
+
+def block_repetition_encode(bits: Sequence[int], copies: int = 3) -> List[int]:
+    """Transmit the whole payload ``copies`` times back to back.
+
+    Unlike per-bit repetition, the copies of one bit sit a full payload
+    apart, so a *burst* of channel errors (an OS time slice garbling a few
+    adjacent windows) lands in at most one copy — the natural interleaving
+    for this channel's error process.
+    """
+    _check_bits(bits)
+    if copies < 1 or copies % 2 == 0:
+        raise ValueError(f"copies must be odd and >= 1, got {copies}")
+    return list(bits) * copies
+
+
+def block_repetition_decode(bits: Sequence[int], copies: int = 3) -> List[int]:
+    """Positionwise majority vote across the payload copies."""
+    _check_bits(bits)
+    if copies < 1 or copies % 2 == 0:
+        raise ValueError(f"copies must be odd and >= 1, got {copies}")
+    if len(bits) % copies != 0:
+        raise ValueError(f"bit count {len(bits)} not a multiple of {copies}")
+    length = len(bits) // copies
+    data: List[int] = []
+    for position in range(length):
+        votes = sum(bits[copy * length + position] for copy in range(copies))
+        data.append(1 if votes * 2 > copies else 0)
+    return data

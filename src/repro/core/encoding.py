@@ -1,0 +1,71 @@
+"""Bit-stream utilities: payload conversion and the paper's test patterns.
+
+The evaluation uses two fixed patterns: '0101...' for Figure 6 and the
+128-bit '100100...' sequence for Figure 8; real payloads (the examples
+exfiltrate text) need byte/bit conversion with a defined bit order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "text_to_bits",
+    "bits_to_text",
+    "alternating_bits",
+    "pattern_100100",
+    "random_bits",
+]
+
+
+def bytes_to_bits(payload: bytes) -> List[int]:
+    """MSB-first bit expansion of ``payload``."""
+    bits: List[int] = []
+    for byte in payload:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; length must be a multiple of 8."""
+    if len(bits) % 8 != 0:
+        raise ValueError(f"bit count {len(bits)} is not a multiple of 8")
+    out = bytearray()
+    for index in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[index : index + 8]:
+            if bit not in (0, 1):
+                raise ValueError(f"bits must be 0/1, got {bit!r}")
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)
+
+
+def text_to_bits(text: str) -> List[int]:
+    """UTF-8 encode ``text`` and expand to bits."""
+    return bytes_to_bits(text.encode("utf-8"))
+
+
+def bits_to_text(bits: Sequence[int], errors: str = "replace") -> str:
+    """Decode bits back to text; undecodable bytes are replaced by default
+    (covert channels are noisy)."""
+    return bits_to_bytes(bits).decode("utf-8", errors=errors)
+
+
+def alternating_bits(count: int, start: int = 0) -> List[int]:
+    """'0101...' (or '1010...'), the Figure 6 test sequence."""
+    return [(start + i) % 2 for i in range(count)]
+
+
+def pattern_100100(count: int = 128) -> List[int]:
+    """The '100100...' sequence of Figure 8 (128 bits by default)."""
+    base = [1, 0, 0]
+    return [base[i % 3] for i in range(count)]
+
+
+def random_bits(count: int, rng) -> List[int]:
+    """Uniform random payload bits from a numpy generator."""
+    return [int(b) for b in rng.integers(0, 2, size=count)]

@@ -1,0 +1,151 @@
+"""Latency classification: turning measured cycles into hit/miss verdicts.
+
+The channel decodes bits from the ~300-cycle gap between a versions-data
+hit (~480 cycles) and a versions-data miss (~750 cycles) when accessing
+protected memory (paper Figure 5 / Section 5.4).  Attack code measures
+with a :class:`~repro.sgx.timing.TimerMechanism`, so every sample carries
+the timer's own overhead; classification therefore calibrates on samples
+measured *the same way* the channel will measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Sequence
+
+import numpy as np
+
+from ..mem.paging import MappedRegion
+from ..sgx.timing import TimerMechanism, measured_access
+from ..sim.ops import Access, Flush, Operation, OpResult
+from ..units import PAGE_SIZE
+
+__all__ = ["ThresholdClassifier", "LatencyCalibration", "calibrate_classifier"]
+
+
+@dataclass(frozen=True)
+class ThresholdClassifier:
+    """Versions hit/miss decision by a single threshold.
+
+    ``measured <= threshold`` → versions hit (bit 0); otherwise miss
+    (bit 1), per paper Section 5.4 (≈480 vs ≈750 cycles).
+    """
+
+    threshold: float
+    hit_estimate: float
+    miss_estimate: float
+
+    def is_miss(self, measured: float) -> bool:
+        """True when ``measured`` indicates a versions-data miss."""
+        return measured > self.threshold
+
+    def decode_bit(self, measured: float) -> int:
+        """Bit value: trojan eviction (miss) encodes '1'."""
+        return 1 if self.is_miss(measured) else 0
+
+
+@dataclass(frozen=True)
+class LatencyCalibration:
+    """Raw calibration samples plus the classifier derived from them."""
+
+    hit_samples: tuple
+    miss_samples: tuple
+    classifier: ThresholdClassifier
+
+    @property
+    def separation(self) -> float:
+        """Gap between the miss and hit means — paper quotes ≥ ~300 cycles."""
+        return self.classifier.miss_estimate - self.classifier.hit_estimate
+
+
+def calibration_body(
+    region: MappedRegion,
+    timer: TimerMechanism,
+    hit_out: List[float],
+    miss_out: List[float],
+    samples: int = 64,
+) -> Generator[Operation, OpResult, None]:
+    """Process body that collects hit-side and miss-side latency samples.
+
+    Hit side: access the same chunk twice, flushing the data line between —
+    the second access finds its versions node in the MEE cache.  Miss side:
+    the first touch of a fresh 512 B chunk inside a page whose L0 node was
+    just warmed — a versions miss that stops at L0, which is exactly the
+    latency class a trojan eviction produces (paper Section 5.4, ≈750
+    cycles).  Both are measured through ``timer`` exactly like channel
+    probes will be.
+    """
+    pages = region.size // PAGE_SIZE
+    miss_pages_needed = (samples + 6) // 7
+    if pages < miss_pages_needed + 2:
+        raise ValueError(f"region too small: {pages} pages for {samples} samples")
+
+    # Warm + measure hits on one chunk.
+    warm = region.base
+    yield Access(warm)
+    yield Flush(warm)
+    for _ in range(samples):
+        elapsed = yield from measured_access(timer, warm, flush_after=True)
+        hit_out.append(float(elapsed))
+
+    # Versions-miss / L0-hit samples: warm a page's L0 via its first chunk,
+    # then measure the first touch of each remaining chunk.
+    for page in range(1, miss_pages_needed + 1):
+        page_vaddr = region.base + page * PAGE_SIZE
+        yield Access(page_vaddr)
+        yield Flush(page_vaddr)
+        for unit in range(1, 8):
+            if len(miss_out) >= samples:
+                return
+            vaddr = page_vaddr + unit * 512
+            elapsed = yield from measured_access(timer, vaddr, flush_after=True)
+            miss_out.append(float(elapsed))
+
+
+def classifier_from_samples(
+    hit_samples: Sequence[float], miss_samples: Sequence[float]
+) -> ThresholdClassifier:
+    """Midpoint threshold between robust hit/miss estimates.
+
+    Medians are used because the miss side mixes several tree levels
+    (L0/L1/L2/root) and DRAM tails skew means upward.
+    """
+    hit = float(np.median(hit_samples))
+    miss = float(np.median(miss_samples))
+    if miss <= hit:
+        raise ValueError(
+            f"calibration failed: miss estimate {miss:.0f} <= hit estimate {hit:.0f}"
+        )
+    return ThresholdClassifier(
+        threshold=(hit + miss) / 2.0, hit_estimate=hit, miss_estimate=miss
+    )
+
+
+def calibrate_classifier(
+    machine,
+    space,
+    enclave,
+    timer: TimerMechanism,
+    samples: int = 64,
+    core: int = 0,
+) -> LatencyCalibration:
+    """Run a calibration process on ``machine`` and build the classifier.
+
+    Allocates a scratch enclave region, measures ``samples`` hit and miss
+    latencies through ``timer``, and returns the calibration.
+    """
+    region = enclave.alloc((samples + 2) * PAGE_SIZE)
+    hits: List[float] = []
+    misses: List[float] = []
+    machine.spawn(
+        "calibrate",
+        calibration_body(region, timer, hits, misses, samples=samples),
+        core=core,
+        space=space,
+        enclave=enclave,
+    )
+    machine.run()
+    classifier = classifier_from_samples(hits, misses)
+    return LatencyCalibration(
+        hit_samples=tuple(hits), miss_samples=tuple(misses), classifier=classifier
+    )

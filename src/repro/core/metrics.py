@@ -1,0 +1,106 @@
+"""Channel quality metrics: bit rate, error rate, confusion counts.
+
+The paper reports bit rate in KBps — kilo*bytes* per second — computed
+from the cycle budget per bit: one bit per timing window at ``clock_hz``
+cycles per second gives ``clock_hz / window / 8 / 1000`` KBps; 15000
+cycles at 4.2 GHz is the paper's 35 KBps headline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["bit_rate_kbps", "bit_error_rate", "binary_entropy", "ChannelMetrics"]
+
+
+def binary_entropy(p: float) -> float:
+    """H2(p) in bits; 0 at p in {0, 1}, 1 at p = 0.5."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability out of range: {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def bit_rate_kbps(window_cycles: float, clock_hz: float) -> float:
+    """Raw channel bit rate in kilobytes per second (one bit per window)."""
+    if window_cycles <= 0:
+        raise ValueError("window must be positive")
+    bits_per_second = clock_hz / window_cycles
+    return bits_per_second / 8.0 / 1000.0
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Fraction of positions where ``received`` differs from ``sent``.
+
+    Sequences must be equal length — the channel is synchronous, one bit
+    per window, so insertions/deletions cannot occur by construction.
+    """
+    if len(sent) != len(received):
+        raise ValueError(f"length mismatch: sent {len(sent)}, received {len(received)}")
+    if not sent:
+        return 0.0
+    errors = sum(1 for s, r in zip(sent, received) if s != r)
+    return errors / len(sent)
+
+
+@dataclass(frozen=True)
+class ChannelMetrics:
+    """Summary of one transmission."""
+
+    bits: int
+    errors: int
+    window_cycles: float
+    clock_hz: float
+    false_ones: int  # sent 0, decoded 1 (spurious eviction / latency tail)
+    false_zeros: int  # sent 1, decoded 0 (eviction failed / timing slip)
+
+    @property
+    def error_rate(self) -> float:
+        """Bit error rate over the transmission."""
+        return self.errors / self.bits if self.bits else 0.0
+
+    @property
+    def bit_rate(self) -> float:
+        """Raw rate in KBps (paper's unit)."""
+        return bit_rate_kbps(self.window_cycles, self.clock_hz)
+
+    @property
+    def goodput(self) -> float:
+        """Error-discounted rate in KBps (1 - BER scaling)."""
+        return self.bit_rate * (1.0 - self.error_rate)
+
+    @property
+    def capacity_kbps(self) -> float:
+        """Information-theoretic rate: bit_rate x (1 - H2(BER)).
+
+        Treats the channel as binary-symmetric — the right figure of merit
+        when comparing operating points, since a 50%-error channel carries
+        no information no matter how fast it signals.
+        """
+        ber = min(self.error_rate, 0.5)
+        return self.bit_rate * (1.0 - binary_entropy(ber))
+
+    @classmethod
+    def from_bits(
+        cls,
+        sent: Sequence[int],
+        received: Sequence[int],
+        window_cycles: float,
+        clock_hz: float,
+    ) -> "ChannelMetrics":
+        """Build metrics from the two bit streams."""
+        if len(sent) != len(received):
+            raise ValueError("sent and received must be equal length")
+        false_ones = sum(1 for s, r in zip(sent, received) if s == 0 and r == 1)
+        false_zeros = sum(1 for s, r in zip(sent, received) if s == 1 and r == 0)
+        return cls(
+            bits=len(sent),
+            errors=false_ones + false_zeros,
+            window_cycles=window_cycles,
+            clock_hz=clock_hz,
+            false_ones=false_ones,
+            false_zeros=false_zeros,
+        )

@@ -1,0 +1,164 @@
+"""The spy's monitor-address discovery (paper Section 5.3).
+
+The trojan and spy only pre-share the 512 B unit within a 4 KB page (the
+"index in the consecutive versions data region").  The spy must then find,
+among its own candidate addresses at that unit, one whose versions data
+the trojan's eviction set actually evicts — the *monitor address*.
+
+Discovery is cooperative: during a setup phase the trojan sweeps its
+eviction set continuously; the spy primes each candidate, waits, and
+re-probes.  A candidate that keeps coming back as a versions miss shares
+the trojan's cache set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Sequence
+
+from ..errors import ChannelError
+from ..sgx.timing import TimerMechanism, measured_access
+from ..sim.ops import Access, Busy, Fence, Flush, Operation, OpResult
+from .candidates import CandidateAddressSet
+from .latency import ThresholdClassifier
+
+__all__ = ["MonitorSearchResult", "find_monitor_address", "sweeper_body", "monitor_probe_body"]
+
+
+@dataclass(frozen=True)
+class MonitorSearchResult:
+    """Outcome of the monitor search."""
+
+    monitor: int
+    miss_counts: tuple  # per candidate, how many probes came back evicted
+    trials: int
+
+    def eviction_ratio(self, index: int) -> float:
+        """Eviction ratio observed for candidate ``index``."""
+        return self.miss_counts[index] / self.trials
+
+
+def sweeper_body(
+    eviction_set: Sequence[int], duration_cycles: float
+) -> Generator[Operation, OpResult, int]:
+    """Trojan setup-phase body: sweep the eviction set until ``duration``.
+
+    Returns:
+        Number of completed sweeps.
+    """
+    elapsed = 0.0
+    sweeps = 0
+    addresses = list(eviction_set)
+    while elapsed < duration_cycles:
+        start_elapsed = elapsed
+        # Rotate the order every sweep so pseudo-LRU cannot settle into a
+        # cycle that spares the spy's primed line (see sweep_addresses).
+        shift = sweeps % max(len(addresses), 1)
+        order = addresses[shift:] + addresses[:shift]
+        for vaddr in order:
+            result = yield Access(vaddr)
+            elapsed += result.latency
+            yield Flush(vaddr)
+            elapsed += 40
+        yield Fence()
+        for vaddr in reversed(order):
+            result = yield Access(vaddr)
+            elapsed += result.latency
+            yield Flush(vaddr)
+            elapsed += 40
+        yield Fence()
+        elapsed += 50
+        sweeps += 1
+        if elapsed <= start_elapsed:  # defensive: guarantee progress
+            elapsed += 1000
+    return sweeps
+
+
+def monitor_probe_body(
+    candidates: CandidateAddressSet,
+    timer: TimerMechanism,
+    classifier: ThresholdClassifier,
+    trials: int,
+    wait_cycles: int,
+    results_out: List[List[int]],
+) -> Generator[Operation, OpResult, None]:
+    """Spy setup-phase body: count evictions per candidate.
+
+    For each candidate, ``trials`` times: prime (access + flush), wait one
+    sweep-length, then re-probe through ``timer``.  Eviction counts per
+    candidate are appended to ``results_out``.
+    """
+    counts = [0] * len(candidates)
+    for index, vaddr in enumerate(candidates):
+        for _ in range(trials):
+            yield Access(vaddr)
+            yield Flush(vaddr)
+            yield Fence()
+            yield Busy(wait_cycles)
+            elapsed = yield from measured_access(timer, vaddr, flush_after=True)
+            if classifier.is_miss(elapsed):
+                counts[index] += 1
+    results_out.append(counts)
+
+
+def find_monitor_address(
+    machine,
+    spy_space,
+    spy_enclave,
+    trojan_space,
+    trojan_enclave,
+    eviction_set: Sequence[int],
+    candidates: CandidateAddressSet,
+    timer: TimerMechanism,
+    classifier: ThresholdClassifier,
+    trials: int = 6,
+    wait_cycles: int = 25_000,
+    min_ratio: float = 0.7,
+    spy_core: int = 1,
+    trojan_core: int = 0,
+) -> MonitorSearchResult:
+    """Run the cooperative monitor search; return the chosen monitor.
+
+    Args:
+        eviction_set: the trojan's Algorithm 1 output.
+        candidates: the spy's candidate addresses (same agreed unit).
+        trials: probes per candidate.
+        wait_cycles: spy wait between prime and probe (≥ one sweep).
+        min_ratio: minimum eviction ratio to accept a monitor.
+
+    Raises:
+        ChannelError: when no candidate is evicted reliably enough —
+            the spy should allocate more candidate pages and retry.
+    """
+    per_candidate_cycles = wait_cycles + 4000.0
+    duration = trials * len(candidates) * per_candidate_cycles * 1.5
+    results: List[List[int]] = []
+    machine.spawn(
+        "monitor-sweeper",
+        sweeper_body(eviction_set, duration),
+        core=trojan_core,
+        space=trojan_space,
+        enclave=trojan_enclave,
+    )
+    machine.spawn(
+        "monitor-probe",
+        monitor_probe_body(candidates, timer, classifier, trials, wait_cycles, results),
+        core=spy_core,
+        space=spy_space,
+        enclave=spy_enclave,
+    )
+    machine.run()
+    if not results:
+        raise ChannelError("monitor probe produced no results")
+    counts = results[0]
+    best_index = max(range(len(counts)), key=lambda i: counts[i])
+    if counts[best_index] < min_ratio * trials:
+        raise ChannelError(
+            f"no reliable monitor address: best candidate evicted "
+            f"{counts[best_index]}/{trials} times (need {min_ratio:.0%})"
+        )
+    return MonitorSearchResult(
+        monitor=candidates.addresses[best_index],
+        miss_counts=tuple(counts),
+        trials=trials,
+    )

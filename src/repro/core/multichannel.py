@@ -1,0 +1,245 @@
+"""Multi-lane MEE covert channel — a bandwidth extension beyond the paper.
+
+The paper's channel sends one bit per timing window through one cache set.
+But the versions layout offers eight independent set *families* — one per
+512 B unit within a page (Figure 3) — and families never collide.  A
+trojan that prepares one eviction set per unit can signal K bits per
+window; the window must stretch to fit K sequential evictions (~9500
+cycles each), so throughput scales sublinearly:
+
+    K = 1: 15000 cycles/bit  -> 35.0 KBps (the paper)
+    K = 2: 22000 cycles/2b   -> 47.7 KBps
+    K = 3: 31500 cycles/3b   -> 50.0 KBps
+
+Setup cost also scales (Algorithm 1 once per lane), which is why the
+paper's single-lane design is the right default; this module quantifies
+the trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence
+
+from ..errors import ChannelError
+from ..sgx.timing import CounterThreadTimer, TimerMechanism, measured_access
+from ..sim.ops import Access, Fence, Flush, Operation, OpResult
+from .candidates import allocate_candidate_pages
+from .channel import ChannelConfig, wait_until
+from .latency import LatencyCalibration, ThresholdClassifier, calibrate_classifier
+from .metrics import ChannelMetrics
+from .monitor import find_monitor_address
+from .reverse_engineering import find_eviction_set, sweep_addresses
+
+__all__ = ["MultiChannelResult", "MultiChannel", "lane_window_cycles"]
+
+#: cycles one lane's eviction sweep needs inside a window
+_SWEEP_BUDGET = 9_500
+#: fixed window slack for probing and sync
+_WINDOW_SLACK = 3_000
+
+
+def lane_window_cycles(lanes: int) -> int:
+    """Default window size fitting ``lanes`` sequential evictions."""
+    return lanes * _SWEEP_BUDGET + _WINDOW_SLACK
+
+
+@dataclass
+class MultiChannelResult:
+    """A multi-lane transmission: per-lane streams plus combined metrics."""
+
+    sent: List[int]
+    received: List[int]
+    lanes: int
+    window_cycles: int
+    clock_hz: float
+    per_lane_errors: List[int]
+    metrics: ChannelMetrics = field(init=False)
+
+    def __post_init__(self) -> None:
+        metrics = ChannelMetrics.from_bits(
+            self.sent, self.received, self.window_cycles, self.clock_hz
+        )
+        # One window carries `lanes` bits: divide the per-bit window cost.
+        self.metrics = ChannelMetrics(
+            bits=metrics.bits,
+            errors=metrics.errors,
+            window_cycles=self.window_cycles / self.lanes,
+            clock_hz=self.clock_hz,
+            false_ones=metrics.false_ones,
+            false_zeros=metrics.false_zeros,
+        )
+
+
+def _multi_trojan_body(
+    lane_bits: List[List[int]],
+    lane_sets: List[List[int]],
+    start_time: float,
+    window_cycles: int,
+    timer: TimerMechanism,
+) -> Generator[Operation, OpResult, int]:
+    """Sweep each '1' lane's eviction set within every window."""
+    windows = len(lane_bits[0])
+    yield from wait_until(timer, start_time)
+    for index in range(windows):
+        for lane, bits in enumerate(lane_bits):
+            if bits[index] == 1:
+                yield from sweep_addresses(lane_sets[lane], rotation=index)
+        yield from wait_until(timer, start_time + (index + 1) * window_cycles)
+    return windows
+
+
+def _multi_spy_body(
+    windows: int,
+    monitors: List[int],
+    start_time: float,
+    window_cycles: int,
+    probe_margin: int,
+    timer: TimerMechanism,
+    classifier: ThresholdClassifier,
+    lanes_out: List[List[int]],
+) -> Generator[Operation, OpResult, int]:
+    """Probe every lane's monitor near each window boundary."""
+    for monitor in monitors:
+        yield Access(monitor)
+        yield Flush(monitor)
+    yield Fence()
+    for index in range(windows):
+        deadline = start_time + index * window_cycles + (window_cycles - probe_margin)
+        yield from wait_until(timer, deadline)
+        for lane, monitor in enumerate(monitors):
+            elapsed = yield from measured_access(timer, monitor, flush_after=True)
+            lanes_out[lane].append(classifier.decode_bit(elapsed))
+    return windows
+
+
+class MultiChannel:
+    """K independent lanes over K versions-set families."""
+
+    def __init__(self, machine, lanes: int = 2, config: Optional[ChannelConfig] = None):
+        if not 1 <= lanes <= 8:
+            raise ChannelError(f"lanes must be 1..8 (one per 512 B unit), got {lanes}")
+        self.machine = machine
+        self.lanes = lanes
+        self.config = config if config is not None else ChannelConfig()
+        timers = machine.config.timers
+        self.trojan_timer = CounterThreadTimer(timers.counter_thread_read_cycles)
+        self.spy_timer = CounterThreadTimer(timers.counter_thread_read_cycles)
+        self.trojan_space = machine.new_address_space("mc-trojan-proc")
+        self.spy_space = machine.new_address_space("mc-spy-proc")
+        self.trojan_enclave = machine.create_enclave("mc-trojan-enclave", self.trojan_space)
+        self.spy_enclave = machine.create_enclave("mc-spy-enclave", self.spy_space)
+        self.calibration: Optional[LatencyCalibration] = None
+        self.lane_sets: List[List[int]] = []
+        self.monitors: List[int] = []
+
+    def setup(self) -> None:
+        """Calibrate once; run Algorithm 1 + monitor search per lane."""
+        config = self.config
+        self.calibration = calibrate_classifier(
+            self.machine,
+            self.spy_space,
+            self.spy_enclave,
+            self.spy_timer,
+            samples=config.calibration_samples,
+            core=config.spy_core,
+        )
+        classifier = self.calibration.classifier
+        for lane in range(self.lanes):
+            candidates = allocate_candidate_pages(
+                self.trojan_enclave, config.candidate_pool, unit=lane
+            )
+            eviction = find_eviction_set(
+                self.machine,
+                self.trojan_space,
+                self.trojan_enclave,
+                candidates,
+                self.trojan_timer,
+                classifier,
+                repeats=config.repeats,
+                core=config.trojan_core,
+            )
+            spy_candidates = allocate_candidate_pages(
+                self.spy_enclave, config.monitor_candidates, unit=lane
+            )
+            monitor = find_monitor_address(
+                self.machine,
+                self.spy_space,
+                self.spy_enclave,
+                self.trojan_space,
+                self.trojan_enclave,
+                eviction.eviction_set,
+                spy_candidates,
+                self.spy_timer,
+                classifier,
+                trials=config.monitor_trials,
+                spy_core=config.spy_core,
+                trojan_core=config.trojan_core,
+            )
+            self.lane_sets.append(list(eviction.eviction_set))
+            self.monitors.append(monitor.monitor)
+
+    @property
+    def is_ready(self) -> bool:
+        return len(self.lane_sets) == self.lanes and self.calibration is not None
+
+    def transmit(
+        self, bits: Sequence[int], window_cycles: Optional[int] = None
+    ) -> MultiChannelResult:
+        """Stripe ``bits`` across the lanes and send them.
+
+        Bits are padded to a whole number of windows with zeros; the
+        result is truncated back to the original length.
+        """
+        if not self.is_ready:
+            raise ChannelError("call setup() before transmit()")
+        window = window_cycles if window_cycles is not None else lane_window_cycles(self.lanes)
+        padded = list(bits) + [0] * ((-len(bits)) % self.lanes)
+        lane_bits = [padded[lane :: self.lanes] for lane in range(self.lanes)]
+        windows = len(lane_bits[0])
+        probe_margin = self.lanes * 1_000 + 500
+        start_time = self.machine.now + self.config.start_slack_cycles
+
+        lanes_out: List[List[int]] = [[] for _ in range(self.lanes)]
+        self.machine.spawn(
+            "mc-trojan",
+            _multi_trojan_body(lane_bits, self.lane_sets, start_time, window, self.trojan_timer),
+            core=self.config.trojan_core,
+            space=self.trojan_space,
+            enclave=self.trojan_enclave,
+        )
+        self.machine.spawn(
+            "mc-spy",
+            _multi_spy_body(
+                windows,
+                self.monitors,
+                start_time,
+                window,
+                probe_margin,
+                self.spy_timer,
+                self.calibration.classifier,
+                lanes_out,
+            ),
+            core=self.config.spy_core,
+            space=self.spy_space,
+            enclave=self.spy_enclave,
+        )
+        self.machine.run()
+
+        received_padded: List[int] = []
+        for index in range(windows):
+            for lane in range(self.lanes):
+                received_padded.append(lanes_out[lane][index])
+        received = received_padded[: len(bits)]
+        per_lane_errors = [
+            sum(1 for s, r in zip(lane_bits[lane], lanes_out[lane]) if s != r)
+            for lane in range(self.lanes)
+        ]
+        return MultiChannelResult(
+            sent=list(bits),
+            received=received,
+            lanes=self.lanes,
+            window_cycles=window,
+            clock_hz=self.machine.config.clock_hz,
+            per_lane_errors=per_lane_errors,
+        )

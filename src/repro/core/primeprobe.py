@@ -1,0 +1,268 @@
+"""The classic Prime+Probe baseline — and why it fails on the MEE cache.
+
+Paper Section 5.2: in LLC Prime+Probe the *spy* holds the eviction set and
+probes all ways; eviction by the trojan shows up as one extra miss.  On
+the MEE cache every probe access is a main-memory access (~480+ cycles
+each), so an 8-way probe costs >3500 cycles with the summed jitter of
+eight DRAM fetches — the ~300-cycle single-eviction signal drowns
+(Figure 6a).  This module implements that baseline faithfully so the
+failure is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..sgx.timing import CounterThreadTimer, TimerMechanism
+from ..sim.ops import Access, Busy, Fence, Flush, Operation, OpResult
+from .candidates import allocate_candidate_pages
+from .channel import ChannelConfig, wait_until
+from .latency import calibrate_classifier
+from .metrics import ChannelMetrics
+from .monitor import find_monitor_address
+from .reverse_engineering import find_eviction_set
+
+__all__ = ["PrimeProbeResult", "PrimeProbeChannel", "run_prime_probe_channel"]
+
+
+def _probe_set_body(
+    eviction_set: Sequence[int], timer: TimerMechanism
+) -> Generator[Operation, OpResult, float]:
+    """Measure the total time to access (and flush) every way of the set."""
+    start = yield from timer.read()
+    for vaddr in eviction_set:
+        yield Access(vaddr)
+    end = yield from timer.read()
+    for vaddr in eviction_set:
+        yield Flush(vaddr)
+    yield Fence()
+    return float(end - start)
+
+
+def pp_spy_body(
+    bit_count: int,
+    eviction_set: Sequence[int],
+    start_time: float,
+    window_cycles: int,
+    probe_margin: int,
+    timer: TimerMechanism,
+    threshold: float,
+    probe_times_out: List[float],
+    bits_out: List[int],
+) -> Generator[Operation, OpResult, int]:
+    """Prime+Probe spy: probe the whole set once per window."""
+    # Initial prime.
+    for vaddr in eviction_set:
+        yield Access(vaddr)
+        yield Flush(vaddr)
+    yield Fence()
+    for index in range(bit_count):
+        deadline = start_time + index * window_cycles + (window_cycles - probe_margin)
+        yield from wait_until(timer, deadline)
+        elapsed = yield from _probe_set_body(eviction_set, timer)
+        probe_times_out.append(elapsed)
+        bits_out.append(1 if elapsed > threshold else 0)
+    return bit_count
+
+
+def pp_trojan_body(
+    bits: Sequence[int],
+    conflict_address: int,
+    start_time: float,
+    window_cycles: int,
+    timer: TimerMechanism,
+) -> Generator[Operation, OpResult, int]:
+    """Prime+Probe trojan: one access evicts one way of the spy's set."""
+    yield from wait_until(timer, start_time)
+    for index, bit in enumerate(bits):
+        if bit == 1:
+            yield Access(conflict_address)
+            yield Flush(conflict_address)
+            yield Fence()
+        yield from wait_until(timer, start_time + (index + 1) * window_cycles)
+    return len(bits)
+
+
+def _idle_probe_body(
+    eviction_set: Sequence[int],
+    timer: TimerMechanism,
+    samples: int,
+    out: List[float],
+) -> Generator[Operation, OpResult, None]:
+    """Baseline probe times with no trojan activity (threshold calibration)."""
+    for vaddr in eviction_set:
+        yield Access(vaddr)
+        yield Flush(vaddr)
+    yield Fence()
+    for _ in range(samples):
+        elapsed = yield from _probe_set_body(eviction_set, timer)
+        out.append(elapsed)
+        yield Busy(2000)
+
+
+@dataclass
+class PrimeProbeResult:
+    """One Prime+Probe transmission's record (mirrors ChannelResult)."""
+
+    sent: List[int]
+    received: List[int]
+    probe_times: List[float]
+    window_cycles: int
+    clock_hz: float
+    threshold: float
+    idle_probe_times: List[float]
+    metrics: ChannelMetrics = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.metrics = ChannelMetrics.from_bits(
+            self.sent, self.received, self.window_cycles, self.clock_hz
+        )
+
+
+class PrimeProbeChannel:
+    """Prime+Probe over the MEE cache, spy-holds-the-set (the paper's
+    Section 5.2 strawman)."""
+
+    def __init__(self, machine, config: Optional[ChannelConfig] = None):
+        self.machine = machine
+        self.config = config if config is not None else ChannelConfig()
+        timers = machine.config.timers
+        self.spy_timer = CounterThreadTimer(timers.counter_thread_read_cycles)
+        self.trojan_timer = CounterThreadTimer(timers.counter_thread_read_cycles)
+
+        self.spy_space = machine.new_address_space("pp-spy-proc")
+        self.trojan_space = machine.new_address_space("pp-trojan-proc")
+        self.spy_enclave = machine.create_enclave("pp-spy-enclave", self.spy_space)
+        self.trojan_enclave = machine.create_enclave("pp-trojan-enclave", self.trojan_space)
+
+        self.calibration = None
+        self.eviction_result = None
+        self.conflict_address: Optional[int] = None
+        self.threshold: Optional[float] = None
+        self.idle_probe_times: List[float] = []
+
+    def setup(self) -> None:
+        """Spy builds the eviction set; trojan finds a conflicting address."""
+        config = self.config
+        self.calibration = calibrate_classifier(
+            self.machine,
+            self.spy_space,
+            self.spy_enclave,
+            self.spy_timer,
+            samples=config.calibration_samples,
+            core=config.spy_core,
+        )
+        classifier = self.calibration.classifier
+
+        candidates = allocate_candidate_pages(
+            self.spy_enclave, config.candidate_pool, config.unit
+        )
+        self.eviction_result = find_eviction_set(
+            self.machine,
+            self.spy_space,
+            self.spy_enclave,
+            candidates,
+            self.spy_timer,
+            classifier,
+            repeats=config.repeats,
+            core=config.spy_core,
+        )
+
+        # Roles swapped vs. the MEE channel: the *spy* sweeps its set while
+        # the *trojan* hunts for an address the set evicts.
+        trojan_candidates = allocate_candidate_pages(
+            self.trojan_enclave, config.monitor_candidates, config.unit
+        )
+        search = find_monitor_address(
+            self.machine,
+            self.trojan_space,
+            self.trojan_enclave,
+            self.spy_space,
+            self.spy_enclave,
+            self.eviction_result.eviction_set,
+            trojan_candidates,
+            self.trojan_timer,
+            classifier,
+            trials=config.monitor_trials,
+            spy_core=config.trojan_core,
+            trojan_core=config.spy_core,
+        )
+        self.conflict_address = search.monitor
+
+        # Threshold: idle probe baseline + half the single-miss delta.
+        idle: List[float] = []
+        self.machine.spawn(
+            "pp-idle-calibration",
+            _idle_probe_body(self.eviction_result.eviction_set, self.spy_timer, 32, idle),
+            core=config.spy_core,
+            space=self.spy_space,
+            enclave=self.spy_enclave,
+        )
+        self.machine.run()
+        self.idle_probe_times = idle
+        delta = self.calibration.classifier.miss_estimate - (
+            self.calibration.classifier.hit_estimate
+        )
+        self.threshold = float(np.median(idle) + delta / 2.0)
+
+    def transmit(
+        self, bits: Sequence[int], window_cycles: Optional[int] = None
+    ) -> PrimeProbeResult:
+        """Send ``bits`` and return the (badly) decoded stream."""
+        if self.threshold is None or self.conflict_address is None:
+            raise ChannelError("call setup() before transmit()")
+        config = self.config
+        window = window_cycles if window_cycles is not None else config.window_cycles
+        start_time = self.machine.now + config.start_slack_cycles
+
+        probe_times: List[float] = []
+        received: List[int] = []
+        self.machine.spawn(
+            "pp-trojan",
+            pp_trojan_body(
+                list(bits), self.conflict_address, start_time, window, self.trojan_timer
+            ),
+            core=config.trojan_core,
+            space=self.trojan_space,
+            enclave=self.trojan_enclave,
+        )
+        self.machine.spawn(
+            "pp-spy",
+            pp_spy_body(
+                len(bits),
+                list(self.eviction_result.eviction_set),
+                start_time,
+                window,
+                config.probe_margin,
+                self.spy_timer,
+                self.threshold,
+                probe_times,
+                received,
+            ),
+            core=config.spy_core,
+            space=self.spy_space,
+            enclave=self.spy_enclave,
+        )
+        self.machine.run()
+        return PrimeProbeResult(
+            sent=list(bits),
+            received=received,
+            probe_times=probe_times,
+            window_cycles=window,
+            clock_hz=self.machine.config.clock_hz,
+            threshold=self.threshold,
+            idle_probe_times=list(self.idle_probe_times),
+        )
+
+
+def run_prime_probe_channel(
+    machine, bits: Sequence[int], config: Optional[ChannelConfig] = None
+) -> PrimeProbeResult:
+    """Convenience wrapper: setup + one transmission."""
+    channel = PrimeProbeChannel(machine, config=config)
+    channel.setup()
+    return channel.transmit(bits)

@@ -1,0 +1,186 @@
+"""Framing for the covert channel: preamble, length, payload, CRC-16.
+
+The paper reports raw bit rates "without any error handling"; a usable
+exfiltration tool needs more: the spy must find where a message *starts*
+in its decoded bit stream, know how long it is, and tell intact messages
+from corrupted ones.  This module adds a minimal link layer:
+
+``[preamble 16b] [length 16b] [header CRC-8 8b] [payload 8*N b] [CRC-16 16b]``
+
+* the preamble (0xF0A5 — chosen for low self-similarity) is located by a
+  sliding correlation that tolerates one bit error, so the spy needs no
+  agreement on the message's position, only on the window grid;
+* the length field carries its own CRC-8 — a flipped length bit would
+  otherwise send the parser off past the end of the stream;
+* CRC-16/CCITT over length+payload rejects corrupted frames;
+* optional whole-frame repetition (see :mod:`~repro.core.ecc`) makes
+  delivery robust at aggressive window sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ChannelError
+from .encoding import bits_to_bytes, bytes_to_bits
+
+__all__ = ["crc16_ccitt", "crc8", "FrameCodec", "DecodedFrame"]
+
+#: default preamble: 1111000010100101
+PREAMBLE = 0xF0A5
+_PREAMBLE_BITS = 16
+_LENGTH_BITS = 16
+_HEADER_CRC_BITS = 8
+_CRC_BITS = 16
+
+
+def crc16_ccitt(data: bytes, seed: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE over ``data``."""
+    crc = seed
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def crc8(data: bytes, seed: int = 0x00) -> int:
+    """CRC-8 (poly 0x07) — guards the frame header."""
+    crc = seed
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ 0x07) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+    return crc
+
+
+def _int_to_bits(value: int, width: int) -> List[int]:
+    return [(value >> shift) & 1 for shift in range(width - 1, -1, -1)]
+
+
+def _bits_to_int(bits: Sequence[int]) -> int:
+    value = 0
+    for bit in bits:
+        value = (value << 1) | bit
+    return value
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """One frame recovered from a bit stream."""
+
+    payload: bytes
+    crc_ok: bool
+    start_index: int  # preamble position within the stream
+    preamble_errors: int  # bit errors tolerated while locking
+
+
+class FrameCodec:
+    """Encode payloads into frames; scan bit streams for frames."""
+
+    def __init__(self, preamble: int = PREAMBLE, max_payload_bytes: int = 4096):
+        self.preamble_bits = _int_to_bits(preamble, _PREAMBLE_BITS)
+        self.max_payload_bytes = max_payload_bytes
+
+    # -- encode -----------------------------------------------------------
+
+    def encode(self, payload: bytes) -> List[int]:
+        """Frame ``payload`` as preamble + length + payload + CRC bits."""
+        if len(payload) > self.max_payload_bytes:
+            raise ChannelError(
+                f"payload of {len(payload)} bytes exceeds cap {self.max_payload_bytes}"
+            )
+        length_bytes = len(payload).to_bytes(2, "big")
+        crc = crc16_ccitt(length_bytes + payload)
+        bits: List[int] = []
+        bits.extend(self.preamble_bits)
+        bits.extend(bytes_to_bits(length_bytes))
+        bits.extend(_int_to_bits(crc8(length_bytes), _HEADER_CRC_BITS))
+        bits.extend(bytes_to_bits(payload))
+        bits.extend(_int_to_bits(crc, _CRC_BITS))
+        return bits
+
+    def frame_length_bits(self, payload_bytes: int) -> int:
+        """Total bits a frame with ``payload_bytes`` occupies on the wire."""
+        return (
+            _PREAMBLE_BITS
+            + _LENGTH_BITS
+            + _HEADER_CRC_BITS
+            + 8 * payload_bytes
+            + _CRC_BITS
+        )
+
+    # -- decode -----------------------------------------------------------
+
+    def _find_preamble(
+        self, stream: Sequence[int], start: int, max_errors: int
+    ) -> Optional[tuple]:
+        """(index, errors) of the next preamble match at/after ``start``."""
+        limit = len(stream) - _PREAMBLE_BITS
+        for index in range(start, limit + 1):
+            errors = sum(
+                1
+                for expected, actual in zip(
+                    self.preamble_bits, stream[index : index + _PREAMBLE_BITS]
+                )
+                if expected != actual
+            )
+            if errors <= max_errors:
+                return index, errors
+        return None
+
+    def decode_stream(
+        self, stream: Sequence[int], max_preamble_errors: int = 1
+    ) -> List[DecodedFrame]:
+        """Scan a decoded bit stream for frames.
+
+        Tolerates ``max_preamble_errors`` flipped bits while locking onto
+        a preamble.  Frames whose CRC fails are still returned (flagged),
+        because a receiver may want to request retransmission.
+        """
+        frames: List[DecodedFrame] = []
+        cursor = 0
+        while True:
+            match = self._find_preamble(stream, cursor, max_preamble_errors)
+            if match is None:
+                return frames
+            index, errors = match
+            header_start = index + _PREAMBLE_BITS
+            length_end = header_start + _LENGTH_BITS
+            header_end = length_end + _HEADER_CRC_BITS
+            if header_end > len(stream):
+                return frames
+            length = _bits_to_int(stream[header_start:length_end])
+            header_crc = _bits_to_int(stream[length_end:header_end])
+            if (
+                length > self.max_payload_bytes
+                or header_crc != crc8(length.to_bytes(2, "big"))
+            ):
+                # Corrupt header; resume the scan one bit later.
+                cursor = index + 1
+                continue
+            payload_end = header_end + 8 * length
+            crc_end = payload_end + _CRC_BITS
+            if crc_end > len(stream):
+                # Truncated frame at the end of the stream.
+                cursor = index + 1
+                continue
+            payload = bits_to_bytes(list(stream[header_end:payload_end]))
+            received_crc = _bits_to_int(stream[payload_end:crc_end])
+            expected_crc = crc16_ccitt(length.to_bytes(2, "big") + payload)
+            frames.append(
+                DecodedFrame(
+                    payload=payload,
+                    crc_ok=received_crc == expected_crc,
+                    start_index=index,
+                    preamble_errors=errors,
+                )
+            )
+            cursor = crc_end

@@ -1,0 +1,321 @@
+"""Reverse engineering the MEE cache (paper Section 4).
+
+Two procedures, both built on the *eviction test* of Algorithm 1:
+
+* the **capacity probe** (Figure 4): grow a candidate address set until
+  accessing all of it reliably evicts a victim's versions data; the paper
+  reaches 100% eviction probability at 64 addresses and infers
+  ``64 × (16 × 64 B) = 64 KB``;
+* **Algorithm 1** (associativity): split an *index address set* out of the
+  candidates, then peel it down to the *eviction address set* — the
+  addresses mapping to one cache set — whose size is the way count (8).
+
+One deliberate refinement over the paper's pseudocode: every eviction
+sweep accesses the address set forward *and* backward.  The paper itself
+establishes (Section 5.3) that the MEE cache's approximate-LRU replacement
+makes single-direction sweeps unreliable; its channel uses two-phase
+eviction, and the same is needed here for the discovery loops to converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..sgx.timing import TimerMechanism, measured_access
+from ..sim.ops import Access, Fence, Flush, Operation, OpResult
+from .candidates import CandidateAddressSet
+from .latency import ThresholdClassifier
+
+__all__ = [
+    "eviction_test",
+    "sweep_addresses",
+    "capacity_experiment",
+    "CapacityCurve",
+    "find_eviction_set",
+    "EvictionSetResult",
+]
+
+
+def sweep_addresses(
+    addresses: Sequence[int], two_phase: bool = True, rotation: int = 0
+) -> Generator[Operation, OpResult, None]:
+    """Access+flush every address, forward then (optionally) backward.
+
+    This is the trojan's eviction primitive (Algorithm 2) and the inner
+    loop of every reverse-engineering sweep.
+
+    ``rotation`` cyclically shifts the sweep order.  Pseudo-LRU victim
+    selection is deterministic in the access order, and a *fixed* order can
+    settle into a replacement cycle that permanently spares the one line
+    the sweep is supposed to evict; varying the rotation from sweep to
+    sweep breaks such cycles while preserving the two-phase eviction
+    guarantee (every address is still touched twice per sweep).
+    """
+    if rotation and addresses:
+        shift = rotation % len(addresses)
+        addresses = list(addresses[shift:]) + list(addresses[:shift])
+    for vaddr in addresses:
+        yield Access(vaddr)
+        yield Flush(vaddr)
+    yield Fence()
+    if two_phase:
+        for vaddr in reversed(addresses):
+            yield Access(vaddr)
+            yield Flush(vaddr)
+        yield Fence()
+
+
+def eviction_test(
+    address_set: Sequence[int],
+    victim: int,
+    timer: TimerMechanism,
+    two_phase: bool = True,
+) -> Generator[Operation, OpResult, float]:
+    """Algorithm 1's ``eviction test``: prime victim, sweep set, time victim.
+
+    Returns:
+        The measured victim re-access latency in cycles.  A versions-hit
+        class latency means the set did *not* evict the victim.
+    """
+    yield Access(victim)
+    yield Flush(victim)
+    yield Fence()
+    yield from sweep_addresses(address_set, two_phase=two_phase)
+    elapsed = yield from measured_access(timer, victim, flush_after=True)
+    return float(elapsed)
+
+
+# --------------------------------------------------------------------------
+# Capacity probe (Figure 4)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CapacityCurve:
+    """Eviction probability as a function of candidate-set size."""
+
+    sizes: tuple
+    probabilities: tuple
+    trials: int
+
+    def saturation_size(self, level: float = 0.99) -> int:
+        """Smallest candidate count whose eviction probability >= level."""
+        for size, probability in zip(self.sizes, self.probabilities):
+            if probability >= level:
+                return size
+        raise ChannelError(f"no candidate count reached {level:.0%} eviction")
+
+    def inferred_capacity_bytes(self, level: float = 0.99) -> int:
+        """Paper Section 4.1 arithmetic: N_sat × (16 × 64 B)."""
+        return self.saturation_size(level) * 16 * 64
+
+
+def _capacity_trial_body(
+    candidates: CandidateAddressSet,
+    timer: TimerMechanism,
+    classifier: ThresholdClassifier,
+    out: List[bool],
+) -> Generator[Operation, OpResult, None]:
+    """One Figure 4 trial.
+
+    Paper Section 4.1: access *all* of the candidate addresses, then check
+    whether at least one candidate's versions data was evicted — which
+    must happen once the set's versions footprint exceeds what the MEE
+    cache can hold.  Each candidate is re-accessed once through the timer;
+    any versions-miss classification counts the trial as an eviction.
+    """
+    for vaddr in candidates:
+        yield Access(vaddr)
+        yield Flush(vaddr)
+    yield Fence()
+    evicted = False
+    for vaddr in candidates:
+        elapsed = yield from measured_access(timer, vaddr, flush_after=True)
+        if classifier.is_miss(elapsed):
+            evicted = True
+    out.append(evicted)
+
+
+def capacity_experiment(
+    machine,
+    space,
+    enclave,
+    timer: TimerMechanism,
+    classifier: ThresholdClassifier,
+    sizes: Iterable[int] = (2, 4, 8, 16, 32, 64),
+    trials: int = 100,
+    unit: int = 3,
+    core: int = 0,
+) -> CapacityCurve:
+    """Reproduce Figure 4: eviction probability vs. candidate-set size.
+
+    Every trial draws ``size`` fresh candidate pages (new physical frames —
+    frame placement is the random variable the probability is over),
+    accesses them all, and checks whether any candidate's versions data
+    fell out of the MEE cache.
+    """
+    sizes = tuple(sizes)
+    probabilities: List[float] = []
+    for size in sizes:
+        evictions: List[bool] = []
+        for trial in range(trials):
+            region = enclave.alloc(size * 4096)
+            candidates = CandidateAddressSet.from_region(region, unit=unit)
+            machine.spawn(
+                f"cap-{size}-{trial}",
+                _capacity_trial_body(candidates, timer, classifier, evictions),
+                core=core,
+                space=space,
+                enclave=enclave,
+            )
+            machine.run()
+            space.munmap(region)
+        probabilities.append(sum(evictions) / len(evictions))
+    return CapacityCurve(sizes=sizes, probabilities=tuple(probabilities), trials=trials)
+
+
+# --------------------------------------------------------------------------
+# Algorithm 1: eviction address set / associativity
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvictionSetResult:
+    """Output of Algorithm 1."""
+
+    eviction_set: tuple
+    index_set_size: int
+    test_address: int
+
+    @property
+    def associativity(self) -> int:
+        """The discovered way count = |eviction address set|."""
+        return len(self.eviction_set)
+
+
+def peel_repeats(repeats: int) -> int:
+    """Survival attempts per peel-down target (one extra over ``repeats``)."""
+    return max(repeats + 1, 2)
+
+
+def _classify_repeated(
+    address_set: Sequence[int],
+    victim: int,
+    timer: TimerMechanism,
+    classifier: ThresholdClassifier,
+    repeats: int,
+) -> Generator[Operation, OpResult, bool]:
+    """Median-of-``repeats`` eviction test; True when victim was evicted."""
+    samples: List[float] = []
+    for _ in range(repeats):
+        elapsed = yield from eviction_test(address_set, victim, timer)
+        samples.append(elapsed)
+    return classifier.is_miss(float(np.median(samples)))
+
+
+def algorithm1_body(
+    candidates: CandidateAddressSet,
+    timer: TimerMechanism,
+    classifier: ThresholdClassifier,
+    result_out: List[EvictionSetResult],
+    repeats: int = 3,
+) -> Generator[Operation, OpResult, None]:
+    """Algorithm 1 as a single simulated process.
+
+    Phase 1 (paper lines 13–18): build the *index address set* — candidates
+    not evicted by the set collected so far.  Phase 2 (lines 19–23): find a
+    *test address* among the leftovers that the index set does evict.
+    Phase 3 (lines 24–32): drop index-set members one at a time; members
+    whose removal lets the test address survive form the eviction set.
+    """
+    index_set: List[int] = []
+    for candidate in candidates:
+        evicted = yield from _classify_repeated(
+            index_set, candidate, timer, classifier, repeats
+        )
+        if not evicted:
+            index_set.append(candidate)
+
+    leftovers = [vaddr for vaddr in candidates if vaddr not in set(index_set)]
+    test_address = None
+    for test in leftovers:
+        yield from sweep_addresses(index_set)
+        evicted = yield from _classify_repeated(
+            index_set, test, timer, classifier, repeats
+        )
+        if evicted:
+            test_address = test
+            break
+    if test_address is None:
+        raise ChannelError(
+            "Algorithm 1 found no test address: candidate pool too small "
+            "to overflow any MEE cache set"
+        )
+
+    # Peel-down refinements over the paper's pseudocode (both forced by the
+    # approximate-LRU replacement the paper itself identifies in §5.3):
+    #
+    # * pre-sweep the *reduced* set rather than the full index set, so the
+    #   in-set case leaves a free way for the test address and the
+    #   measurement sweep runs without replacement churn;
+    # * across repeats, *rotate* the sweep order.  Pseudo-LRU victim
+    #   selection is deterministic in the access order and can settle into
+    #   a cycle that keeps spuriously evicting the test address for
+    #   specific targets; cyclic shifts break those cycles while — unlike
+    #   arbitrary shuffles — still reliably flushing a never-retouched
+    #   line out of a 9-lines-into-8-ways conflict.
+    #
+    # The residual noise is one-sided (churn can only fake "evicted", never
+    # "survived"), so any survival across the repeats confirms membership.
+    eviction_set: List[int] = []
+    for target in index_set:
+        reduced = [vaddr for vaddr in index_set if vaddr != target]
+        for attempt in range(peel_repeats(repeats)):
+            shift = (attempt * 17) % max(len(reduced), 1)
+            order = reduced[shift:] + reduced[:shift]
+            yield from sweep_addresses(order)
+            elapsed = yield from eviction_test(order, test_address, timer)
+            if not classifier.is_miss(elapsed):
+                eviction_set.append(target)
+                break
+
+    result_out.append(
+        EvictionSetResult(
+            eviction_set=tuple(eviction_set),
+            index_set_size=len(index_set),
+            test_address=test_address,
+        )
+    )
+
+
+def find_eviction_set(
+    machine,
+    space,
+    enclave,
+    candidates: CandidateAddressSet,
+    timer: TimerMechanism,
+    classifier: ThresholdClassifier,
+    repeats: int = 3,
+    core: int = 0,
+) -> EvictionSetResult:
+    """Run Algorithm 1 on the machine and return the eviction set.
+
+    The candidate pool should be comfortably larger than the suspected
+    capacity slice (the paper uses >= 64; 96–128 is robust).
+    """
+    results: List[EvictionSetResult] = []
+    machine.spawn(
+        "algorithm1",
+        algorithm1_body(candidates, timer, classifier, results, repeats=repeats),
+        core=core,
+        space=space,
+        enclave=enclave,
+    )
+    machine.run()
+    if not results:
+        raise ChannelError("Algorithm 1 process did not produce a result")
+    return results[0]

@@ -1,0 +1,32 @@
+"""Countermeasures against the MEE-cache covert channel (paper Section 5.5).
+
+The paper surveys LLC defenses — performance-counter detection, cache
+partitioning, replacement-policy changes — and argues they need rework for
+the MEE cache because the integrity tree is *shared* below the versions
+level.  This package implements the three MEE-adapted families so they can
+be evaluated against the actual attack:
+
+* :mod:`~repro.defense.detector` — an anomaly detector over MEE-cache
+  behaviour (versions-miss rate and its periodicity), the
+  hardware-performance-counter approach of CacheShield et al. adapted to
+  MEE counters;
+* :mod:`~repro.defense.partitioning` — per-enclave way-partitioning of the
+  MEE cache (Catalyst-style), including the shared-tree caveat the paper
+  points out;
+* :mod:`~repro.defense.noise_injection` — an MEE-side fuzzing defense that
+  issues dummy integrity-tree fills to poison the timing oracle.
+"""
+
+from .detector import DetectionReport, MEEActivityDetector
+from .noise_injection import NoiseInjector
+from .partitioning import WayPartitionPolicy, install_way_partitioning
+from .scrubbing import CacheScrubber
+
+__all__ = [
+    "CacheScrubber",
+    "DetectionReport",
+    "MEEActivityDetector",
+    "NoiseInjector",
+    "WayPartitionPolicy",
+    "install_way_partitioning",
+]

@@ -1,0 +1,191 @@
+"""Way-partitioning the MEE cache (Catalyst-style, adapted per §5.5).
+
+The paper: "way-based partitioning cannot be directly applied to MEE cache
+as simply partitioning the cache across different users will not work
+since the integrity tree is shared."  The adaptation implemented here
+partitions by the *owner of the protected frame a metadata line guards*:
+
+* versions / PD_Tag lines belong to exactly one frame, hence one enclave —
+  they are confined to that enclave's ways;
+* L1/L2 nodes cover 8/64-frame groups that may span enclaves; lines whose
+  group has multiple owners fall into the ``shared`` domain and may use
+  every way — the residual the paper warns about.
+
+Against *this* attack the defense is decisive: the channel lives entirely
+in versions lines, and a trojan confined to its own ways can no longer
+evict the spy's monitor line.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..mem.cache import EvictionRecord, SetAssociativeCache, _CacheSet
+from ..units import CACHE_LINE, PAGE_SIZE
+
+__all__ = ["WayPartitionPolicy", "PartitionedMEECache", "install_way_partitioning"]
+
+#: domain name for metadata lines not attributable to a single enclave
+SHARED_DOMAIN = "shared"
+
+
+class WayPartitionPolicy:
+    """Maps ownership domains to the cache ways they may occupy."""
+
+    def __init__(self, ways: int, assignments: Dict[str, Tuple[int, ...]]):
+        self.ways = ways
+        claimed: List[int] = []
+        for domain, domain_ways in assignments.items():
+            for way in domain_ways:
+                if not 0 <= way < ways:
+                    raise ConfigurationError(
+                        f"domain {domain!r} assigned invalid way {way}"
+                    )
+            claimed.extend(domain_ways)
+        if len(claimed) != len(set(claimed)):
+            raise ConfigurationError("way assignments overlap between domains")
+        self.assignments = {
+            domain: tuple(domain_ways) for domain, domain_ways in assignments.items()
+        }
+
+    def ways_for(self, domain: Optional[str]) -> Tuple[int, ...]:
+        """Allowed ways for ``domain``; unknown/shared domains get all ways."""
+        if domain is None or domain == SHARED_DOMAIN:
+            return tuple(range(self.ways))
+        assigned = self.assignments.get(domain)
+        if assigned is None:
+            return tuple(range(self.ways))
+        return assigned
+
+
+class PartitionedMEECache(SetAssociativeCache):
+    """A set-associative cache whose fills respect per-domain way masks.
+
+    Within each (set, domain) slice an exact LRU order is kept — the
+    partition walls dominate behaviour, so the intra-domain policy choice
+    is secondary.
+    """
+
+    def __init__(self, geometry, owner_of_line: Callable[[int], Optional[str]],
+                 partition: WayPartitionPolicy, rng=None):
+        super().__init__(geometry, rng=rng)
+        self._owner_of_line = owner_of_line
+        self.partition = partition
+        # (set_index, domain) -> MRU-first list of ways
+        self._domain_lru: Dict[Tuple[int, str], List[int]] = {}
+
+    def _fill(self, cache_set: _CacheSet, set_index: int, line: int) -> Optional[EvictionRecord]:
+        domain = self._owner_of_line(line) or SHARED_DOMAIN
+        allowed = self.partition.ways_for(domain)
+        lru_key = (set_index, domain)
+        order = self._domain_lru.setdefault(lru_key, [])
+
+        target_way = None
+        for way in allowed:
+            if cache_set.tags[way] is None:
+                target_way = way
+                break
+        evicted: Optional[EvictionRecord] = None
+        if target_way is None:
+            # Evict the domain's LRU way (never another domain's line).
+            for way in reversed(order):
+                if way in allowed:
+                    target_way = way
+                    break
+            if target_way is None:
+                target_way = allowed[-1]
+            old = cache_set.tags[target_way]
+            if old is not None:
+                del cache_set.lookup[old]
+                evicted = EvictionRecord(line_addr=old, set_index=set_index, way=target_way)
+                self.stats.evictions += 1
+        cache_set.tags[target_way] = line
+        cache_set.lookup[line] = target_way
+        cache_set.policy.fill(target_way)
+        if target_way in order:
+            order.remove(target_way)
+        order.insert(0, target_way)
+        return evicted
+
+
+def _build_frame_owner_map(machine) -> Dict[int, str]:
+    """protected frame index -> owning enclave name."""
+    owners: Dict[int, str] = {}
+    base = machine.physical.protected_base
+    for name, enclave in machine._enclaves.items():
+        for region in enclave.regions:
+            for page in range(region.size // PAGE_SIZE):
+                paddr = enclave.host_space.translate(region.base + page * PAGE_SIZE)
+                owners[(paddr - base) // PAGE_SIZE] = name
+    return owners
+
+
+def _line_owner_resolver(machine) -> Callable[[int], Optional[str]]:
+    """Resolve a metadata line address to its owning domain.
+
+    Ownership is re-derived whenever the EPC allocation state changes
+    (modeling an EPCM lookup), so enclaves created or grown *after* the
+    defense is installed are partitioned correctly.
+    """
+    physical = machine.physical
+    meta_base, l0_base = physical.meta_base, physical.l0_base
+    l1_base, l2_base = physical.l1_base, physical.l2_base
+    state = {"stamp": -1, "owners": {}}
+
+    def owners_map() -> Dict[int, str]:
+        stamp = machine.epc.used_pages
+        if stamp != state["stamp"]:
+            state["owners"] = _build_frame_owner_map(machine)
+            state["stamp"] = stamp
+        return state["owners"]
+
+    def frames_of_line(line_addr: int) -> range:
+        if meta_base <= line_addr < meta_base + physical.meta_bytes:
+            frame = (line_addr - meta_base) // (16 * CACHE_LINE)
+            return range(frame, frame + 1)
+        if l0_base <= line_addr < l0_base + physical.l0_bytes:
+            frame = (line_addr - l0_base) // (2 * CACHE_LINE)
+            return range(frame, frame + 1)
+        if l1_base <= line_addr < l1_base + physical.l1_bytes:
+            group = (line_addr - l1_base) // (2 * CACHE_LINE)
+            return range(group * 8, group * 8 + 8)
+        if l2_base <= line_addr < l2_base + physical.l2_bytes:
+            group = (line_addr - l2_base) // (2 * CACHE_LINE)
+            return range(group * 64, group * 64 + 64)
+        return range(0)
+
+    def resolve(line_addr: int) -> Optional[str]:
+        owners = owners_map()
+        domains = {owners.get(frame) for frame in frames_of_line(line_addr)}
+        domains.discard(None)
+        if len(domains) == 1:
+            return domains.pop()
+        return SHARED_DOMAIN  # unowned or spanning enclaves
+
+    return resolve
+
+
+def install_way_partitioning(
+    machine, assignments: Dict[str, Tuple[int, ...]]
+) -> PartitionedMEECache:
+    """Replace the machine's MEE cache with a way-partitioned one.
+
+    Args:
+        machine: the target :class:`~repro.system.machine.Machine`.
+        assignments: enclave name -> tuple of way indices it owns.  Lines
+            of unlisted enclaves and multi-owner tree nodes use all ways.
+
+    Returns:
+        The installed cache (empty — as after a partition reconfiguration).
+    """
+    partition = WayPartitionPolicy(machine.config.mee_cache.ways, assignments)
+    resolver = _line_owner_resolver(machine)
+    cache = PartitionedMEECache(
+        machine.config.mee_cache.as_geometry(),
+        owner_of_line=resolver,
+        partition=partition,
+        rng=machine.streams.stream("mee-partitioned"),
+    )
+    machine.mee.cache = cache
+    return cache

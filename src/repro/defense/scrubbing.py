@@ -1,0 +1,68 @@
+"""MEE-cache scrubbing: a hardware-level randomization defense.
+
+Software noise injection (:mod:`~repro.defense.noise_injection`) turns out
+to be weak — its dummy fills rarely land in the channel's set, and SRRIP
+protects the resident lines it would need to displace.  A *hardware*
+defense does not have that problem: the MEE can simply invalidate randomly
+chosen cache lines at a configurable rate.  An invalidated node is merely
+re-verified on next use (integrity is unaffected; the walk runs again), so
+the only cost is extra tree traffic — which this module's evaluation
+quantifies against the attacker's error rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+import numpy as np
+
+from ..sim.ops import Busy, Operation, OpResult
+
+__all__ = ["CacheScrubber"]
+
+
+@dataclass
+class CacheScrubber:
+    """Periodically invalidates random MEE-cache lines.
+
+    Modeled as a generator body for scheduling convenience; semantically
+    this is microcode/hardware inside the MEE, not a software thread — it
+    manipulates the MEE cache directly, which no simulated program can.
+
+    Attributes:
+        machine: the machine whose MEE cache is scrubbed.
+        period_cycles: time between scrub events.
+        lines_per_scrub: random resident lines dropped per event.
+        seed: RNG seed for line selection.
+    """
+
+    machine: object
+    period_cycles: int = 15_000
+    lines_per_scrub: int = 8
+    seed: int = 0
+
+    def body(self, duration_cycles: float) -> Generator[Operation, OpResult, int]:
+        """Scrub until ``duration_cycles``; returns lines invalidated."""
+        rng = np.random.default_rng(self.seed)
+        cache = self.machine.mee.cache
+        num_sets = cache.geometry.num_sets
+        elapsed = 0.0
+        scrubbed = 0
+        while elapsed < duration_cycles:
+            yield Busy(self.period_cycles)
+            elapsed += self.period_cycles
+            for _ in range(self.lines_per_scrub):
+                set_index = int(rng.integers(0, num_sets))
+                resident = cache.resident_lines(set_index)
+                if not resident:
+                    continue
+                line = resident[int(rng.integers(0, len(resident)))]
+                cache.invalidate(line)
+                scrubbed += 1
+        return scrubbed
+
+    @property
+    def scrub_rate_lines_per_kcycle(self) -> float:
+        """Average invalidations per 1000 cycles (strength knob)."""
+        return 1000.0 * self.lines_per_scrub / self.period_cycles

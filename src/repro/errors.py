@@ -1,0 +1,54 @@
+"""Exception hierarchy for the MEE covert-channel reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from simulated-hardware faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class AddressError(ReproError):
+    """A virtual or physical address is malformed or unmapped."""
+
+
+class PagingError(AddressError):
+    """Page-table manipulation failed (double map, exhausted frames, ...)."""
+
+
+class EnclaveError(ReproError):
+    """An enclave-mode restriction was violated or an enclave misused."""
+
+
+class InstructionNotAvailableError(EnclaveError):
+    """An instruction (e.g. ``rdtsc``) was executed where the simulated
+    hardware forbids it (paper Section 3, challenge 4)."""
+
+
+class EPCError(EnclaveError):
+    """The Enclave Page Cache / MEE protected region is exhausted or the
+    requested allocation does not fit."""
+
+
+class IntegrityError(ReproError):
+    """The simulated MEE detected an integrity or freshness violation."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process yielded an operation the scheduler cannot run."""
+
+
+class ChannelError(ReproError):
+    """Covert-channel setup failed (no eviction set, no monitor address...)."""

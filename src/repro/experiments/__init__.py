@@ -1,0 +1,39 @@
+"""Experiment harnesses: one module per paper figure/result.
+
+Every experiment builds its own seeded machine, runs the attack code, and
+returns a structured result with a ``render()``-able text form.  The
+``benchmarks/`` tree calls these functions; so can users, directly::
+
+    from repro.experiments import figure7
+    result = figure7.run(seed=1, bits_per_window=500)
+    print(figure7.render(result))
+"""
+
+from . import (
+    ablations,
+    algorithm1,
+    defenses,
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    headline,
+)
+from .common import build_machine, build_ready_channel
+
+__all__ = [
+    "ablations",
+    "algorithm1",
+    "build_machine",
+    "build_ready_channel",
+    "defenses",
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "headline",
+]

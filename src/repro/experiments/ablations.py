@@ -1,0 +1,190 @@
+"""Ablations beyond the paper's figures.
+
+Design choices DESIGN.md calls out, each validated by toggling it:
+
+* **two-phase eviction** — the paper's Section 5.3 claim that a single
+  forward sweep is unreliable under approximate-LRU replacement;
+* **MEE replacement policy** — how the channel fares against true LRU,
+  tree-PLRU and (as a mitigation) random replacement;
+* **error-correcting codes** — what Hamming(7,4) and 3x repetition buy at
+  aggressive window sizes (the paper reports raw rates only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..analysis.render import render_table
+from ..config import MEECacheConfig, skylake_i7_6700k
+from ..core.channel import ChannelConfig
+from ..core.ecc import (
+    hamming74_decode,
+    hamming74_encode,
+    repetition_decode,
+    repetition_encode,
+)
+from ..core.encoding import random_bits
+from ..core.metrics import ChannelMetrics, bit_error_rate
+from ..errors import ChannelError
+from .common import build_ready_channel
+
+__all__ = [
+    "TwoPhaseAblation",
+    "PolicyAblation",
+    "CodingAblation",
+    "run_two_phase",
+    "run_policies",
+    "run_coding",
+    "render_two_phase",
+    "render_policies",
+    "render_coding",
+]
+
+
+# --------------------------------------------------------------------------
+# Two-phase vs one-phase eviction
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TwoPhaseAblation:
+    """Error rates with and without the backward eviction pass."""
+
+    two_phase: ChannelMetrics
+    one_phase: ChannelMetrics
+
+    @property
+    def one_phase_worse(self) -> bool:
+        """The paper's claim, as a predicate."""
+        return self.one_phase.error_rate > self.two_phase.error_rate
+
+
+def run_two_phase(seed: int = 0, bits: int = 600, window_cycles: int = 15_000) -> TwoPhaseAblation:
+    """Same payload through a two-phase and a one-phase trojan."""
+    rng = np.random.default_rng(seed + 5)
+    payload = random_bits(bits, rng)
+
+    _, channel = build_ready_channel(seed=seed)
+    two = channel.transmit(payload, window_cycles=window_cycles)
+
+    one_config = ChannelConfig(eviction_two_phase=False)
+    _, channel_one = build_ready_channel(seed=seed, channel_config=one_config)
+    one = channel_one.transmit(payload, window_cycles=window_cycles)
+
+    return TwoPhaseAblation(two_phase=two.metrics, one_phase=one.metrics)
+
+
+def render_two_phase(result: TwoPhaseAblation) -> str:
+    rows = [
+        ["forward+backward (paper)", f"{result.two_phase.error_rate:.3f}"],
+        ["forward only", f"{result.one_phase.error_rate:.3f}"],
+    ]
+    verdict = "one-phase is worse, as the paper argues" if result.one_phase_worse else (
+        "one-phase was NOT worse on this seed"
+    )
+    return render_table(["eviction sweep", "error rate"], rows) + f"\n{verdict}"
+
+
+# --------------------------------------------------------------------------
+# MEE replacement-policy sensitivity (including random replacement as a
+# mitigation, cf. paper Section 5.5)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyAblation:
+    """Channel quality per simulated MEE replacement policy."""
+
+    metrics_by_policy: Dict[str, ChannelMetrics]
+    setup_failures: Tuple[str, ...]
+
+
+def run_policies(
+    seed: int = 0,
+    bits: int = 400,
+    window_cycles: int = 15_000,
+    policies: Tuple[str, ...] = ("rrip", "lru", "plru", "random"),
+) -> PolicyAblation:
+    """Run the full attack against each replacement policy."""
+    rng = np.random.default_rng(seed + 6)
+    payload = random_bits(bits, rng)
+    metrics: Dict[str, ChannelMetrics] = {}
+    failures: List[str] = []
+    for policy in policies:
+        config = skylake_i7_6700k(seed=seed).with_mee_cache(MEECacheConfig(policy=policy))
+        try:
+            _, channel = build_ready_channel(seed=seed, config=config)
+            result = channel.transmit(payload, window_cycles=window_cycles)
+            metrics[policy] = result.metrics
+        except ChannelError:
+            # Setup itself failing (no eviction set / monitor) is the
+            # strongest mitigation outcome.
+            failures.append(policy)
+    return PolicyAblation(metrics_by_policy=metrics, setup_failures=tuple(failures))
+
+
+def render_policies(result: PolicyAblation) -> str:
+    rows = []
+    for policy, metrics in result.metrics_by_policy.items():
+        rows.append([policy, f"{metrics.error_rate:.3f}", f"{metrics.goodput:.1f}"])
+    for policy in result.setup_failures:
+        rows.append([policy, "setup failed", "0.0"])
+    return render_table(["MEE replacement", "error rate", "goodput KBps"], rows)
+
+
+# --------------------------------------------------------------------------
+# Error-correcting codes (extension)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CodingAblation:
+    """Residual error and goodput per coding scheme per window."""
+
+    rows: Tuple[Tuple[str, int, float, float, float], ...]
+    # (scheme, window, raw channel BER, residual data BER, data goodput KBps)
+
+
+def run_coding(
+    seed: int = 0,
+    data_bits: int = 560,  # divisible by 4 (Hamming) and honest for repetition
+    windows: Tuple[int, ...] = (7500, 10000, 15000),
+) -> CodingAblation:
+    """Compare raw, Hamming(7,4) and 3x repetition over noisy windows."""
+    rng = np.random.default_rng(seed + 7)
+    data = random_bits(data_bits, rng)
+    _, channel = build_ready_channel(seed=seed)
+
+    rows: List[Tuple[str, int, float, float, float]] = []
+    for window in windows:
+        raw = channel.transmit(data, window_cycles=window)
+        raw_ber = raw.metrics.error_rate
+        rows.append(("raw", window, raw_ber, raw_ber, raw.metrics.goodput))
+
+        encoded = hamming74_encode(data)
+        received = channel.transmit(encoded, window_cycles=window)
+        decoded, _ = hamming74_decode(received.received)
+        residual = bit_error_rate(data, decoded)
+        goodput = received.metrics.bit_rate * (4 / 7) * (1 - residual)
+        rows.append(("hamming74", window, received.metrics.error_rate, residual, goodput))
+
+        encoded = repetition_encode(data, factor=3)
+        received = channel.transmit(encoded, window_cycles=window)
+        decoded = repetition_decode(received.received, factor=3)
+        residual = bit_error_rate(data, decoded)
+        goodput = received.metrics.bit_rate * (1 / 3) * (1 - residual)
+        rows.append(("repetition3", window, received.metrics.error_rate, residual, goodput))
+    return CodingAblation(rows=tuple(rows))
+
+
+def render_coding(result: CodingAblation) -> str:
+    rows = [
+        [scheme, window, f"{raw:.3f}", f"{residual:.4f}", f"{goodput:.1f}"]
+        for scheme, window, raw, residual, goodput in result.rows
+    ]
+    return render_table(
+        ["scheme", "window", "channel BER", "residual data BER", "data goodput KBps"], rows
+    )

@@ -1,0 +1,33 @@
+"""Shared experiment plumbing: machines, ready channels, noise spawning."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..config import SystemConfig, skylake_i7_6700k
+from ..core.channel import ChannelConfig, CovertChannel
+from ..system.machine import Machine
+
+__all__ = ["build_machine", "build_ready_channel"]
+
+
+def build_machine(seed: int = 0, config: Optional[SystemConfig] = None) -> Machine:
+    """A fresh simulated i7-6700K (or ``config``) with the given seed."""
+    if config is None:
+        config = skylake_i7_6700k(seed=seed)
+    elif config.seed != seed:
+        config = config.with_seed(seed)
+    return Machine(config)
+
+
+def build_ready_channel(
+    seed: int = 0,
+    config: Optional[SystemConfig] = None,
+    channel_config: Optional[ChannelConfig] = None,
+) -> Tuple[Machine, CovertChannel]:
+    """Machine + fully set-up covert channel (calibrated, eviction set and
+    monitor discovered)."""
+    machine = build_machine(seed=seed, config=config)
+    channel = CovertChannel(machine, config=channel_config)
+    channel.setup()
+    return machine, channel

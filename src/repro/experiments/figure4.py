@@ -1,0 +1,71 @@
+"""Figure 4: eviction probability vs. candidate-address-set size.
+
+Paper anchor: probability rises monotonically with the candidate count and
+reaches 100% at 64 addresses, giving the 64 KB capacity inference
+(64 × 16 × 64 B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.render import render_curve
+from ..core.latency import calibrate_classifier
+from ..core.reverse_engineering import CapacityCurve, capacity_experiment
+from ..sgx.timing import CounterThreadTimer
+from .common import build_machine
+
+__all__ = ["Figure4Result", "run", "render", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """The capacity curve plus the paper-style inference."""
+
+    curve: CapacityCurve
+    inferred_capacity_bytes: int
+    saturation_size: int
+
+
+def run(seed: int = 0, sizes=DEFAULT_SIZES, trials: int = 100, unit: int = 3) -> Figure4Result:
+    """Run the capacity probe on a fresh machine."""
+    machine = build_machine(seed=seed)
+    space = machine.new_address_space("fig4-proc")
+    enclave = machine.create_enclave("fig4-enclave", space)
+    timer = CounterThreadTimer(machine.config.timers.counter_thread_read_cycles)
+    calibration = calibrate_classifier(machine, space, enclave, timer, core=0)
+    curve = capacity_experiment(
+        machine,
+        space,
+        enclave,
+        timer,
+        calibration.classifier,
+        sizes=sizes,
+        trials=trials,
+        unit=unit,
+    )
+    saturation = curve.saturation_size(0.95)
+    return Figure4Result(
+        curve=curve,
+        inferred_capacity_bytes=saturation * 16 * 64,
+        saturation_size=saturation,
+    )
+
+
+def render(result: Figure4Result) -> str:
+    """Probability curve plus the capacity arithmetic."""
+    curve = result.curve
+    plot = render_curve(
+        curve.sizes,
+        curve.probabilities,
+        x_label="candidate addresses",
+        y_label="eviction probability",
+    )
+    return (
+        f"{plot}\n"
+        f"saturation at {result.saturation_size} addresses -> capacity "
+        f"{result.saturation_size} x 16 x 64 B = {result.inferred_capacity_bytes} B "
+        f"({result.inferred_capacity_bytes // 1024} KB; paper: 64 KB)"
+    )

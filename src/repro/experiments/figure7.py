@@ -1,0 +1,89 @@
+"""Figure 7: bit rate vs. error rate as the timing window varies.
+
+Paper anchors: error jumps 5.2% → 34% between windows 10000 and 7500
+(the trojan's '1' costs ~9000 cycles); the best trade-off is 1.7% error at
+a 15000-cycle window — 35 KBps on the 4.2 GHz part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..analysis.render import render_table
+from ..core.encoding import random_bits
+from ..core.metrics import ChannelMetrics
+from .common import build_ready_channel
+
+__all__ = ["WindowPoint", "Figure7Result", "run", "render", "DEFAULT_WINDOWS"]
+
+DEFAULT_WINDOWS = (5000, 7500, 10000, 15000, 20000, 25000, 30000)
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """One sweep point."""
+
+    window_cycles: int
+    metrics: ChannelMetrics
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """The full trade-off sweep."""
+
+    points: Tuple[WindowPoint, ...]
+    bits_per_window: int
+
+    def best_point(self) -> WindowPoint:
+        """Lowest-error point (the paper picks 15000)."""
+        return min(self.points, key=lambda p: p.metrics.error_rate)
+
+    def knee_ratio(self) -> float:
+        """error(7500) / error(10000) — the paper's knee is ~6.5x."""
+        by_window = {p.window_cycles: p.metrics.error_rate for p in self.points}
+        small = by_window.get(7500)
+        large = by_window.get(10000)
+        if small is None or large is None or large == 0:
+            return float("nan")
+        return small / large
+
+
+def run(seed: int = 0, windows=DEFAULT_WINDOWS, bits_per_window: int = 600) -> Figure7Result:
+    """Sweep the timing window on one ready channel."""
+    _, channel = build_ready_channel(seed=seed)
+    rng = np.random.default_rng(seed + 1000)
+    points: List[WindowPoint] = []
+    for window in windows:
+        bits = random_bits(bits_per_window, rng)
+        result = channel.transmit(bits, window_cycles=window)
+        points.append(WindowPoint(window_cycles=window, metrics=result.metrics))
+    return Figure7Result(points=tuple(points), bits_per_window=bits_per_window)
+
+
+def render(result: Figure7Result) -> str:
+    """The paper's two series as one table."""
+    rows = []
+    for point in result.points:
+        m = point.metrics
+        rows.append(
+            [
+                point.window_cycles,
+                f"{m.bit_rate:.1f}",
+                f"{m.error_rate:.3f}",
+                m.false_ones,
+                m.false_zeros,
+            ]
+        )
+    table = render_table(
+        ["window (cyc)", "bit rate (KBps)", "error rate", "false 1s", "false 0s"], rows
+    )
+    best = result.best_point()
+    return (
+        f"{table}\n"
+        f"best: {best.metrics.error_rate:.1%} error at window {best.window_cycles} "
+        f"({best.metrics.bit_rate:.1f} KBps; paper: 1.7% at 15000 -> 35 KBps)\n"
+        f"knee error(7500)/error(10000) = {result.knee_ratio():.1f}x (paper: ~6.5x)"
+    )

@@ -1,0 +1,115 @@
+"""One-shot reproduction report: every figure, rendered and archived.
+
+Usage::
+
+    python -m repro.experiments.report [--quick] [--seed N] [--out DIR]
+
+``--quick`` shrinks trial counts ~4x (a few minutes instead of ~15).  Each
+experiment's rendered output is printed and written to ``DIR/<name>.txt``,
+plus a combined ``report.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+from typing import Callable, List, Tuple
+
+from . import ablations, algorithm1, defenses, figure2, figure4, figure5, figure6, figure7, figure8, headline
+
+__all__ = ["build_plan", "run_report", "main"]
+
+
+def build_plan(seed: int, quick: bool) -> List[Tuple[str, Callable[[], str]]]:
+    """(name, runner) pairs; each runner returns rendered text."""
+    scale = 4 if quick else 1
+
+    def plan_figure2():
+        return figure2.render(figure2.run(seed=seed, samples=300 // scale))
+
+    def plan_figure4():
+        return figure4.render(figure4.run(seed=seed, trials=100 // scale))
+
+    def plan_figure5():
+        return figure5.render(figure5.run(seed=seed, accesses_per_stride=600 // scale))
+
+    def plan_algorithm1():
+        return algorithm1.render(algorithm1.run(seed=seed, capacity_trials=60 // scale))
+
+    def plan_figure6():
+        return figure6.render(figure6.run(seed=seed, bits=64 // scale, pp_bits=80 // scale))
+
+    def plan_figure7():
+        return figure7.render(figure7.run(seed=seed, bits_per_window=600 // scale))
+
+    def plan_figure8():
+        return figure8.render(figure8.run(seed=seed, bit_count=128 // scale))
+
+    def plan_headline():
+        return headline.render(headline.run(seed=seed, bits=2000 // scale))
+
+    def plan_ablation_two_phase():
+        return ablations.render_two_phase(ablations.run_two_phase(seed=seed, bits=400 // scale))
+
+    def plan_ablation_coding():
+        return ablations.render_coding(ablations.run_coding(seed=seed, data_bits=400 // scale))
+
+    def plan_defense_detection():
+        return defenses.render_detection(defenses.run_detection(seed=seed, bits=200 // scale))
+
+    def plan_defense_partitioning():
+        return defenses.render_partitioning(defenses.run_partitioning(seed=seed, bits=200 // scale))
+
+    def plan_defense_scrubbing():
+        return defenses.render_scrubbing(defenses.run_scrubbing(seed=seed, bits=200 // scale))
+
+    return [
+        ("figure2_timers", plan_figure2),
+        ("figure4_capacity", plan_figure4),
+        ("figure5_latency", plan_figure5),
+        ("algorithm1_geometry", plan_algorithm1),
+        ("figure6_channels", plan_figure6),
+        ("figure7_tradeoff", plan_figure7),
+        ("figure8_noise", plan_figure8),
+        ("headline", plan_headline),
+        ("ablation_two_phase", plan_ablation_two_phase),
+        ("ablation_coding", plan_ablation_coding),
+        ("defense_detection", plan_defense_detection),
+        ("defense_partitioning", plan_defense_partitioning),
+        ("defense_scrubbing", plan_defense_scrubbing),
+    ]
+
+
+def run_report(seed: int = 1, quick: bool = False, out_dir: str = "results") -> pathlib.Path:
+    """Run the full plan; return the path of the combined report."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(exist_ok=True)
+    sections: List[str] = [
+        "# MEE covert channel — reproduction report",
+        f"(seed={seed}, mode={'quick' if quick else 'full'})",
+    ]
+    for name, runner in build_plan(seed, quick):
+        started = time.time()
+        text = runner()
+        elapsed = time.time() - started
+        print(f"\n===== {name} ({elapsed:.1f}s) =====\n{text}")
+        (out / f"{name}.txt").write_text(text + "\n")
+        sections.append(f"\n## {name}\n\n```\n{text}\n```")
+    report = out / "report.md"
+    report.write_text("\n".join(sections) + "\n")
+    print(f"\nreport written to {report}")
+    return report
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="~4x smaller trial counts")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args(argv)
+    run_report(seed=args.seed, quick=args.quick, out_dir=args.out)
+
+
+if __name__ == "__main__":
+    main()

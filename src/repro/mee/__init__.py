@@ -1,0 +1,24 @@
+"""Memory Encryption Engine substrate.
+
+Implements the hardware the paper attacks: the integrity-tree metadata
+layout (versions nodes interleaved with PD_Tag lines — odd vs. even MEE
+cache sets, paper Figure 3), counter-mode encryption with MACs, the tree
+walk with stop-on-hit semantics (Section 2.2), and the MEE cache itself
+(ground truth 64 KB / 8-way / 128 sets, which Section 4's algorithms must
+rediscover).
+"""
+
+from .crypto import MEECrypto
+from .engine import MEEAccessResult, MemoryEncryptionEngine
+from .layout import HIT_LEVEL_NAMES, MEELayout, TreeNode
+from .tree import IntegrityTree
+
+__all__ = [
+    "HIT_LEVEL_NAMES",
+    "IntegrityTree",
+    "MEEAccessResult",
+    "MEECrypto",
+    "MEELayout",
+    "MemoryEncryptionEngine",
+    "TreeNode",
+]

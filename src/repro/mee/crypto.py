@@ -1,0 +1,114 @@
+"""Functional model of the MEE's cryptography.
+
+The covert channel never depends on cryptographic strength — only on which
+integrity-tree lines are cached — but a reproduction of the *system* should
+still encrypt, MAC and version-check like the real engine (Gueron, "A
+Memory Encryption Engine Suitable for General Purpose Processors").  We
+implement counter-mode encryption and MAC tags with :mod:`hashlib`
+(BLAKE2b) keyed primitives: functional, deterministic, and able to detect
+tampering and replay in tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+from ..errors import IntegrityError
+from ..units import CACHE_LINE
+
+__all__ = ["MEECrypto"]
+
+_COUNTER_BITS = 56  # the real MEE uses 56-bit version counters
+
+
+class MEECrypto:
+    """Counter-mode encryption + MAC over 64 B lines.
+
+    State kept per protected line address:
+
+    * ``counter`` — the version counter (part of the compound nonce),
+      incremented on every write;
+    * ``tag`` — the MAC over (ciphertext, address, counter), stored
+      conceptually in the PD_Tag line.
+    """
+
+    def __init__(self, key: bytes = b"mee-reproduction-key"):
+        self._key = hashlib.blake2b(key, digest_size=32).digest()
+        self._counters: Dict[int, int] = {}
+        self._tags: Dict[int, bytes] = {}
+
+    # -- primitives ----------------------------------------------------------
+
+    def _keystream(self, line_addr: int, counter: int) -> bytes:
+        """64 B keystream from (key, address, counter) — the compound nonce."""
+        nonce = line_addr.to_bytes(8, "little") + counter.to_bytes(8, "little")
+        stream = b""
+        block = 0
+        while len(stream) < CACHE_LINE:
+            stream += hashlib.blake2b(
+                nonce + block.to_bytes(4, "little"), key=self._key, digest_size=32
+            ).digest()
+            block += 1
+        return stream[:CACHE_LINE]
+
+    def _mac(self, line_addr: int, counter: int, ciphertext: bytes) -> bytes:
+        """56-bit-truncated MAC tag (the real PD_Tag stores 56-bit MACs)."""
+        material = (
+            line_addr.to_bytes(8, "little")
+            + counter.to_bytes(8, "little")
+            + ciphertext
+        )
+        return hashlib.blake2b(material, key=self._key, digest_size=7).digest()
+
+    # -- line operations -------------------------------------------------------
+
+    def counter_of(self, line_addr: int) -> int:
+        """Current version counter for a line (0 before first write)."""
+        return self._counters.get(line_addr, 0)
+
+    def encrypt_line(self, line_addr: int, plaintext: bytes) -> bytes:
+        """Encrypt a 64 B write: bump the counter, produce ciphertext + tag."""
+        if len(plaintext) != CACHE_LINE:
+            raise ValueError(f"lines are {CACHE_LINE} B, got {len(plaintext)}")
+        counter = (self.counter_of(line_addr) + 1) % (1 << _COUNTER_BITS)
+        self._counters[line_addr] = counter
+        stream = self._keystream(line_addr, counter)
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        self._tags[line_addr] = self._mac(line_addr, counter, ciphertext)
+        return ciphertext
+
+    def decrypt_line(self, line_addr: int, ciphertext: bytes) -> bytes:
+        """Decrypt a 64 B read, verifying MAC and freshness.
+
+        Raises:
+            IntegrityError: on a bad tag (tampered data) or an unknown line
+                being presented with a non-zero counter (replay).
+        """
+        if len(ciphertext) != CACHE_LINE:
+            raise ValueError(f"lines are {CACHE_LINE} B, got {len(ciphertext)}")
+        counter = self.counter_of(line_addr)
+        expected = self._tags.get(line_addr)
+        if expected is None:
+            raise IntegrityError(f"no tag recorded for line {line_addr:#x}")
+        actual = self._mac(line_addr, counter, ciphertext)
+        if actual != expected:
+            raise IntegrityError(
+                f"MAC mismatch for line {line_addr:#x}: data tampered or replayed"
+            )
+        stream = self._keystream(line_addr, counter)
+        return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+    # -- attack-surface helpers (used by tests) --------------------------------
+
+    def tamper_tag(self, line_addr: int) -> None:
+        """Corrupt the stored tag, simulating a DRAM tamper (tests only)."""
+        tag = self._tags.get(line_addr, b"\x00" * 7)
+        self._tags[line_addr] = bytes((tag[0] ^ 0xFF,)) + tag[1:]
+
+    def replay_counter(self, line_addr: int) -> None:
+        """Roll a counter back by one, simulating a replay attack (tests)."""
+        current = self.counter_of(line_addr)
+        if current == 0:
+            raise IntegrityError("cannot replay a never-written line")
+        self._counters[line_addr] = current - 1

@@ -1,0 +1,165 @@
+"""The Memory Encryption Engine: tree walk, MEE cache, latency accounting.
+
+Every DRAM access to the protected data region enters here.  The engine
+walks the integrity tree leaf-to-root, probing the MEE cache at each level
+and **stopping at the first hit** (a cached node was already verified —
+paper Section 2.2).  The versions node is therefore checked on *every*
+protected access, which is exactly why the paper builds its channel on
+versions data (Section 3, challenge 2).
+
+Latency contract: the machine model pays ``uncore + DRAM(data)`` for the
+data line itself; this engine returns the *additional* cycles — decrypt +
+MAC (``mee_base_cycles``) plus one ``level_miss_cycles`` entry per missed
+tree level (node fetch + verification), with per-node jitter and DRAM
+contention applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import MEECacheConfig, MEELatencyConfig
+from ..mem.cache import SetAssociativeCache
+from ..mem.dram import DRAMModel
+from .layout import HIT_LEVEL_NAMES, MEELayout, TreeNode
+from .tree import IntegrityTree
+
+__all__ = ["MEEAccessResult", "MemoryEncryptionEngine"]
+
+
+@dataclass(frozen=True)
+class MEEAccessResult:
+    """Outcome of one protected-region access through the MEE.
+
+    Attributes:
+        hit_level: tree level that first hit in the MEE cache — 0 means a
+            versions hit, 4 means the walk reached the SRAM root.
+        extra_cycles: cycles beyond the plain uncore + DRAM data fetch.
+        nodes_fetched: tree nodes that missed and were loaded from DRAM.
+        evicted_lines: metadata line addresses pushed out of the MEE cache
+            by this access's fills.
+    """
+
+    hit_level: int
+    extra_cycles: float
+    nodes_fetched: tuple = ()
+    evicted_lines: tuple = ()
+
+    @property
+    def hit_level_name(self) -> str:
+        return HIT_LEVEL_NAMES[self.hit_level]
+
+
+@dataclass
+class _EngineStats:
+    """Aggregate behaviour counters."""
+
+    accesses: int = 0
+    hit_level_counts: List[int] = field(default_factory=lambda: [0] * 5)
+
+    def record(self, hit_level: int) -> None:
+        self.accesses += 1
+        self.hit_level_counts[hit_level] += 1
+
+
+class MemoryEncryptionEngine:
+    """MEE cache + integrity tree walk + latency model."""
+
+    #: per-missed-node latency jitter (pipeline/queueing variation), cycles
+    NODE_JITTER_SIGMA = 8.0
+
+    def __init__(
+        self,
+        layout: MEELayout,
+        cache_config: MEECacheConfig,
+        latency_config: MEELatencyConfig,
+        dram: DRAMModel,
+        rng: np.random.Generator,
+        tree: Optional[IntegrityTree] = None,
+    ):
+        self.layout = layout
+        self.cache_config = cache_config
+        self.latency = latency_config
+        self.dram = dram
+        self._rng = rng
+        self.tree = tree if tree is not None else IntegrityTree(layout)
+        self.cache = SetAssociativeCache(cache_config.as_geometry(), rng=rng)
+        self.stats = _EngineStats()
+
+    # -- the hot path --------------------------------------------------------
+
+    def access(self, paddr: int, write: bool = False) -> MEEAccessResult:
+        """Process one protected-region access.
+
+        Args:
+            paddr: physical address inside the protected data region.
+            write: True for stores — version counters are bumped and the
+                tree path updated before verification.
+
+        Returns:
+            The :class:`MEEAccessResult`, including the extra latency.
+        """
+        nodes = self.layout.walk_nodes(paddr)
+        if write:
+            self.tree.update_path(paddr)
+
+        hit_level = len(nodes)  # reached SRAM root if nothing below hits
+        fetched: List[TreeNode] = []
+        evicted: List[int] = []
+        lookups = 0
+        for node in nodes:
+            lookups += 1
+            result = self.cache.access(node.line_addr)
+            if result.hit:
+                hit_level = node.level
+                break
+            fetched.append(node)
+            if result.evicted is not None:
+                evicted.append(result.evicted.line_addr)
+            if node.level == 0:
+                # Versions and PD_Tag travel together: co-fetch the MAC line
+                # into its (even) set.
+                pd_evicted = self.cache.fill(self.layout.pd_tag_line(paddr))
+                if pd_evicted is not None:
+                    evicted.append(pd_evicted.line_addr)
+
+        # A cached node is pre-verified; check freshness only below the hit.
+        self.tree.verify_path(paddr, up_to_level=hit_level)
+
+        extra = self._extra_cycles(hit_level, lookups)
+        self.stats.record(hit_level)
+        return MEEAccessResult(
+            hit_level=hit_level,
+            extra_cycles=extra,
+            nodes_fetched=tuple(fetched),
+            evicted_lines=tuple(evicted),
+        )
+
+    def _extra_cycles(self, hit_level: int, lookups: int) -> float:
+        """Latency beyond the plain data fetch (see module docstring)."""
+        extra = self.latency.mee_base_cycles
+        extra += lookups * self.cache_config.lookup_cycles
+        contention = self.dram.mean_latency - self.dram.config.access_cycles
+        for level in range(hit_level):
+            extra += self.latency.level_miss_cycles[level]
+            extra += contention
+            extra += self._rng.normal(0.0, self.NODE_JITTER_SIGMA)
+        return max(extra, self.latency.mee_base_cycles * 0.5)
+
+    # -- oracles for tests and ground-truth validation ------------------------
+
+    def versions_cached(self, paddr: int) -> bool:
+        """True when the versions node guarding ``paddr`` is in the MEE cache.
+
+        Ground-truth oracle — the attack itself never calls this; it must
+        infer cache state from latency like on real hardware.
+        """
+        return self.cache.contains(self.layout.versions_line(paddr))
+
+    def expected_latency(self, hit_level: int) -> float:
+        """Mean *total* access latency for a given hit level (cycles)."""
+        walk = self.latency.expected_latency(self.dram.mean_latency, hit_level)
+        return walk + (hit_level + 1) * self.cache_config.lookup_cycles

@@ -1,0 +1,131 @@
+"""Integrity-tree metadata layout: where each node lives in physical memory.
+
+This module encodes the reproduction's *ground truth* for the structure the
+paper reverse engineers:
+
+* one 64 B **versions** node per 512 B protected chunk (8 counters, one per
+  data line);
+* versions and **PD_Tag** (MAC metadata) lines interleaved so that versions
+  occupy **odd** MEE-cache sets and PD_Tags **even** sets (paper §4.1 /
+  Figure 3): for page frame ``f`` and chunk offset ``u`` the versions line
+  is metadata line ``16f + 2u + 1`` and the PD_Tag line ``16f + 2u``;
+* an 8-ary tree above: one **L0** node per page (4 KB), one **L1** node per
+  8 pages (32 KB), one **L2** node per 64 pages (256 KB), and an on-die
+  SRAM **root** that never touches DRAM.
+
+The 4 KB / 32 KB / 256 KB coverage ladder is what produces the stride
+behaviour of paper Figure 5.
+
+Tree-level (L0/L1/L2) nodes are placed on **even** set parity, like
+PD_Tags.  This is an inference, not something the paper states outright:
+Algorithm 1 recovers *exactly* 8 addresses per eviction set, which is only
+possible if the odd (versions) sets never receive tree-node fills — a
+stray L0 line resident in a versions set would make every peel-down test
+read as "evicted" and collapse the recovered set.  Parity-partitioned
+metadata is also consistent with the versions/PD_Tag split the paper does
+establish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import AddressError
+from ..mem.address import PhysicalLayout
+from ..units import CACHE_LINE, CHUNK_SIZE, PAGE_SIZE
+
+__all__ = ["TreeNode", "MEELayout", "HIT_LEVEL_NAMES"]
+
+#: Names for the level at which a tree walk first hit, index 0..4.
+HIT_LEVEL_NAMES = ("versions", "level0", "level1", "level2", "root")
+
+#: Pages covered by one L0 / L1 / L2 node.
+PAGES_PER_L0 = 1
+PAGES_PER_L1 = 8
+PAGES_PER_L2 = 64
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One integrity-tree node: its level and metadata line address."""
+
+    level: int  # 0 = versions, 1 = L0, 2 = L1, 3 = L2
+    line_addr: int
+
+    @property
+    def level_name(self) -> str:
+        return HIT_LEVEL_NAMES[self.level]
+
+
+class MEELayout:
+    """Computes metadata line addresses for protected physical addresses."""
+
+    def __init__(self, physical: PhysicalLayout):
+        self.physical = physical
+
+    # -- index helpers ------------------------------------------------------
+
+    def _page_and_chunk(self, paddr: int) -> tuple:
+        """(page frame index within the protected region, chunk offset 0..7)."""
+        if not self.physical.is_protected(paddr):
+            raise AddressError(
+                f"{paddr:#x} is not in the protected data region"
+            )
+        offset = paddr - self.physical.protected_base
+        return offset // PAGE_SIZE, (offset % PAGE_SIZE) // CHUNK_SIZE
+
+    # -- node addresses -----------------------------------------------------
+
+    def versions_line(self, paddr: int) -> int:
+        """Address of the versions node guarding ``paddr``'s 512 B chunk."""
+        frame, unit = self._page_and_chunk(paddr)
+        return self.physical.meta_base + (16 * frame + 2 * unit + 1) * CACHE_LINE
+
+    def pd_tag_line(self, paddr: int) -> int:
+        """Address of the PD_Tag (MAC) line paired with the versions node."""
+        frame, unit = self._page_and_chunk(paddr)
+        return self.physical.meta_base + (16 * frame + 2 * unit) * CACHE_LINE
+
+    def l0_line(self, paddr: int) -> int:
+        """Address of the L0 node covering ``paddr``'s page.
+
+        Stride 2 lines keeps tree nodes on even set parity (see module
+        docstring).
+        """
+        frame, _ = self._page_and_chunk(paddr)
+        return self.physical.l0_base + (frame // PAGES_PER_L0) * 2 * CACHE_LINE
+
+    def l1_line(self, paddr: int) -> int:
+        """Address of the L1 node covering ``paddr``'s 32 KB group."""
+        frame, _ = self._page_and_chunk(paddr)
+        return self.physical.l1_base + (frame // PAGES_PER_L1) * 2 * CACHE_LINE
+
+    def l2_line(self, paddr: int) -> int:
+        """Address of the L2 node covering ``paddr``'s 256 KB group."""
+        frame, _ = self._page_and_chunk(paddr)
+        return self.physical.l2_base + (frame // PAGES_PER_L2) * 2 * CACHE_LINE
+
+    def walk_nodes(self, paddr: int) -> List[TreeNode]:
+        """Leaf-to-root node list for a protected access (root excluded —
+        it lives in SRAM and needs no cache line)."""
+        return [
+            TreeNode(0, self.versions_line(paddr)),
+            TreeNode(1, self.l0_line(paddr)),
+            TreeNode(2, self.l1_line(paddr)),
+            TreeNode(3, self.l2_line(paddr)),
+        ]
+
+    # -- set-index views (used by tests and the ground-truth oracle) --------
+
+    def mee_set_of_line(self, line_addr: int, num_sets: int) -> int:
+        """MEE-cache set index of a metadata line address."""
+        return (line_addr // CACHE_LINE) % num_sets
+
+    def versions_set(self, paddr: int, num_sets: int) -> int:
+        """MEE-cache set index of the versions node guarding ``paddr``.
+
+        Always odd with the interleaved layout — the property Figure 3
+        illustrates.
+        """
+        return self.mee_set_of_line(self.versions_line(paddr), num_sets)

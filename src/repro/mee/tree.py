@@ -1,0 +1,104 @@
+"""Integrity-tree bookkeeping: counters per node, root in SRAM.
+
+The tree guarantees freshness: each node stores, per child, the counter it
+last authenticated; a child is fresh when its embedded counter matches the
+parent's record, up to a root held in on-die SRAM.  We track counters
+functionally (so writes propagate and tamper/replay detection is real in
+tests) while the *performance* behaviour — which levels touch DRAM — is
+decided by the MEE cache inside :mod:`repro.mee.engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import IntegrityError
+from .layout import HIT_LEVEL_NAMES, MEELayout, TreeNode
+
+__all__ = ["IntegrityTree"]
+
+#: sentinel "parent line" for the SRAM root
+_ROOT = -1
+
+
+class IntegrityTree:
+    """Counter state for every tree node, with verify/update operations."""
+
+    def __init__(self, layout: MEELayout):
+        self.layout = layout
+        #: node line address -> counter embedded in the node itself
+        self._node_counters: Dict[int, int] = {}
+        #: (parent line or _ROOT, child line) -> counter the parent recorded
+        self._parent_records: Dict[Tuple[int, int], int] = {}
+        self.verifications = 0
+        self.updates = 0
+
+    # -- reads -----------------------------------------------------------------
+
+    def verify_path(self, paddr: int, up_to_level: int) -> List[TreeNode]:
+        """Verify the walk for ``paddr`` from the leaf up to ``up_to_level``.
+
+        ``up_to_level`` is the level that *hit* in the MEE cache (a cached
+        node is by definition already verified, so checking stops there;
+        paper Section 2.2).  Level 4 means the walk reached the SRAM root.
+
+        Returns the list of nodes that were verified against their parents.
+
+        Raises:
+            IntegrityError: when a node's counter disagrees with its
+                parent's record — a tamper or replay.
+        """
+        nodes = self.layout.walk_nodes(paddr)
+        verified: List[TreeNode] = []
+        for node in nodes:
+            if node.level >= up_to_level:
+                break
+            parent_line = (
+                nodes[node.level + 1].line_addr if node.level + 1 < len(nodes) else _ROOT
+            )
+            recorded = self._parent_records.get((parent_line, node.line_addr), 0)
+            own = self._node_counters.get(node.line_addr, 0)
+            if own != recorded:
+                raise IntegrityError(
+                    f"freshness violation at {HIT_LEVEL_NAMES[node.level]} "
+                    f"node {node.line_addr:#x}: counter {own} != recorded {recorded}"
+                )
+            verified.append(node)
+            self.verifications += 1
+        return verified
+
+    # -- writes ----------------------------------------------------------------
+
+    def update_path(self, paddr: int) -> None:
+        """Propagate a write: bump each node counter leaf-to-root and update
+        every parent's record of its freshly-bumped child."""
+        nodes = self.layout.walk_nodes(paddr)
+        for node in nodes:
+            new_value = self._node_counters.get(node.line_addr, 0) + 1
+            self._node_counters[node.line_addr] = new_value
+            parent_line = (
+                nodes[node.level + 1].line_addr if node.level + 1 < len(nodes) else _ROOT
+            )
+            self._parent_records[(parent_line, node.line_addr)] = new_value
+            self.updates += 1
+
+    # -- tamper surface for tests ------------------------------------------------
+
+    def corrupt_node(self, line_addr: int) -> None:
+        """Desynchronize one node's counter (simulated DRAM tamper)."""
+        self._node_counters[line_addr] = self._node_counters.get(line_addr, 0) + 7
+
+    def replay_node(self, line_addr: int) -> None:
+        """Roll one node's counter back (simulated replay of stale DRAM).
+
+        Raises:
+            IntegrityError: when the node was never written.
+        """
+        current = self._node_counters.get(line_addr, 0)
+        if current == 0:
+            raise IntegrityError("cannot replay a never-written node")
+        self._node_counters[line_addr] = current - 1
+
+    def node_counter(self, line_addr: int) -> int:
+        """Current counter of a node (tests/diagnostics)."""
+        return self._node_counters.get(line_addr, 0)

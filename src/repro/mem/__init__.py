@@ -1,0 +1,51 @@
+"""Memory-system substrate: addressing, paging, caches and DRAM.
+
+This package implements everything below the MEE that the attack depends
+on: 4 KB paging with randomized frame placement (the reason eviction-set
+construction is probabilistic — paper Figure 4), an inclusive L1/L2/LLC
+hierarchy with ``clflush`` (challenge 1 of Section 3), and a DRAM timing
+model whose jitter is why full-set Prime+Probe fails (Figure 6a).
+"""
+
+from .address import (
+    PhysicalLayout,
+    chunk_index,
+    chunk_offset_in_page,
+    line_index,
+    page_index,
+    page_offset,
+)
+from .cache import CacheStats, SetAssociativeCache
+from .dram import DRAMModel
+from .hierarchy import AccessLevel, CacheHierarchy
+from .paging import AddressSpace, FrameAllocator, MappedRegion, PageTable
+from .replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AccessLevel",
+    "AddressSpace",
+    "CacheHierarchy",
+    "CacheStats",
+    "DRAMModel",
+    "FrameAllocator",
+    "LRUPolicy",
+    "MappedRegion",
+    "PageTable",
+    "PhysicalLayout",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "TreePLRUPolicy",
+    "chunk_index",
+    "chunk_offset_in_page",
+    "line_index",
+    "make_policy",
+    "page_index",
+    "page_offset",
+]

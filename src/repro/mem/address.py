@@ -1,0 +1,149 @@
+"""Address arithmetic and the machine's physical memory layout.
+
+Physical memory is split into a *general* region (ordinary DRAM) and the
+*MEE/protected* region (the 128 MB carve-out holding enclave data), followed
+by the integrity-tree metadata arrays that the MEE itself reads.  Paper
+Figure 1 shows the same split: general region vs. protected data region vs.
+integrity tree region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AddressError, ConfigurationError
+from ..units import CACHE_LINE, CHUNK_SIZE, MIB, PAGE_SIZE, align_up
+
+__all__ = [
+    "page_index",
+    "page_offset",
+    "line_index",
+    "chunk_index",
+    "chunk_offset_in_page",
+    "PhysicalLayout",
+]
+
+
+def page_index(addr: int) -> int:
+    """4 KB page number containing ``addr``."""
+    return addr // PAGE_SIZE
+
+
+def page_offset(addr: int) -> int:
+    """Byte offset of ``addr`` within its 4 KB page."""
+    return addr % PAGE_SIZE
+
+
+def line_index(addr: int) -> int:
+    """64 B cache-line number containing ``addr``."""
+    return addr // CACHE_LINE
+
+
+def chunk_index(addr: int) -> int:
+    """512 B protected-region chunk number containing ``addr``.
+
+    One 64 B versions node guards exactly one such chunk (paper §4.1).
+    """
+    return addr // CHUNK_SIZE
+
+
+def chunk_offset_in_page(addr: int) -> int:
+    """Which of the 8 chunks within its page ``addr`` falls into (0..7)."""
+    return (addr % PAGE_SIZE) // CHUNK_SIZE
+
+
+@dataclass(frozen=True)
+class PhysicalLayout:
+    """Physical address map of the simulated machine.
+
+    Layout (all region bases page-aligned, metadata bases aligned so the
+    MEE-cache set parity of versions/PD_Tag lines is preserved)::
+
+        [0, general_bytes)                      general DRAM
+        [protected_base, +protected_bytes)      MEE protected data region
+        [meta_base, +meta_bytes)                versions + PD_Tag lines
+        [l0_base, ...)(l1, l2)                  integrity-tree level arrays
+    """
+
+    general_bytes: int = 1024 * MIB
+    protected_bytes: int = 128 * MIB
+
+    def __post_init__(self) -> None:
+        if self.general_bytes % PAGE_SIZE or self.protected_bytes % PAGE_SIZE:
+            raise ConfigurationError("regions must be page aligned")
+
+    @property
+    def protected_base(self) -> int:
+        """Start of the protected (enclave) data region."""
+        return self.general_bytes
+
+    @property
+    def protected_pages(self) -> int:
+        """Number of 4 KB pages in the protected region."""
+        return self.protected_bytes // PAGE_SIZE
+
+    @property
+    def meta_base(self) -> int:
+        """Start of the interleaved versions/PD_Tag metadata array.
+
+        Aligned to 8 KB (= 128 lines) so that versions lines keep odd and
+        PD_Tag lines keep even MEE-cache set indices.
+        """
+        return align_up(self.protected_base + self.protected_bytes, 128 * CACHE_LINE)
+
+    @property
+    def meta_bytes(self) -> int:
+        """Size of the versions/PD_Tag array: 16 lines per protected page."""
+        return self.protected_pages * 16 * CACHE_LINE
+
+    @property
+    def l0_base(self) -> int:
+        """Start of the level-0 integrity-tree node array (one per page)."""
+        return align_up(self.meta_base + self.meta_bytes, 128 * CACHE_LINE)
+
+    # Tree-level arrays are laid out at a 2-line stride so every node sits
+    # on even set parity (see repro.mee.layout module docstring); the
+    # arrays therefore span twice their payload size.
+
+    @property
+    def l0_bytes(self) -> int:
+        return self.protected_pages * 2 * CACHE_LINE
+
+    @property
+    def l1_base(self) -> int:
+        """Start of the level-1 array (one node per 8 pages / 32 KB)."""
+        return align_up(self.l0_base + self.l0_bytes, 128 * CACHE_LINE)
+
+    @property
+    def l1_bytes(self) -> int:
+        return align_up(self.protected_pages, 8) // 8 * 2 * CACHE_LINE
+
+    @property
+    def l2_base(self) -> int:
+        """Start of the level-2 array (one node per 64 pages / 256 KB)."""
+        return align_up(self.l1_base + self.l1_bytes, 128 * CACHE_LINE)
+
+    @property
+    def l2_bytes(self) -> int:
+        return align_up(self.protected_pages, 64) // 64 * 2 * CACHE_LINE
+
+    @property
+    def total_bytes(self) -> int:
+        """One past the highest physical address in use."""
+        return self.l2_base + self.l2_bytes
+
+    def is_protected(self, paddr: int) -> bool:
+        """True when ``paddr`` lies in the MEE protected data region."""
+        return self.protected_base <= paddr < self.protected_base + self.protected_bytes
+
+    def is_metadata(self, paddr: int) -> bool:
+        """True when ``paddr`` lies in any integrity-tree array."""
+        return self.meta_base <= paddr < self.total_bytes
+
+    def check(self, paddr: int) -> None:
+        """Validate a physical address against the layout."""
+        if not 0 <= paddr < self.total_bytes:
+            raise AddressError(f"physical address {paddr:#x} outside memory")
+        gap_start = self.general_bytes
+        if gap_start <= paddr < self.protected_base and gap_start != self.protected_base:
+            raise AddressError(f"physical address {paddr:#x} in unmapped gap")

@@ -1,0 +1,197 @@
+"""A generic physically-indexed set-associative cache.
+
+Used for L1/L2/LLC *and* (with the parity-preserving layout of
+:mod:`repro.mee.layout`) for the MEE cache itself.  The cache stores line
+addresses only — simulated programs never read real data through it, they
+only observe timing — which keeps the model fast while remaining exact
+about hits, misses and evictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import CacheGeometry
+from .replacement import ReplacementPolicy, make_policy
+
+__all__ = ["CacheStats", "EvictionRecord", "SetAssociativeCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """Describes a line pushed out by a fill."""
+
+    line_addr: int
+    set_index: int
+    way: int
+
+
+@dataclass
+class _CacheSet:
+    """Tags and replacement state for one set."""
+
+    tags: List[Optional[int]]
+    policy: ReplacementPolicy
+    lookup: Dict[int, int] = field(default_factory=dict)  # line_addr -> way
+
+
+class SetAssociativeCache:
+    """Set-associative cache over 64 B (configurable) line addresses."""
+
+    def __init__(self, geometry: CacheGeometry, rng: Optional[np.random.Generator] = None):
+        self.geometry = geometry
+        self._rng = rng
+        self._sets: Dict[int, _CacheSet] = {}
+        self.stats = CacheStats()
+
+    # -- geometry helpers -------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        """Line-aligned address containing ``addr``."""
+        return addr - (addr % self.geometry.line_bytes)
+
+    def set_index_of(self, addr: int) -> int:
+        """Set index the line containing ``addr`` maps to."""
+        return (addr // self.geometry.line_bytes) % self.geometry.num_sets
+
+    def _set_for(self, set_index: int) -> _CacheSet:
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = _CacheSet(
+                tags=[None] * self.geometry.ways,
+                policy=make_policy(self.geometry.policy, self.geometry.ways, rng=self._rng),
+            )
+            self._sets[set_index] = cache_set
+        return cache_set
+
+    # -- operations --------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        """True when the line holding ``addr`` is cached (no state change)."""
+        line = self.line_of(addr)
+        cache_set = self._sets.get(self.set_index_of(addr))
+        return cache_set is not None and line in cache_set.lookup
+
+    def access(self, addr: int) -> "AccessResult":
+        """Look up (and on miss, fill) the line containing ``addr``.
+
+        Returns an :class:`AccessResult` with the hit flag and any eviction
+        caused by the fill.
+        """
+        line = self.line_of(addr)
+        set_index = self.set_index_of(addr)
+        cache_set = self._set_for(set_index)
+
+        way = cache_set.lookup.get(line)
+        if way is not None:
+            cache_set.policy.touch(way)
+            self.stats.hits += 1
+            return AccessResult(hit=True, set_index=set_index, way=way, evicted=None)
+
+        self.stats.misses += 1
+        evicted = self._fill(cache_set, set_index, line)
+        way = cache_set.lookup[line]
+        return AccessResult(hit=False, set_index=set_index, way=way, evicted=evicted)
+
+    def fill(self, addr: int) -> Optional[EvictionRecord]:
+        """Insert the line containing ``addr`` without counting an access.
+
+        Used for lines brought in as side effects (inclusive back-fills,
+        PD_Tag co-fetch).  No-op when the line is already present (the
+        replacement state is still touched).
+        """
+        line = self.line_of(addr)
+        set_index = self.set_index_of(addr)
+        cache_set = self._set_for(set_index)
+        way = cache_set.lookup.get(line)
+        if way is not None:
+            cache_set.policy.touch(way)
+            return None
+        return self._fill(cache_set, set_index, line)
+
+    def _fill(self, cache_set: _CacheSet, set_index: int, line: int) -> Optional[EvictionRecord]:
+        """Place ``line`` into ``cache_set``; return the evicted line if any."""
+        evicted: Optional[EvictionRecord] = None
+        for way, tag in enumerate(cache_set.tags):
+            if tag is None:
+                target_way = way
+                break
+        else:
+            target_way = cache_set.policy.victim()
+            old = cache_set.tags[target_way]
+            del cache_set.lookup[old]
+            evicted = EvictionRecord(line_addr=old, set_index=set_index, way=target_way)
+            self.stats.evictions += 1
+        cache_set.tags[target_way] = line
+        cache_set.lookup[line] = target_way
+        cache_set.policy.fill(target_way)
+        return evicted
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line containing ``addr``; True if it was present."""
+        line = self.line_of(addr)
+        cache_set = self._sets.get(self.set_index_of(addr))
+        if cache_set is None:
+            return False
+        way = cache_set.lookup.pop(line, None)
+        if way is None:
+            return False
+        cache_set.tags[way] = None
+        self.stats.flushes += 1
+        return True
+
+    def occupancy(self, set_index: int) -> int:
+        """Number of valid lines currently in ``set_index``."""
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            return 0
+        return len(cache_set.lookup)
+
+    def resident_lines(self, set_index: int) -> List[int]:
+        """Line addresses currently resident in ``set_index`` (any order)."""
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            return []
+        return list(cache_set.lookup.keys())
+
+    def clear(self) -> None:
+        """Empty the cache (power-on state); statistics are kept."""
+        self._sets.clear()
+
+    def __len__(self) -> int:
+        """Total valid lines across all sets."""
+        return sum(len(s.lookup) for s in self._sets.values())
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of :meth:`SetAssociativeCache.access`."""
+
+    hit: bool
+    set_index: int
+    way: int
+    evicted: Optional[EvictionRecord]

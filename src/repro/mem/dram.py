@@ -1,0 +1,69 @@
+"""DRAM timing model: mean latency, Gaussian jitter and a heavy tail.
+
+The tail (row-buffer conflicts, refresh, controller queueing) is the
+mechanistic reason the paper's Figure 6(a) Prime+Probe attempt fails: a
+full-set probe sums eight DRAM latencies, so its variance swamps the
+~300-cycle MEE-cache hit/miss signal.  Bus contention from stressor
+processes (Figure 8(b)) raises the mean without touching the MEE cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DRAMConfig
+
+__all__ = ["DRAMModel"]
+
+
+class DRAMModel:
+    """Samples per-line-fetch latencies."""
+
+    def __init__(self, config: DRAMConfig, rng: np.random.Generator):
+        self.config = config
+        self._rng = rng
+        #: number of currently running bus-stressor processes
+        self.active_stressors = 0
+        #: total fetches sampled (diagnostics)
+        self.fetches = 0
+
+    def register_stressor(self) -> None:
+        """A memory-stress process started (raises contention)."""
+        self.active_stressors += 1
+
+    def unregister_stressor(self) -> None:
+        """A memory-stress process stopped."""
+        if self.active_stressors > 0:
+            self.active_stressors -= 1
+
+    @property
+    def mean_latency(self) -> float:
+        """Current mean fetch latency including contention."""
+        return (
+            self.config.access_cycles
+            + self.active_stressors * self.config.contention_cycles_per_stressor
+        )
+
+    def sample(self) -> float:
+        """One line-fetch latency in cycles (never below 60% of nominal)."""
+        self.fetches += 1
+        latency = self.mean_latency + self._rng.normal(0.0, self.config.jitter_sigma)
+        if self.config.tail_probability > 0.0 and (
+            self._rng.random() < self.config.tail_probability
+        ):
+            latency += self._rng.exponential(self.config.tail_mean_cycles)
+        floor = 0.6 * self.config.access_cycles
+        return float(max(latency, floor))
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """Vectorized sampling for workload generators."""
+        base = self.mean_latency + self._rng.normal(
+            0.0, self.config.jitter_sigma, size=count
+        )
+        tails = self._rng.random(count) < self.config.tail_probability
+        base[tails] += self._rng.exponential(
+            self.config.tail_mean_cycles, size=int(tails.sum())
+        )
+        self.fetches += count
+        floor = 0.6 * self.config.access_cycles
+        return np.maximum(base, floor)

@@ -1,0 +1,121 @@
+"""The on-chip data-cache hierarchy: per-core L1/L2 plus an inclusive LLC.
+
+``clflush`` (paper Section 3, challenge 1) removes a line from every level
+of this hierarchy but — by construction — cannot touch the MEE cache, since
+integrity-tree nodes never live here.  LLC inclusivity is modeled: evicting
+a line from the LLC back-invalidates all private copies, the property LLC
+Prime+Probe attacks rely on (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import HierarchyConfig
+from .cache import SetAssociativeCache
+
+__all__ = ["AccessLevel", "CacheHierarchy"]
+
+
+class AccessLevel(enum.Enum):
+    """Where a data access was satisfied."""
+
+    L1 = "l1"
+    L2 = "l2"
+    LLC = "llc"
+    MEMORY = "memory"
+
+
+class CacheHierarchy:
+    """L1D + L2 per core, one shared inclusive LLC."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        cores: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.config = config
+        self.cores = cores
+        self.l1: List[SetAssociativeCache] = [
+            SetAssociativeCache(config.l1, rng=rng) for _ in range(cores)
+        ]
+        self.l2: List[SetAssociativeCache] = [
+            SetAssociativeCache(config.l2, rng=rng) for _ in range(cores)
+        ]
+        self.llc = SetAssociativeCache(config.llc, rng=rng)
+        # line -> set of cores that may hold it privately (for inclusivity)
+        self._private_holders: Dict[int, set] = {}
+
+    def access(self, core: int, paddr: int) -> AccessLevel:
+        """Perform a data access from ``core``; return the level that hit.
+
+        On a miss the line is filled into LLC, L2 and L1 (inclusive fill).
+        LLC evictions back-invalidate private copies on every core.
+        """
+        line = self.llc.line_of(paddr)
+        if self.l1[core].contains(paddr):
+            self.l1[core].access(paddr)
+            return AccessLevel.L1
+        if self.l2[core].contains(paddr):
+            self.l2[core].access(paddr)
+            self._fill_private(self.l1[core], core, paddr)
+            return AccessLevel.L2
+        if self.llc.contains(paddr):
+            self.llc.access(paddr)
+            self._fill_private(self.l2[core], core, paddr)
+            self._fill_private(self.l1[core], core, paddr)
+            self._private_holders.setdefault(line, set()).add(core)
+            return AccessLevel.LLC
+
+        # Full miss: fill every level, honoring inclusivity.
+        result = self.llc.access(paddr)
+        if result.evicted is not None:
+            self._back_invalidate(result.evicted.line_addr)
+        self._fill_private(self.l2[core], core, paddr)
+        self._fill_private(self.l1[core], core, paddr)
+        self._private_holders.setdefault(line, set()).add(core)
+        return AccessLevel.MEMORY
+
+    def _fill_private(self, cache: SetAssociativeCache, core: int, paddr: int) -> None:
+        """Fill a private cache; private evictions need no global action."""
+        cache.fill(paddr)
+
+    def _back_invalidate(self, line_addr: int) -> None:
+        """Inclusive LLC eviction: purge the line from all private caches."""
+        holders = self._private_holders.pop(line_addr, None)
+        if not holders:
+            holders = range(self.cores)
+        for core in holders:
+            self.l1[core].invalidate(line_addr)
+            self.l2[core].invalidate(line_addr)
+
+    def flush(self, paddr: int) -> bool:
+        """``clflush``: drop the line from every level on every core.
+
+        Returns True when the line was present anywhere.
+        """
+        line = self.llc.line_of(paddr)
+        present = self.llc.invalidate(paddr)
+        for core in range(self.cores):
+            present |= self.l1[core].invalidate(paddr)
+            present |= self.l2[core].invalidate(paddr)
+        self._private_holders.pop(line, None)
+        return present
+
+    def latency_of(self, level: AccessLevel) -> int:
+        """Hit latency in cycles for a level satisfied on-chip.
+
+        ``AccessLevel.MEMORY`` has no fixed latency here — the machine adds
+        uncore + DRAM (+ MEE) costs — so asking for it is an error.
+        """
+        if level is AccessLevel.L1:
+            return self.config.l1.hit_cycles
+        if level is AccessLevel.L2:
+            return self.config.l2.hit_cycles
+        if level is AccessLevel.LLC:
+            return self.config.llc.hit_cycles
+        raise ValueError("memory accesses are priced by the machine model")

@@ -1,0 +1,240 @@
+"""Virtual memory: frame allocation, page tables and address spaces.
+
+The OS model matters to the attack: SGX enclaves only get 4 KB pages whose
+physical frames are effectively random (paper Section 3, challenge 3), so
+the attacker cannot build eviction sets from virtual addresses alone —
+that is what makes Figure 4 probabilistic and Algorithm 1 necessary.
+Non-enclave code may additionally map 2 MB hugepages with physically
+contiguous frames, which is what classic LLC Prime+Probe attacks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import AddressError, PagingError
+from ..units import HUGEPAGE_SIZE, PAGE_SIZE, align_up
+
+__all__ = ["FrameAllocator", "PageTable", "MappedRegion", "AddressSpace"]
+
+
+class FrameAllocator:
+    """Allocates physical 4 KB frames from one region.
+
+    With ``randomize=True`` (the realistic default) frames are handed out
+    in a random permutation, mimicking a long-running OS's fragmented free
+    list.  ``randomize=False`` gives ascending frames — useful for tests
+    and for the "what if mappings were contiguous" ablation.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        num_frames: int,
+        randomize: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        cluster_mean_run: Optional[int] = None,
+    ):
+        if base % PAGE_SIZE != 0:
+            raise PagingError(f"frame-pool base {base:#x} not page aligned")
+        self.base = base
+        self.num_frames = num_frames
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        if randomize and cluster_mean_run:
+            order = self._clustered_order(cluster_mean_run)
+        elif randomize:
+            order = self._rng.permutation(num_frames)
+        else:
+            order = np.arange(num_frames)
+        self._free: List[int] = [int(f) for f in order[::-1]]  # pop() from end
+        self._allocated: set = set()
+
+    def _clustered_order(self, mean_run: int) -> np.ndarray:
+        """Sequential runs of geometric length, shuffled — models the SGX
+        driver's EPC free list: mostly-ascending with fragmentation.
+
+        This is what gives the paper's candidate address sets (consecutive
+        virtual pages) near-uniform coverage of the 8 possible versions
+        sets, letting Figure 4's eviction probability reach 1.0 at 64
+        addresses.
+        """
+        runs = []
+        start = 0
+        while start < self.num_frames:
+            length = 1 + int(self._rng.geometric(1.0 / max(mean_run, 1)))
+            runs.append(np.arange(start, min(start + length, self.num_frames)))
+            start += length
+        self._rng.shuffle(runs)
+        return np.concatenate(runs)
+
+    @property
+    def free_frames(self) -> int:
+        """Frames still available."""
+        return len(self._free)
+
+    def allocate(self) -> int:
+        """Return the physical base address of a fresh frame."""
+        if not self._free:
+            raise PagingError("physical frame pool exhausted")
+        frame = self._free.pop()
+        self._allocated.add(frame)
+        return self.base + frame * PAGE_SIZE
+
+    def allocate_contiguous(self, count: int) -> int:
+        """Allocate ``count`` physically contiguous frames (hugepages).
+
+        Scans the free list for a contiguous run; raises when fragmentation
+        prevents it — the same failure mode a real OS hits.
+        """
+        free_set = set(self._free)
+        for start in range(0, self.num_frames - count + 1):
+            if all((start + i) in free_set for i in range(count)):
+                for i in range(count):
+                    self._free.remove(start + i)
+                    self._allocated.add(start + i)
+                return self.base + start * PAGE_SIZE
+        raise PagingError(f"no contiguous run of {count} frames available")
+
+    def free(self, paddr: int) -> None:
+        """Return the frame containing ``paddr`` to the pool."""
+        frame = (paddr - self.base) // PAGE_SIZE
+        if frame not in self._allocated:
+            raise PagingError(f"double free of frame at {paddr:#x}")
+        self._allocated.remove(frame)
+        self._free.append(frame)
+
+
+class PageTable:
+    """Maps virtual page numbers to physical frame base addresses."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, int] = {}
+
+    def map(self, vpage: int, frame_paddr: int) -> None:
+        """Install a translation; double-mapping a page is an error."""
+        if vpage in self._entries:
+            raise PagingError(f"virtual page {vpage:#x} already mapped")
+        if frame_paddr % PAGE_SIZE != 0:
+            raise PagingError(f"frame {frame_paddr:#x} not page aligned")
+        self._entries[vpage] = frame_paddr
+
+    def unmap(self, vpage: int) -> int:
+        """Remove a translation, returning the frame it pointed to."""
+        try:
+            return self._entries.pop(vpage)
+        except KeyError:
+            raise PagingError(f"virtual page {vpage:#x} not mapped") from None
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual to physical address."""
+        entry = self._entries.get(vaddr // PAGE_SIZE)
+        if entry is None:
+            raise AddressError(f"virtual address {vaddr:#x} not mapped")
+        return entry + (vaddr % PAGE_SIZE)
+
+    def is_mapped(self, vaddr: int) -> bool:
+        """True when ``vaddr`` has a translation."""
+        return (vaddr // PAGE_SIZE) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass(frozen=True)
+class MappedRegion:
+    """One mmap'd virtual region."""
+
+    base: int
+    size: int
+    protected: bool
+    hugepage: bool
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def __contains__(self, vaddr: int) -> bool:
+        return self.base <= vaddr < self.end
+
+
+class AddressSpace:
+    """A process's virtual address space.
+
+    Regions are laid out upward from ``0x10000`` with unmapped guard gaps.
+    ``protected=True`` regions draw frames from the protected (EPC) pool
+    and are the only memory the MEE guards.
+    """
+
+    _GUARD = 16 * PAGE_SIZE
+
+    def __init__(
+        self,
+        general_frames: FrameAllocator,
+        protected_frames: FrameAllocator,
+        name: str = "proc",
+    ):
+        self.name = name
+        self._general = general_frames
+        self._protected = protected_frames
+        self.page_table = PageTable()
+        self.regions: List[MappedRegion] = []
+        self._next_base = 0x10000
+
+    def mmap(self, size: int, protected: bool = False, hugepage: bool = False) -> MappedRegion:
+        """Map a fresh region of at least ``size`` bytes.
+
+        Args:
+            size: requested bytes (rounded up to page/hugepage granularity).
+            protected: allocate inside the MEE protected region.
+            hugepage: use 2 MB pages with contiguous frames.  Enclave-side
+                callers must not set this — SGX has no hugepages; the
+                :mod:`repro.sgx` layer enforces that restriction.
+
+        Returns:
+            The new :class:`MappedRegion`.
+        """
+        granule = HUGEPAGE_SIZE if hugepage else PAGE_SIZE
+        size = align_up(max(size, 1), granule)
+        base = align_up(self._next_base, granule)
+        allocator = self._protected if protected else self._general
+
+        pages = size // PAGE_SIZE
+        if hugepage:
+            pages_per_huge = HUGEPAGE_SIZE // PAGE_SIZE
+            for huge_index in range(size // HUGEPAGE_SIZE):
+                frame_base = allocator.allocate_contiguous(pages_per_huge)
+                for i in range(pages_per_huge):
+                    vpage = (base // PAGE_SIZE) + huge_index * pages_per_huge + i
+                    self.page_table.map(vpage, frame_base + i * PAGE_SIZE)
+        else:
+            for i in range(pages):
+                self.page_table.map((base // PAGE_SIZE) + i, allocator.allocate())
+
+        region = MappedRegion(base=base, size=size, protected=protected, hugepage=hugepage)
+        self.regions.append(region)
+        self._next_base = region.end + self._GUARD
+        return region
+
+    def munmap(self, region: MappedRegion) -> None:
+        """Unmap a region, returning its frames to the pool."""
+        if region not in self.regions:
+            raise PagingError("region does not belong to this address space")
+        for i in range(region.size // PAGE_SIZE):
+            frame = self.page_table.unmap((region.base // PAGE_SIZE) + i)
+            allocator = self._protected if region.protected else self._general
+            allocator.free(frame)
+        self.regions.remove(region)
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual to physical address."""
+        return self.page_table.translate(vaddr)
+
+    def region_of(self, vaddr: int) -> Optional[MappedRegion]:
+        """The region containing ``vaddr``, or None."""
+        for region in self.regions:
+            if vaddr in region:
+                return region
+        return None

@@ -1,0 +1,32 @@
+"""SGX substrate: enclaves, the EPC, and enclave-mode restrictions.
+
+Models exactly the SGX properties the paper's Section 3 identifies as
+challenges: enclave data lives in the MEE-protected region (challenge 1);
+enclaves get only 4 KB pages (challenge 3); ``rdtsc`` faults in enclave
+mode, making OCALL-based timing expensive and motivating the hyperthread
+counter-thread timer (challenge 4, Figure 2).
+"""
+
+from .enclave import Enclave
+from .epc import EnclavePageCache
+from .epc_paging import EPCPager
+from .ocall import OCallModel
+from .timing import (
+    CounterThreadTimer,
+    DirectRdtscTimer,
+    OCallTimer,
+    TimerMechanism,
+    measured_access,
+)
+
+__all__ = [
+    "CounterThreadTimer",
+    "DirectRdtscTimer",
+    "EPCPager",
+    "Enclave",
+    "EnclavePageCache",
+    "OCallModel",
+    "OCallTimer",
+    "TimerMechanism",
+    "measured_access",
+]

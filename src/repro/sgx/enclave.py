@@ -1,0 +1,82 @@
+"""Enclave model: protected allocations plus enclave-mode restrictions."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import EnclaveError
+from ..mem.paging import AddressSpace, MappedRegion
+from ..units import PAGE_SIZE, align_up
+from .epc import EnclavePageCache
+
+__all__ = ["Enclave"]
+
+
+class Enclave:
+    """One SGX enclave hosted inside a process's address space.
+
+    Semantics enforced (paper Section 3):
+
+    * enclave memory comes from the EPC / MEE protected region and is the
+      only memory whose accesses traverse the MEE;
+    * **no hugepages** — ``alloc`` always uses 4 KB pages (challenge 3);
+    * code running inside the enclave may still *read* the host process's
+      non-enclave memory directly — the property the counter-thread timer
+      exploits (challenge 4, Figure 2c);
+    * ``rdtsc`` faults in enclave mode — enforced by the machine model for
+      any process whose ``enclave`` attribute is set.
+    """
+
+    def __init__(self, name: str, host_space: AddressSpace, epc: EnclavePageCache):
+        self.name = name
+        self.host_space = host_space
+        self.epc = epc
+        self.regions: List[MappedRegion] = []
+        self._destroyed = False
+
+    def alloc(self, size: int) -> MappedRegion:
+        """Allocate enclave (protected) memory, 4 KB pages only.
+
+        Args:
+            size: bytes; rounded up to whole pages.
+
+        Returns:
+            The protected :class:`~repro.mem.paging.MappedRegion`.
+
+        Raises:
+            EnclaveError: after :meth:`destroy`.
+            EPCError: when the EPC is exhausted.
+        """
+        self._check_alive()
+        pages = align_up(max(size, 1), PAGE_SIZE) // PAGE_SIZE
+        self.epc.reserve(self.name, pages)
+        region = self.host_space.mmap(pages * PAGE_SIZE, protected=True, hugepage=False)
+        self.regions.append(region)
+        return region
+
+    def alloc_hugepage(self, size: int) -> MappedRegion:
+        """Always fails: SGX provides no hugepages (challenge 3)."""
+        raise EnclaveError(
+            f"enclave {self.name!r}: hugepages are not available in enclave mode"
+        )
+
+    def owns(self, vaddr: int) -> bool:
+        """True when ``vaddr`` falls inside one of this enclave's regions."""
+        return any(vaddr in region for region in self.regions)
+
+    def destroy(self) -> None:
+        """Tear the enclave down, releasing EPC pages and unmapping regions."""
+        self._check_alive()
+        for region in list(self.regions):
+            self.host_space.munmap(region)
+        self.regions.clear()
+        self.epc.release(self.name)
+        self._destroyed = True
+
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise EnclaveError(f"enclave {self.name!r} was destroyed")
+
+    def __repr__(self) -> str:
+        pages = self.epc.usage_of(self.name)
+        return f"Enclave({self.name!r}, pages={pages}, regions={len(self.regions)})"

@@ -1,0 +1,54 @@
+"""The Enclave Page Cache: accounting for the protected region.
+
+The paper's platform reserves 128 MB of DRAM as the MEE region; enclave
+pages are carved out of it.  This class tracks per-enclave consumption so
+over-commit fails the way real ``ECREATE``/``EADD`` would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import EPCError
+from ..units import PAGE_SIZE
+
+__all__ = ["EnclavePageCache"]
+
+
+class EnclavePageCache:
+    """Page-budget accounting over the MEE protected region."""
+
+    def __init__(self, total_bytes: int):
+        if total_bytes % PAGE_SIZE != 0:
+            raise EPCError("EPC size must be page aligned")
+        self.total_pages = total_bytes // PAGE_SIZE
+        self._used: Dict[str, int] = {}
+
+    @property
+    def used_pages(self) -> int:
+        """Pages currently committed across all enclaves."""
+        return sum(self._used.values())
+
+    @property
+    def free_pages(self) -> int:
+        """Pages still available."""
+        return self.total_pages - self.used_pages
+
+    def reserve(self, enclave_name: str, pages: int) -> None:
+        """Commit ``pages`` to an enclave; raises EPCError when oversubscribed."""
+        if pages < 0:
+            raise EPCError("cannot reserve a negative page count")
+        if pages > self.free_pages:
+            raise EPCError(
+                f"EPC exhausted: {enclave_name} wants {pages} pages, "
+                f"{self.free_pages} free"
+            )
+        self._used[enclave_name] = self._used.get(enclave_name, 0) + pages
+
+    def release(self, enclave_name: str) -> int:
+        """Tear down an enclave, freeing its pages; returns pages released."""
+        return self._used.pop(enclave_name, 0)
+
+    def usage_of(self, enclave_name: str) -> int:
+        """Pages committed to one enclave."""
+        return self._used.get(enclave_name, 0)

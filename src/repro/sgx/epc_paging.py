@@ -1,0 +1,100 @@
+"""EPC oversubscription: the EWB/ELDU paging path.
+
+When enclaves commit more pages than the kernel lets stay resident, SGX
+swaps enclave pages to regular DRAM: ``EWB`` encrypts and evicts a page
+(with a versioning entry so it cannot be replayed), ``ELDU`` decrypts,
+verifies and reloads it.  Both cost tens of thousands of cycles, and a
+reloaded page's integrity metadata must be rebuilt — its stale MEE-cache
+lines are gone.
+
+The pager is **off by default** (the paper's 128 MB MEE region is never
+oversubscribed in its experiments); it exists so the substrate is complete
+and so EPC-thrashing scenarios can be studied.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import EPCError
+from ..units import PAGE_SIZE
+
+__all__ = ["EPCPagerStats", "EPCPager"]
+
+
+@dataclass
+class EPCPagerStats:
+    """Paging activity counters."""
+
+    faults: int = 0
+    writebacks: int = 0
+    resident_peak: int = 0
+
+
+class EPCPager:
+    """LRU residency control over protected page frames.
+
+    Attributes:
+        resident_limit: maximum protected pages resident at once.
+        eldu_cycles: reload (decrypt + verify + rebuild metadata) cost.
+        ewb_cycles: evict (encrypt + version) cost, paid by the access
+            that triggers the eviction — the kernel does the work, the
+            faulting thread waits.
+    """
+
+    def __init__(
+        self,
+        resident_limit: int,
+        eldu_cycles: float = 40_000.0,
+        ewb_cycles: float = 32_000.0,
+    ):
+        if resident_limit < 1:
+            raise EPCError("resident limit must be at least one page")
+        self.resident_limit = resident_limit
+        self.eldu_cycles = eldu_cycles
+        self.ewb_cycles = ewb_cycles
+        # frame paddr -> None, in LRU order (oldest first)
+        self._resident: OrderedDict = OrderedDict()
+        self.stats = EPCPagerStats()
+
+    def _frame_of(self, paddr: int) -> int:
+        return paddr - (paddr % PAGE_SIZE)
+
+    def is_resident(self, paddr: int) -> bool:
+        """True when the page holding ``paddr`` is in the EPC right now."""
+        return self._frame_of(paddr) in self._resident
+
+    def touch(self, paddr: int) -> tuple:
+        """Record an access; return (extra_cycles, evicted_frame_or_None).
+
+        A non-resident page faults: ELDU for the page itself plus, when
+        the resident set is full, EWB of the LRU victim.
+        """
+        frame = self._frame_of(paddr)
+        if frame in self._resident:
+            self._resident.move_to_end(frame)
+            return 0.0, None
+
+        extra = self.eldu_cycles
+        self.stats.faults += 1
+        evicted = None
+        if len(self._resident) >= self.resident_limit:
+            evicted, _ = self._resident.popitem(last=False)
+            extra += self.ewb_cycles
+            self.stats.writebacks += 1
+        self._resident[frame] = None
+        self.stats.resident_peak = max(self.stats.resident_peak, len(self._resident))
+        return extra, evicted
+
+    def drop(self, paddr: int) -> bool:
+        """Remove a page from the resident set (enclave teardown)."""
+        frame = self._frame_of(paddr)
+        if frame not in self._resident:
+            return False
+        del self._resident[frame]
+        return True
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)

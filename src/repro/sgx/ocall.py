@@ -1,0 +1,46 @@
+"""OCALL cost model.
+
+OCALLs let enclave code call out to untrusted functions — e.g. to execute
+``rdtsc`` (paper Figure 2b) — but the enclave exit/re-entry costs 8000 to
+15000 cycles, far too coarse to time a single ~500-cycle memory access.
+That overhead is what forces the paper onto the counter-thread timer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import TimerConfig
+
+__all__ = ["OCallModel"]
+
+
+class OCallModel:
+    """Samples enclave exit + untrusted call + re-entry costs."""
+
+    def __init__(self, config: TimerConfig, rng: np.random.Generator):
+        self.config = config
+        self._rng = rng
+        self.calls = 0
+
+    def sample_cost(self) -> int:
+        """Total round-trip cycles for one OCALL.
+
+        Uniform over the paper's measured 8000–15000 range; the mass near
+        the ends models warm vs. cold transitions.
+        """
+        self.calls += 1
+        low = self.config.ocall_min_cycles
+        high = self.config.ocall_max_cycles
+        return int(self._rng.integers(low, high + 1))
+
+    def split_cost(self) -> tuple:
+        """(exit_cycles, reentry_cycles) for one OCALL round trip.
+
+        The untrusted function runs between the two halves; splitting lets
+        the timer model place the ``rdtsc`` at the instant it truly executes.
+        """
+        total = self.sample_cost()
+        exit_fraction = float(self._rng.uniform(0.45, 0.55))
+        exit_cycles = int(total * exit_fraction)
+        return exit_cycles, total - exit_cycles

@@ -1,0 +1,124 @@
+"""The three timing mechanisms of paper Figure 2, as yieldable helpers.
+
+Attack code measures latency by bracketing an access between two timer
+reads.  Each mechanism is a small generator meant to be driven with
+``yield from`` inside a simulated process:
+
+* :class:`DirectRdtscTimer` — plain ``rdtsc``; faults inside an enclave
+  (Figure 2a).
+* :class:`OCallTimer` — exit the enclave, ``rdtsc``, re-enter; 8000–15000
+  cycles of overhead per read (Figure 2b).
+* :class:`CounterThreadTimer` — read the counter a non-enclave hyperthread
+  keeps in shared memory; ~50 cycles and slightly stale (Figure 2c).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.ops import Access, Busy, Flush, Operation, OpResult, Rdtsc, ReadTimer
+from .ocall import OCallModel
+
+__all__ = [
+    "TimerMechanism",
+    "DirectRdtscTimer",
+    "OCallTimer",
+    "CounterThreadTimer",
+    "measured_access",
+]
+
+
+class TimerMechanism:
+    """Base class: a timer is something whose ``read()`` yields ops and
+    returns a timestamp in cycles."""
+
+    name = "abstract"
+
+    def read(self) -> Generator[Operation, OpResult, int]:
+        """Yield the operations of one timestamp read; return the value."""
+        raise NotImplementedError
+
+    def overhead_estimate(self) -> float:
+        """Approximate cycles one read costs (for protocol budgeting)."""
+        raise NotImplementedError
+
+
+class DirectRdtscTimer(TimerMechanism):
+    """Figure 2(a): a plain ``rdtsc`` — non-enclave code only."""
+
+    name = "rdtsc"
+
+    def __init__(self, rdtsc_cycles: int = 24):
+        self._cost = rdtsc_cycles
+
+    def read(self) -> Generator[Operation, OpResult, int]:
+        result = yield Rdtsc()
+        return int(result.value)
+
+    def overhead_estimate(self) -> float:
+        return float(self._cost)
+
+
+class OCallTimer(TimerMechanism):
+    """Figure 2(b): OCALL out of the enclave to run ``rdtsc``.
+
+    Functionally correct but uselessly expensive (8000–15000 cycles), which
+    is exactly the point the paper makes.
+    """
+
+    name = "ocall"
+
+    def __init__(self, model: OCallModel):
+        self._model = model
+
+    def read(self) -> Generator[Operation, OpResult, int]:
+        exit_cycles, reentry_cycles = self._model.split_cost()
+        yield Busy(exit_cycles)
+        result = yield Rdtsc(via_ocall=True)
+        yield Busy(reentry_cycles)
+        return int(result.value)
+
+    def overhead_estimate(self) -> float:
+        cfg = self._model.config
+        return (cfg.ocall_min_cycles + cfg.ocall_max_cycles) / 2.0
+
+
+class CounterThreadTimer(TimerMechanism):
+    """Figure 2(c): hyperthread keeps a counter in non-enclave memory.
+
+    The helper thread spins executing ``rdtsc`` and storing the value; the
+    enclave thread reads that shared (non-enclave) location directly at
+    cache-hit cost.  The machine model prices the read at ~50 cycles and
+    returns a value up to one update interval stale.
+    """
+
+    name = "counter-thread"
+
+    def __init__(self, read_cycles: int = 50):
+        self._cost = read_cycles
+
+    def read(self) -> Generator[Operation, OpResult, int]:
+        result = yield ReadTimer()
+        return int(result.value)
+
+    def overhead_estimate(self) -> float:
+        return float(self._cost)
+
+
+def measured_access(
+    timer: TimerMechanism, vaddr: int, flush_after: bool = True
+) -> Generator[Operation, OpResult, int]:
+    """Time one load of ``vaddr`` with ``timer``; optionally clflush after.
+
+    This is the probe primitive of Algorithm 1 / Algorithm 2: access,
+    measure, flush so the next access goes to memory again.
+
+    Returns:
+        The measured latency in cycles (including timer-read error).
+    """
+    start = yield from timer.read()
+    yield Access(vaddr)
+    end = yield from timer.read()
+    if flush_after:
+        yield Flush(vaddr)
+    return end - start

@@ -1,0 +1,50 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: simulated programs are Python generators
+that ``yield`` :mod:`operation <repro.sim.ops>` objects (memory accesses,
+flushes, fences, busy loops, timer reads); a :class:`~repro.sim.scheduler.
+Scheduler` interleaves the generators by advancing whichever simulated core
+currently has the smallest global timestamp.  The machine model
+(:mod:`repro.system.machine`) supplies the :class:`~repro.sim.scheduler.
+OperationExecutor` that turns each operation into a latency and a value.
+"""
+
+from .clock import CoreClock, InterruptModel
+from .ops import (
+    Access,
+    Busy,
+    Fence,
+    Flush,
+    Label,
+    OpResult,
+    Operation,
+    Rdtsc,
+    ReadTimer,
+    WriteOp,
+)
+from .process import ProcessState, SimProcess
+from .rng import RandomStreams
+from .scheduler import OperationExecutor, Scheduler
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Access",
+    "Busy",
+    "CoreClock",
+    "Fence",
+    "Flush",
+    "InterruptModel",
+    "Label",
+    "OpResult",
+    "Operation",
+    "OperationExecutor",
+    "ProcessState",
+    "RandomStreams",
+    "Rdtsc",
+    "ReadTimer",
+    "Scheduler",
+    "SimProcess",
+    "TraceEvent",
+    "TraceRecorder",
+    "WriteOp",
+]

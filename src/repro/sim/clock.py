@@ -1,0 +1,86 @@
+"""Per-core clocks with frequency skew and OS-interrupt stretching.
+
+Real covert channels lose synchronization because the trojan's and spy's
+busy loops do not advance in lock-step: core frequencies differ by a few
+ppm and OS timer interrupts occasionally steal thousands of cycles.  Both
+effects are modeled here; they are the mechanistic source of the residual
+bit errors the paper reports even in the no-noise case (Figure 8a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InterruptModel", "CoreClock"]
+
+
+@dataclass(frozen=True)
+class InterruptModel:
+    """Poisson OS interrupts that stretch a core's busy time.
+
+    Attributes:
+        rate_per_cycle: expected interrupts per core cycle (e.g. one timer
+            tick per ~3M cycles on an idle, pinned core).
+        duration_cycles: mean cycles consumed per interrupt.
+    """
+
+    rate_per_cycle: float = 1.0 / 3.0e6
+    duration_cycles: float = 8000.0
+
+    def stretch(self, cycles: float, rng: np.random.Generator) -> float:
+        """Return extra cycles consumed by interrupts during ``cycles``."""
+        if self.rate_per_cycle <= 0.0 or cycles <= 0.0:
+            return 0.0
+        count = rng.poisson(self.rate_per_cycle * cycles)
+        if count == 0:
+            return 0.0
+        return float(np.sum(rng.exponential(self.duration_cycles, size=count)))
+
+
+class CoreClock:
+    """Tracks one core's position on the global (reference) timeline.
+
+    The core's oscillator runs at ``1 + skew`` times the reference rate, so
+    ``advance(c)`` — the core believing it spent ``c`` of its own cycles —
+    moves the core by ``c / (1 + skew)`` reference cycles plus any
+    interrupt stretching.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        skew: float = 0.0,
+        interrupts: InterruptModel = InterruptModel(),
+        rng: np.random.Generator = None,
+    ):
+        self.core_id = core_id
+        self.skew = float(skew)
+        self.interrupts = interrupts
+        self._rng = rng if rng is not None else np.random.default_rng(core_id)
+        #: current position on the reference timeline, in reference cycles
+        self.now = 0.0
+        #: total interrupt cycles suffered so far (diagnostics)
+        self.interrupt_cycles = 0.0
+
+    def advance(self, core_cycles: float, interruptible: bool = True) -> float:
+        """Advance by ``core_cycles`` local cycles; return elapsed reference cycles.
+
+        Args:
+            core_cycles: cycles as counted by the core itself.
+            interruptible: whether OS interrupts may stretch this interval
+                (short atomic operations are modeled as uninterruptible).
+        """
+        elapsed = core_cycles / (1.0 + self.skew)
+        if interruptible:
+            extra = self.interrupts.stretch(core_cycles, self._rng)
+            if extra:
+                self.interrupt_cycles += extra
+                elapsed += extra
+        self.now += elapsed
+        return elapsed
+
+    def tsc(self) -> int:
+        """Invariant TSC: all cores read the same reference counter."""
+        return int(self.now)

@@ -1,0 +1,123 @@
+"""Operations a simulated process can yield to the scheduler.
+
+These mirror the x86 primitives the paper's attack code uses: loads
+(``Access``), ``clflush`` (``Flush``), ``mfence`` (``Fence``), busy-wait
+loops (``Busy``), ``rdtsc`` (``Rdtsc`` — faulting inside an enclave, paper
+Section 3 challenge 4) and the hyperthread counter-thread timer read
+(``ReadTimer``, paper Figure 2(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "Access",
+    "WriteOp",
+    "Flush",
+    "Fence",
+    "Busy",
+    "Rdtsc",
+    "ReadTimer",
+    "Label",
+    "Operation",
+    "OpResult",
+]
+
+
+@dataclass(frozen=True)
+class Access:
+    """Load ``size`` bytes at virtual address ``vaddr``.
+
+    The result's ``latency`` is the measured access time in cycles and its
+    ``value`` carries the :class:`~repro.system.machine.AccessOutcome`
+    describing where the access hit (for tracing/diagnostics only — attack
+    code must infer behaviour from latency, like real attack code does).
+    """
+
+    vaddr: int
+    size: int = 8
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Store ``size`` bytes at virtual address ``vaddr``."""
+
+    vaddr: int
+    size: int = 8
+
+
+@dataclass(frozen=True)
+class Flush:
+    """``clflush`` the line containing ``vaddr`` from L1/L2/LLC.
+
+    Crucially this does *not* flush integrity-tree nodes from the MEE cache
+    (paper Section 3, challenge 1) — that asymmetry is what the attack
+    exploits.
+    """
+
+    vaddr: int
+
+
+@dataclass(frozen=True)
+class Fence:
+    """``mfence`` — order preceding memory operations."""
+
+
+@dataclass(frozen=True)
+class Busy:
+    """Spin for ``cycles`` core cycles (subject to interrupt stretching)."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Rdtsc:
+    """Read the time-stamp counter.
+
+    Raises :class:`~repro.errors.InstructionNotAvailableError` when executed
+    by a process running in enclave mode, exactly as SGX1 hardware would
+    fault.  The result ``value`` is the TSC in reference cycles.
+
+    ``via_ocall=True`` marks the read as happening after an OCALL exited
+    the enclave (paper Figure 2(b)); the instruction is then legal even for
+    enclave processes — the OCALL transition cost is modeled separately by
+    :class:`repro.sgx.ocall.OCallModel`.
+    """
+
+    via_ocall: bool = False
+
+
+@dataclass(frozen=True)
+class ReadTimer:
+    """Read the shared counter maintained by a non-enclave helper thread.
+
+    Costs ~50 cycles and returns a slightly stale TSC value (paper
+    Figure 2(c)); available in both enclave and normal mode.
+    """
+
+
+@dataclass(frozen=True)
+class Label:
+    """Zero-cost trace annotation (e.g. window boundaries)."""
+
+    text: str
+    payload: Optional[object] = None
+
+
+Operation = Union[Access, WriteOp, Flush, Fence, Busy, Rdtsc, ReadTimer, Label]
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """What the scheduler sends back into the generator after an operation.
+
+    Attributes:
+        latency: cycles the operation took on the issuing core.
+        value: operation-specific payload (TSC value for timer reads,
+            an outcome record for accesses, ``None`` otherwise).
+    """
+
+    latency: float
+    value: object = None

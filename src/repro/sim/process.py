@@ -1,0 +1,116 @@
+"""Simulated processes: generators wrapped with scheduling state."""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Optional
+
+from ..errors import ProcessError
+from .clock import CoreClock
+from .ops import Operation, OpResult
+
+__all__ = ["ProcessState", "SimProcess"]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    READY = "ready"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+class SimProcess:
+    """One simulated thread of execution pinned to a core.
+
+    The body is a generator that yields :class:`~repro.sim.ops.Operation`
+    objects and receives :class:`~repro.sim.ops.OpResult` objects back.
+    The generator's ``return`` value (``StopIteration.value``) is stored in
+    :attr:`result` when the process finishes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        body: Generator[Operation, OpResult, object],
+        clock: CoreClock,
+        enclave: Optional[object] = None,
+        address_space: Optional[object] = None,
+    ):
+        if not hasattr(body, "send"):
+            raise ProcessError(
+                f"process body for {name!r} must be a generator, got {type(body)!r}"
+            )
+        self.name = name
+        self.body = body
+        self.clock = clock
+        #: the enclave this process runs inside, or None for normal mode
+        self.enclave = enclave
+        #: the address space memory operations translate through
+        self.address_space = address_space
+        self.state = ProcessState.READY
+        self.result: object = None
+        self.failure: Optional[BaseException] = None
+        #: number of operations executed (diagnostics)
+        self.op_count = 0
+
+    @property
+    def core_id(self) -> int:
+        """The core this process is pinned to."""
+        return self.clock.core_id
+
+    @property
+    def in_enclave(self) -> bool:
+        """True when the process executes in enclave mode."""
+        return self.enclave is not None
+
+    @property
+    def now(self) -> float:
+        """Current position on the reference timeline."""
+        return self.clock.now
+
+    def step(self, sent: Optional[OpResult]) -> Optional[Operation]:
+        """Resume the generator with ``sent``; return the next operation.
+
+        Returns ``None`` when the generator finishes; its return value is
+        captured in :attr:`result`.  Exceptions escaping the generator mark
+        the process FAILED and re-raise.
+        """
+        try:
+            if sent is None and self.state is ProcessState.READY:
+                operation = next(self.body)
+            else:
+                operation = self.body.send(sent)
+            self.state = ProcessState.RUNNING
+            self.op_count += 1
+            return operation
+        except StopIteration as stop:
+            self.state = ProcessState.FINISHED
+            self.result = stop.value
+            return None
+        except BaseException as exc:
+            self.state = ProcessState.FAILED
+            self.failure = exc
+            raise
+
+    def throw(self, exc: BaseException) -> Optional[Operation]:
+        """Raise ``exc`` inside the generator (e.g. enclave faults)."""
+        try:
+            operation = self.body.throw(exc)
+            self.op_count += 1
+            return operation
+        except StopIteration as stop:
+            self.state = ProcessState.FINISHED
+            self.result = stop.value
+            return None
+        except BaseException as err:
+            self.state = ProcessState.FAILED
+            self.failure = err
+            raise
+
+    def __repr__(self) -> str:
+        return (
+            f"SimProcess({self.name!r}, core={self.core_id}, "
+            f"state={self.state.value}, t={self.clock.now:.0f})"
+        )

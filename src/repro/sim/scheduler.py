@@ -1,0 +1,111 @@
+"""Earliest-timestamp-first interleaving of simulated processes.
+
+The scheduler repeatedly picks the process whose core clock is furthest
+behind on the reference timeline, executes its next operation through an
+:class:`OperationExecutor` (the machine model), advances that core's clock
+by the operation's latency, and feeds the result back into the generator.
+Shared hardware (caches, the MEE, DRAM) therefore observes operations in
+global-time order, which is exactly the property a cross-core covert
+channel depends on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Protocol
+
+from ..errors import EnclaveError, SimulationError
+from .ops import Busy, Label, Operation, OpResult
+from .process import ProcessState, SimProcess
+
+__all__ = ["OperationExecutor", "Scheduler"]
+
+
+class OperationExecutor(Protocol):
+    """The machine-side contract: turn an operation into (latency, value)."""
+
+    def execute(self, process: SimProcess, operation: Operation) -> OpResult:
+        """Execute ``operation`` on behalf of ``process``."""
+        ...
+
+
+class Scheduler:
+    """Run a set of :class:`SimProcess` to completion, interleaved in time."""
+
+    def __init__(self, executor: OperationExecutor, max_ops: int = 50_000_000):
+        self._executor = executor
+        self._max_ops = max_ops
+        self._counter = itertools.count()
+        self._heap: List = []
+        self._processes: List[SimProcess] = []
+        # One-slot lookahead: after resuming a generator we already hold its
+        # next operation; it is stashed here until the heap schedules the
+        # process again, so cores are interleaved in true global-time order.
+        self._pending: Dict[int, Operation] = {}
+        self.total_ops = 0
+
+    @property
+    def processes(self) -> List[SimProcess]:
+        """All processes ever added to this scheduler."""
+        return list(self._processes)
+
+    def add(self, process: SimProcess) -> None:
+        """Register a process; it starts at its clock's current time."""
+        self._processes.append(process)
+        heapq.heappush(self._heap, (process.clock.now, next(self._counter), process))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until every process finishes (or global time passes ``until``).
+
+        Processes still pending when ``until`` is hit stay queued; a later
+        ``run()`` call resumes them.
+
+        Raises:
+            SimulationError: when the operation budget is exhausted, which
+                almost always means a process is spinning without advancing
+                simulated time.
+        """
+        while self._heap:
+            now, _, process = heapq.heappop(self._heap)
+            if until is not None and now > until:
+                heapq.heappush(self._heap, (now, next(self._counter), process))
+                return
+            if process.state in (ProcessState.FINISHED, ProcessState.FAILED):
+                continue
+            self._step(process)
+            if process.state not in (ProcessState.FINISHED, ProcessState.FAILED):
+                heapq.heappush(
+                    self._heap, (process.clock.now, next(self._counter), process)
+                )
+
+    def _step(self, process: SimProcess) -> None:
+        """Execute exactly one operation of ``process``."""
+        operation = self._pending.pop(id(process), None)
+        if operation is None:
+            # First scheduling of this process: prime the generator.
+            operation = process.step(None)
+            if operation is None:
+                return
+        self.total_ops += 1
+        if self.total_ops > self._max_ops:
+            raise SimulationError(
+                f"operation budget ({self._max_ops}) exhausted; "
+                f"last process was {process!r}"
+            )
+        try:
+            result = self._executor.execute(process, operation)
+        except EnclaveError as exc:
+            # Deliver the fault into the generator, like hardware delivering
+            # #UD/#GP to the faulting thread.  Uncaught, it propagates and
+            # marks the process FAILED.
+            follow_up = process.throw(exc)
+            if follow_up is not None:
+                self._pending[id(process)] = follow_up
+            return
+        if not isinstance(operation, Label):
+            interruptible = isinstance(operation, Busy)
+            process.clock.advance(result.latency, interruptible=interruptible)
+        follow_up = process.step(result)
+        if follow_up is not None:
+            self._pending[id(process)] = follow_up

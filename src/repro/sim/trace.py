@@ -1,0 +1,56 @@
+"""Lightweight event tracing for debugging and figure generation.
+
+Tracing is off by default (zero overhead beyond one ``if``); experiments
+that need per-access records — e.g. the probe-time series of Figure 6 —
+enable it around the interesting region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event."""
+
+    time: float
+    process: str
+    kind: str
+    detail: object = None
+
+    def __repr__(self) -> str:
+        return f"[{self.time:12.1f}] {self.process:>12s} {self.kind} {self.detail!r}"
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects when enabled."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        #: optional predicate limiting which events are kept
+        self.filter: Optional[Callable[[TraceEvent], bool]] = None
+
+    def record(self, time: float, process: str, kind: str, detail: object = None) -> None:
+        """Record one event if tracing is enabled (and the filter accepts)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(time=time, process=process, kind=kind, detail=detail)
+        if self.filter is not None and not self.filter(event):
+            return
+        self.events.append(event)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind, in time order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)

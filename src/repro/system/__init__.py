@@ -1,0 +1,27 @@
+"""Whole-machine model: cores + hierarchy + MEE + DRAM + OS services.
+
+:class:`~repro.system.machine.Machine` is the executor behind the
+simulation kernel: it prices every operation a simulated process yields,
+enforcing enclave-mode restrictions and routing protected accesses through
+the MEE.  :mod:`~repro.system.noise` provides the stressor processes of
+paper Figure 8 and :mod:`~repro.system.workload` the stride generators of
+Figure 5.
+"""
+
+from .machine import AccessOutcome, Machine
+from .noise import (
+    ambient_system_noise,
+    llc_memory_stressor,
+    mee_stride_stressor,
+)
+from .workload import stride_access_pattern, stride_reader
+
+__all__ = [
+    "AccessOutcome",
+    "Machine",
+    "ambient_system_noise",
+    "llc_memory_stressor",
+    "mee_stride_stressor",
+    "stride_access_pattern",
+    "stride_reader",
+]

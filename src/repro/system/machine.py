@@ -1,0 +1,289 @@
+"""The simulated machine: operation pricing, enclaves, process management.
+
+``Machine`` implements the :class:`~repro.sim.scheduler.OperationExecutor`
+protocol.  The memory path mirrors Figure 1 of the paper::
+
+    core -> L1/L2 -> LLC -> memory controller -> [MEE if protected] -> DRAM
+
+Protected accesses that miss the on-chip hierarchy pay uncore + DRAM for
+the data line, plus whatever the MEE's integrity-tree walk adds
+(:class:`~repro.mee.engine.MemoryEncryptionEngine`).  ``clflush`` empties
+the hierarchy but never the MEE cache — the asymmetry the attack exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from ..config import SystemConfig
+from ..errors import EnclaveError, InstructionNotAvailableError, SimulationError
+from ..mem.address import PhysicalLayout
+from ..mem.dram import DRAMModel
+from ..mem.hierarchy import AccessLevel, CacheHierarchy
+from ..mem.paging import AddressSpace, FrameAllocator
+from ..mee.engine import MEEAccessResult, MemoryEncryptionEngine
+from ..mee.layout import MEELayout
+from ..sgx.enclave import Enclave
+from ..sgx.epc import EnclavePageCache
+from ..sgx.ocall import OCallModel
+from ..sim.clock import CoreClock, InterruptModel
+from ..sim.ops import (
+    Access,
+    Busy,
+    Fence,
+    Flush,
+    Label,
+    Operation,
+    OpResult,
+    Rdtsc,
+    ReadTimer,
+    WriteOp,
+)
+from ..sim.process import SimProcess
+from ..sim.rng import RandomStreams
+from ..sim.scheduler import Scheduler
+from ..sim.trace import TraceRecorder
+from ..units import PAGE_SIZE
+
+__all__ = ["AccessOutcome", "Machine"]
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Ground-truth description of where an access was satisfied.
+
+    Exposed as the ``value`` of an :class:`~repro.sim.ops.Access` result for
+    tracing and tests; attack code must not rely on it (on hardware only
+    the latency is observable).
+    """
+
+    level: AccessLevel
+    paddr: int
+    mee: Optional[MEEAccessResult] = None
+
+    @property
+    def mee_hit_level(self) -> Optional[int]:
+        """Integrity-tree hit level, or None for non-protected accesses."""
+        return self.mee.hit_level if self.mee is not None else None
+
+
+class Machine:
+    """A complete simulated multi-core SGX machine."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.streams = RandomStreams(config.seed)
+
+        paging = config.paging
+        self.physical = PhysicalLayout(
+            general_bytes=paging.general_frames * PAGE_SIZE,
+            protected_bytes=config.mee_region_bytes,
+        )
+        self.dram = DRAMModel(config.dram, self.streams.stream("dram"))
+        self.hierarchy = CacheHierarchy(
+            config.hierarchy, config.cores, rng=self.streams.stream("hierarchy")
+        )
+        self.layout = MEELayout(self.physical)
+        self.mee = MemoryEncryptionEngine(
+            self.layout,
+            config.mee_cache,
+            config.mee_latency,
+            self.dram,
+            self.streams.stream("mee"),
+        )
+        self.epc = EnclavePageCache(config.mee_region_bytes)
+        self.ocall = OCallModel(config.timers, self.streams.stream("ocall"))
+        self.trace = TraceRecorder(enabled=False)
+        self.pager = None
+        if config.paging.epc_resident_limit_pages is not None:
+            from ..sgx.epc_paging import EPCPager
+
+            self.pager = EPCPager(config.paging.epc_resident_limit_pages)
+
+        frame_rng = self.streams.stream("frames")
+        self._general_frames = FrameAllocator(
+            0, paging.general_frames, randomize=paging.randomize_frames, rng=frame_rng
+        )
+        self._protected_frames = FrameAllocator(
+            self.physical.protected_base,
+            config.mee_region_bytes // PAGE_SIZE,
+            randomize=paging.randomize_frames,
+            rng=frame_rng,
+            cluster_mean_run=paging.epc_cluster_mean_run,
+        )
+
+        skew_rng = self.streams.stream("skew")
+        skews = skew_rng.normal(0.0, config.clock_skew_ppm * 1e-6, config.cores)
+        interrupts = InterruptModel(
+            rate_per_cycle=config.interrupt_rate_per_cycle,
+            duration_cycles=config.interrupt_duration_cycles,
+        )
+        self.clocks = [
+            CoreClock(
+                core,
+                skew=float(skews[core]),
+                interrupts=interrupts,
+                rng=self.streams.stream(f"interrupts-core{core}"),
+            )
+            for core in range(config.cores)
+        ]
+        self.scheduler = Scheduler(self)
+        self._spaces: Dict[str, AddressSpace] = {}
+        self._enclaves: Dict[str, Enclave] = {}
+        self._timer_rng = self.streams.stream("timer")
+
+    # -- OS-level services ----------------------------------------------------
+
+    def new_address_space(self, name: str) -> AddressSpace:
+        """Create a process address space drawing from the shared frame pools."""
+        if name in self._spaces:
+            raise SimulationError(f"address space {name!r} already exists")
+        space = AddressSpace(self._general_frames, self._protected_frames, name=name)
+        self._spaces[name] = space
+        return space
+
+    def create_enclave(self, name: str, host_space: AddressSpace) -> Enclave:
+        """Create an enclave inside ``host_space``."""
+        if name in self._enclaves:
+            raise SimulationError(f"enclave {name!r} already exists")
+        enclave = Enclave(name, host_space, self.epc)
+        self._enclaves[name] = enclave
+        return enclave
+
+    def spawn(
+        self,
+        name: str,
+        body: Generator,
+        core: int,
+        space: AddressSpace,
+        enclave: Optional[Enclave] = None,
+    ) -> SimProcess:
+        """Create a process pinned to ``core`` and register it for scheduling."""
+        if not 0 <= core < self.config.cores:
+            raise SimulationError(f"core {core} out of range")
+        # A thread spawned now starts at the global present: idle cores'
+        # clocks do not lag wall-clock time on real hardware, so fast-forward
+        # the core to the furthest-advanced clock before pinning the process.
+        clock = self.clocks[core]
+        clock.now = max(clock.now, self.now)
+        process = SimProcess(name, body, clock, enclave=enclave)
+        process.address_space = space
+        self.scheduler.add(process)
+        return process
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the scheduler (see :meth:`Scheduler.run`)."""
+        self.scheduler.run(until=until)
+
+    @property
+    def now(self) -> float:
+        """Latest core-clock position (reference cycles)."""
+        return max(clock.now for clock in self.clocks)
+
+    # -- OperationExecutor ------------------------------------------------------
+
+    def execute(self, process: SimProcess, operation: Operation) -> OpResult:
+        """Price and apply one operation (scheduler callback)."""
+        if isinstance(operation, (Access, WriteOp)):
+            return self._execute_access(process, operation)
+        if isinstance(operation, Flush):
+            return self._execute_flush(process, operation)
+        if isinstance(operation, Fence):
+            return OpResult(latency=self.config.hierarchy.mfence_cycles)
+        if isinstance(operation, Busy):
+            return OpResult(latency=max(float(operation.cycles), 0.0))
+        if isinstance(operation, Rdtsc):
+            return self._execute_rdtsc(process, operation)
+        if isinstance(operation, ReadTimer):
+            return self._execute_read_timer(process)
+        if isinstance(operation, Label):
+            self.trace.record(process.now, process.name, "label", operation.text)
+            return OpResult(latency=0.0)
+        raise SimulationError(f"unknown operation {operation!r}")
+
+    # -- memory path -------------------------------------------------------------
+
+    def _execute_access(self, process: SimProcess, operation) -> OpResult:
+        space: AddressSpace = process.address_space
+        paddr = space.translate(operation.vaddr)
+        write = isinstance(operation, WriteOp)
+
+        if self.physical.is_protected(paddr):
+            self._check_enclave_access(process, operation.vaddr)
+
+        level = self.hierarchy.access(process.core_id, paddr)
+        if level is not AccessLevel.MEMORY:
+            latency = float(self.hierarchy.latency_of(level))
+            outcome = AccessOutcome(level=level, paddr=paddr)
+            self.trace.record(process.now, process.name, "access", outcome)
+            return OpResult(latency=latency, value=outcome)
+
+        latency = self.config.mee_latency.uncore_cycles + self.dram.sample()
+        mee_result: Optional[MEEAccessResult] = None
+        if self.physical.is_protected(paddr):
+            if self.pager is not None:
+                latency += self._page_in(paddr)
+            mee_result = self.mee.access(paddr, write=write)
+            latency += mee_result.extra_cycles
+        outcome = AccessOutcome(level=AccessLevel.MEMORY, paddr=paddr, mee=mee_result)
+        self.trace.record(process.now, process.name, "access", outcome)
+        return OpResult(latency=latency, value=outcome)
+
+    def _page_in(self, paddr: int) -> float:
+        """EPC paging: fault the page in; scrub an evicted page's metadata.
+
+        An EWB'd page's integrity-tree lines are stale once the page
+        leaves the EPC, so they are dropped from the MEE cache.
+        """
+        extra, evicted_frame = self.pager.touch(paddr)
+        if evicted_frame is not None:
+            layout = self.layout
+            self.mee.cache.invalidate(layout.l0_line(evicted_frame))
+            for unit in range(PAGE_SIZE // 512):
+                chunk_addr = evicted_frame + unit * 512
+                self.mee.cache.invalidate(layout.versions_line(chunk_addr))
+                self.mee.cache.invalidate(layout.pd_tag_line(chunk_addr))
+        return extra
+
+    def _check_enclave_access(self, process: SimProcess, vaddr: int) -> None:
+        """Protected memory is only reachable from its owning enclave."""
+        enclave = process.enclave
+        if enclave is None:
+            raise EnclaveError(
+                f"process {process.name!r} touched protected memory at "
+                f"{vaddr:#x} outside enclave mode"
+            )
+        if not enclave.owns(vaddr):
+            raise EnclaveError(
+                f"enclave {enclave.name!r} touched another enclave's memory "
+                f"at {vaddr:#x}"
+            )
+
+    def _execute_flush(self, process: SimProcess, operation: Flush) -> OpResult:
+        space: AddressSpace = process.address_space
+        paddr = space.translate(operation.vaddr)
+        self.hierarchy.flush(paddr)
+        self.trace.record(process.now, process.name, "flush", paddr)
+        return OpResult(latency=float(self.config.hierarchy.clflush_cycles))
+
+    # -- timers ---------------------------------------------------------------------
+
+    def _execute_rdtsc(self, process: SimProcess, operation: Rdtsc) -> OpResult:
+        if process.in_enclave and not operation.via_ocall:
+            raise InstructionNotAvailableError(
+                f"rdtsc is not available in enclave mode "
+                f"(process {process.name!r}; paper Section 3, challenge 4)"
+            )
+        cost = self.config.timers.rdtsc_cycles
+        return OpResult(latency=float(cost), value=process.clock.tsc())
+
+    def _execute_read_timer(self, process: SimProcess) -> OpResult:
+        """Counter-thread timer read (Figure 2c): ~50 cycles, slightly stale."""
+        timers = self.config.timers
+        cost = timers.counter_thread_read_cycles + float(
+            self._timer_rng.normal(0.0, 3.0)
+        )
+        staleness = float(self._timer_rng.uniform(0, timers.counter_thread_update_interval))
+        value = int(max(process.clock.now - staleness, 0.0))
+        return OpResult(latency=max(cost, 1.0), value=value)

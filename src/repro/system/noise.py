@@ -1,0 +1,123 @@
+"""Noise environments for robustness evaluation (paper Figure 8).
+
+Three stressors:
+
+* :func:`llc_memory_stressor` — the ``stress-ng``-style load of Figure 8(b):
+  hammers general (non-protected) memory through the cache hierarchy.  It
+  never touches the MEE cache, so the paper finds it barely hurts the
+  channel; in the model it raises DRAM contention and LLC pressure only.
+* :func:`mee_stride_stressor` — Figure 8(c)/(d): another core reads the
+  protected region at a 512 B or 4 KB stride, constantly pulling new
+  integrity-tree lines into the MEE cache and occasionally evicting the
+  channel's versions line.
+* :func:`ambient_system_noise` — light sporadic protected activity (SGX
+  runtime, other tenants) present in every run; one source of the paper's
+  residual ~1.7% error floor.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..mem.paging import MappedRegion
+from ..sim.ops import Access, Busy, Flush, Operation, OpResult
+from ..units import CACHE_LINE, PAGE_SIZE
+
+__all__ = ["llc_memory_stressor", "mee_stride_stressor", "ambient_system_noise"]
+
+
+def llc_memory_stressor(
+    dram,
+    region: MappedRegion,
+    duration_cycles: float,
+    line_stride: int = 4 * CACHE_LINE,
+) -> Generator[Operation, OpResult, int]:
+    """Stream over a large non-protected buffer until ``duration_cycles``.
+
+    Registers itself as a DRAM bus stressor for its lifetime, raising mean
+    DRAM latency for everyone (including, mildly, the channel) — the
+    mechanism behind Figure 8(b)'s "minimal impact".
+
+    Returns:
+        Number of accesses performed.
+    """
+    dram.register_stressor()
+    elapsed = 0.0
+    accesses = 0
+    position = 0
+    try:
+        while elapsed < duration_cycles:
+            vaddr = region.base + position
+            result = yield Access(vaddr)
+            elapsed += result.latency
+            accesses += 1
+            position = (position + line_stride) % region.size
+    finally:
+        dram.unregister_stressor()
+    return accesses
+
+
+def mee_stride_stressor(
+    region: MappedRegion,
+    stride: int,
+    duration_cycles: float,
+) -> Generator[Operation, OpResult, int]:
+    """Read the protected ``region`` at ``stride`` until ``duration_cycles``.
+
+    Must be spawned with the enclave owning ``region``.  A 512 B stride
+    touches a fresh versions node every access; a 4 KB stride additionally
+    misses L0 every access — the paper's two MEE-noise shapes (Figure 8c/d).
+
+    Returns:
+        Number of accesses performed.
+    """
+    elapsed = 0.0
+    accesses = 0
+    position = 0
+    while elapsed < duration_cycles:
+        vaddr = region.base + position
+        result = yield Access(vaddr)
+        elapsed += result.latency
+        yield Flush(vaddr)
+        elapsed += 40  # clflush cost; exact value only paces the loop
+        accesses += 1
+        position = (position + stride) % region.size
+    return accesses
+
+
+def ambient_system_noise(
+    region: MappedRegion,
+    duration_cycles: float,
+    rng: np.random.Generator,
+    mean_gap_cycles: float = 220_000.0,
+    burst_pages: int = 24,
+) -> Generator[Operation, OpResult, int]:
+    """Sporadic bursts of protected-page activity (always-on background).
+
+    Every ~``mean_gap_cycles`` (exponential), touch ``burst_pages`` random
+    protected pages — the SGX runtime, paging, or an unrelated tenant.
+    Each touch loads integrity-tree lines that occasionally land in (and
+    with enough pressure, evict from) the channel's MEE cache set.
+
+    Returns:
+        Number of bursts emitted.
+    """
+    elapsed = 0.0
+    bursts = 0
+    pages = max(region.size // PAGE_SIZE, 1)
+    while elapsed < duration_cycles:
+        gap = float(rng.exponential(mean_gap_cycles))
+        yield Busy(int(max(gap, 1000.0)))
+        elapsed += gap
+        for _ in range(burst_pages):
+            page = int(rng.integers(0, pages))
+            unit = int(rng.integers(0, PAGE_SIZE // 512))
+            vaddr = region.base + page * PAGE_SIZE + unit * 512
+            result = yield Access(vaddr)
+            elapsed += result.latency
+            yield Flush(vaddr)
+            elapsed += 40
+        bursts += 1
+    return bursts

@@ -1,0 +1,68 @@
+"""Stride workload generators (paper Figure 5 and the noise studies).
+
+The paper characterizes MEE behaviour by reading the protected region at
+64 B, 512 B, 4 KB, 32 KB and 256 KB strides: small strides stay within one
+versions node's coverage (versions hits), larger strides step over L0/L1/L2
+coverage and climb the tree.  These helpers build the access pattern and a
+ready-to-spawn process body that measures each access.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..mem.paging import MappedRegion
+from ..sim.ops import Access, Flush, Operation, OpResult
+
+__all__ = ["stride_access_pattern", "stride_reader"]
+
+
+def stride_access_pattern(region: MappedRegion, stride: int, count: int) -> List[int]:
+    """``count`` virtual addresses stepping ``stride`` bytes, wrapping in
+    ``region``.
+
+    Wrapping restarts at a 64 B offset shift each lap so reuse of the exact
+    same lines across laps is avoided for small regions.
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    addresses = []
+    lap = 0
+    position = 0
+    for _ in range(count):
+        if position >= region.size:
+            lap += 1
+            position = (lap * 64) % stride if stride > 64 else 0
+        addresses.append(region.base + position)
+        position += stride
+    return addresses
+
+
+def stride_reader(
+    region: MappedRegion,
+    stride: int,
+    count: int,
+    flush: bool = True,
+    latencies_out: List[float] = None,
+) -> Generator[Operation, OpResult, List[float]]:
+    """Process body: read ``count`` addresses at ``stride``, recording latency.
+
+    Args:
+        region: region to sweep (protected for MEE experiments).
+        stride: byte stride between consecutive accesses.
+        count: number of accesses.
+        flush: ``clflush`` each line after the access so the *next* lap goes
+            to memory again (paper Section 3, challenge 1).
+        latencies_out: optional list to append latencies to in-place (handy
+            when the caller cannot easily read the process result).
+
+    Returns:
+        The per-access latencies, in cycles.
+    """
+    latencies: List[float] = latencies_out if latencies_out is not None else []
+    for vaddr in stride_access_pattern(region, stride, count):
+        result = yield Access(vaddr)
+        latencies.append(result.latency)
+        if flush:
+            yield Flush(vaddr)
+    return latencies

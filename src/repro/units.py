@@ -1,0 +1,46 @@
+"""Size and hardware-unit constants shared across the library.
+
+The paper's machine model (Intel i7-6700K, Skylake) uses 64 B cache lines,
+4 KB pages and a 128 MB MEE region; those constants — and the MEE-specific
+512 B "chunk" covered by one versions node — live here so every subsystem
+agrees on the arithmetic.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Cache line size used by both the CPU hierarchy and the MEE cache (bytes).
+CACHE_LINE = 64
+
+#: Small page size; the only page size available inside an enclave (bytes).
+PAGE_SIZE = 4 * KIB
+
+#: Hugepage size available to non-enclave code only (bytes).
+HUGEPAGE_SIZE = 2 * MIB
+
+#: Protected-region chunk covered by a single 64 B versions node (bytes).
+CHUNK_SIZE = 512
+
+#: Number of 512 B chunks per 4 KB page.
+CHUNKS_PER_PAGE = PAGE_SIZE // CHUNK_SIZE  # 8
+
+#: Counters held by one 64 B versions node (one per 64 B data line).
+COUNTERS_PER_VERSIONS_NODE = CHUNK_SIZE // CACHE_LINE  # 8
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    return value - (value % alignment)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite.
+
+Expensive fixtures (a fully set-up covert channel) are session-scoped;
+tests that need to mutate machine state build their own machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import skylake_i7_6700k
+from repro.core.channel import CovertChannel
+from repro.system.machine import Machine
+
+
+@pytest.fixture()
+def machine() -> Machine:
+    """A fresh default machine (seed 1234)."""
+    return Machine(skylake_i7_6700k(seed=1234))
+
+
+@pytest.fixture()
+def enclave_setup(machine):
+    """(machine, space, enclave) with a host address space and an enclave."""
+    space = machine.new_address_space("test-proc")
+    enclave = machine.create_enclave("test-enclave", space)
+    return machine, space, enclave
+
+
+@pytest.fixture(scope="session")
+def ready_channel():
+    """A fully set-up covert channel, shared across channel tests.
+
+    Tests using this fixture must only *transmit* (transmissions do not
+    invalidate the setup), never re-run setup or tear down enclaves.
+    """
+    machine = Machine(skylake_i7_6700k(seed=4321))
+    channel = CovertChannel(machine)
+    channel.setup()
+    return machine, channel

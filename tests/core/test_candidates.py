@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.candidates."""
+
+import pytest
+
+from repro.core.candidates import CandidateAddressSet, allocate_candidate_pages
+from repro.errors import ChannelError
+from repro.units import PAGE_SIZE
+
+
+class TestCandidateAddressSet:
+    def test_from_region_strides_pages(self, enclave_setup):
+        _, _, enclave = enclave_setup
+        region = enclave.alloc(8 * PAGE_SIZE)
+        candidates = CandidateAddressSet.from_region(region, unit=3)
+        assert len(candidates) == 8
+        deltas = [b - a for a, b in zip(candidates.addresses, candidates.addresses[1:])]
+        assert all(delta == PAGE_SIZE for delta in deltas)
+
+    def test_unit_offset_applied(self, enclave_setup):
+        _, _, enclave = enclave_setup
+        region = enclave.alloc(2 * PAGE_SIZE)
+        candidates = CandidateAddressSet.from_region(region, unit=5)
+        assert candidates.addresses[0] == region.base + 5 * 512
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(ChannelError):
+            CandidateAddressSet(unit=8, addresses=())
+
+    def test_wrong_offset_rejected(self):
+        with pytest.raises(ChannelError):
+            CandidateAddressSet(unit=3, addresses=(0x1000,))
+
+    def test_subset(self, enclave_setup):
+        _, _, enclave = enclave_setup
+        region = enclave.alloc(8 * PAGE_SIZE)
+        candidates = CandidateAddressSet.from_region(region, unit=0)
+        subset = candidates.subset(3)
+        assert len(subset) == 3
+        assert subset.addresses == candidates.addresses[:3]
+
+    def test_subset_too_large_rejected(self, enclave_setup):
+        _, _, enclave = enclave_setup
+        region = enclave.alloc(2 * PAGE_SIZE)
+        candidates = CandidateAddressSet.from_region(region, unit=0)
+        with pytest.raises(ChannelError):
+            candidates.subset(3)
+
+    def test_count_larger_than_region_rejected(self, enclave_setup):
+        _, _, enclave = enclave_setup
+        region = enclave.alloc(2 * PAGE_SIZE)
+        with pytest.raises(ChannelError):
+            CandidateAddressSet.from_region(region, unit=0, count=3)
+
+    def test_iteration(self, enclave_setup):
+        _, _, enclave = enclave_setup
+        region = enclave.alloc(4 * PAGE_SIZE)
+        candidates = CandidateAddressSet.from_region(region, unit=1)
+        assert list(candidates) == list(candidates.addresses)
+
+
+class TestAllocateCandidatePages:
+    def test_allocates_fresh_pages(self, enclave_setup):
+        machine, _, enclave = enclave_setup
+        before = machine.epc.usage_of(enclave.name)
+        candidates = allocate_candidate_pages(enclave, 16, unit=2)
+        assert len(candidates) == 16
+        assert machine.epc.usage_of(enclave.name) == before + 16
+
+    def test_candidates_map_to_8_sets(self, enclave_setup):
+        # The ground-truth property the attack exploits: a fixed unit maps
+        # to exactly 8 possible (odd) MEE cache sets across random frames.
+        machine, space, enclave = enclave_setup
+        candidates = allocate_candidate_pages(enclave, 64, unit=3)
+        sets = {
+            machine.layout.versions_set(space.translate(vaddr), 128)
+            for vaddr in candidates
+        }
+        assert len(sets) <= 8
+        assert all(s % 2 == 1 for s in sets)

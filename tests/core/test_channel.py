@@ -1,0 +1,136 @@
+"""Integration tests for the covert channel (Algorithm 2).
+
+Uses the session-scoped ``ready_channel`` fixture: setup (calibration,
+Algorithm 1, monitor search) runs once; each test only transmits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.channel import ChannelConfig, CovertChannel, wait_until
+from repro.core.encoding import alternating_bits, pattern_100100, random_bits
+from repro.errors import ChannelError
+from repro.sgx.timing import CounterThreadTimer
+
+
+class TestSetup:
+    def test_setup_products(self, ready_channel):
+        _, channel = ready_channel
+        assert channel.is_ready
+        assert channel.eviction_result.associativity == 8
+        assert channel.calibration.separation > 200
+        best = max(channel.monitor_result.miss_counts)
+        assert best >= channel.config.monitor_trials * 0.7
+
+    def test_monitor_conflicts_with_eviction_set(self, ready_channel):
+        machine, channel = ready_channel
+        monitor_set = machine.layout.versions_set(
+            channel.spy_space.translate(channel.monitor_result.monitor), 128
+        )
+        trojan_sets = {
+            machine.layout.versions_set(channel.trojan_space.translate(vaddr), 128)
+            for vaddr in channel.eviction_result.eviction_set
+        }
+        assert trojan_sets == {monitor_set}
+
+    def test_transmit_before_setup_rejected(self, machine):
+        channel = CovertChannel(machine)
+        with pytest.raises(ChannelError):
+            channel.transmit([1, 0])
+
+
+class TestTransmission:
+    def test_alternating_pattern_decodes(self, ready_channel):
+        _, channel = ready_channel
+        result = channel.transmit(alternating_bits(40))
+        assert result.metrics.error_rate <= 0.1
+
+    def test_probe_times_bimodal(self, ready_channel):
+        _, channel = ready_channel
+        result = channel.transmit(alternating_bits(40))
+        zeros = [t for t, bit in zip(result.probe_times, result.sent) if bit == 0]
+        ones = [t for t, bit in zip(result.probe_times, result.sent) if bit == 1]
+        assert np.median(ones) - np.median(zeros) > 200
+
+    def test_long_random_payload_low_error(self, ready_channel):
+        _, channel = ready_channel
+        bits = random_bits(400, np.random.default_rng(5))
+        result = channel.transmit(bits)
+        assert result.metrics.error_rate < 0.06  # paper: 1.7% typical
+
+    def test_headline_bit_rate(self, ready_channel):
+        _, channel = ready_channel
+        result = channel.transmit([1, 0, 1], window_cycles=15_000)
+        assert result.metrics.bit_rate == pytest.approx(35.0)
+
+    def test_all_zeros_and_all_ones(self, ready_channel):
+        _, channel = ready_channel
+        zeros = channel.transmit([0] * 30)
+        ones = channel.transmit([1] * 30)
+        assert zeros.metrics.error_rate <= 0.15
+        assert ones.metrics.error_rate <= 0.15
+
+    def test_figure8_pattern(self, ready_channel):
+        _, channel = ready_channel
+        result = channel.transmit(pattern_100100(60))
+        assert result.metrics.error_rate < 0.1
+
+    def test_tiny_window_fails(self, ready_channel):
+        # Paper Figure 7: below the ~9000-cycle eviction time the channel
+        # degrades sharply.
+        _, channel = ready_channel
+        good = channel.transmit(random_bits(150, np.random.default_rng(6)), window_cycles=15_000)
+        bad = channel.transmit(random_bits(150, np.random.default_rng(6)), window_cycles=6_000)
+        assert bad.metrics.error_rate > good.metrics.error_rate + 0.1
+
+    def test_result_records_everything(self, ready_channel):
+        _, channel = ready_channel
+        payload = [1, 0, 0, 1]
+        result = channel.transmit(payload)
+        assert result.sent == payload
+        assert len(result.received) == 4
+        assert len(result.probe_times) == 4
+        assert result.window_cycles == channel.config.window_cycles
+
+    def test_error_positions_consistent(self, ready_channel):
+        _, channel = ready_channel
+        result = channel.transmit(random_bits(100, np.random.default_rng(7)))
+        assert len(result.error_positions) == result.metrics.errors
+
+    def test_invalid_bit_rejected(self, ready_channel):
+        _, channel = ready_channel
+        with pytest.raises(ChannelError):
+            channel.transmit([0, 2, 1])
+
+
+class TestWaitUntil:
+    def test_waits_to_target(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        timer = CounterThreadTimer()
+        results = []
+
+        def body():
+            target = machine.now + 30_000
+            reached = yield from wait_until(timer, target)
+            results.append((target, reached, machine.clocks[0].now))
+
+        machine.spawn("w", body(), core=0, space=space, enclave=enclave)
+        machine.run()
+        target, reached, now = results[0]
+        assert reached >= target
+        assert now >= target
+        # Must not overshoot wildly (a couple of timer reads + staleness).
+        assert now <= target + 5_000
+
+    def test_past_target_returns_immediately(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        timer = CounterThreadTimer()
+        ops = []
+
+        def body():
+            value = yield from wait_until(timer, 0)
+            ops.append(value)
+
+        machine.spawn("w", body(), core=0, space=space, enclave=enclave)
+        machine.run()
+        assert len(ops) == 1

@@ -1,0 +1,130 @@
+"""Unit + property tests for repro.core.ecc."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ecc import (
+    block_repetition_decode,
+    block_repetition_encode,
+    hamming74_decode,
+    hamming74_encode,
+    repetition_decode,
+    repetition_encode,
+)
+
+nibbles = st.lists(st.integers(0, 1), min_size=4, max_size=40).filter(
+    lambda bits: len(bits) % 4 == 0
+)
+
+
+class TestHamming74:
+    def test_rate(self):
+        assert len(hamming74_encode([1, 0, 1, 1])) == 7
+
+    def test_clean_roundtrip(self):
+        data = [1, 0, 1, 1, 0, 0, 1, 0]
+        decoded, corrections = hamming74_decode(hamming74_encode(data))
+        assert decoded == data
+        assert corrections == 0
+
+    @given(nibbles)
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        decoded, _ = hamming74_decode(hamming74_encode(data))
+        assert decoded == data
+
+    @given(nibbles, st.data())
+    @settings(max_examples=100)
+    def test_single_error_per_codeword_corrected(self, data, drawer):
+        encoded = hamming74_encode(data)
+        corrupted = list(encoded)
+        for word_start in range(0, len(corrupted), 7):
+            flip = drawer.draw(st.integers(0, 6))
+            corrupted[word_start + flip] ^= 1
+        decoded, corrections = hamming74_decode(corrupted)
+        assert decoded == data
+        assert corrections == len(data) // 4
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            hamming74_encode([1, 0, 1])
+        with pytest.raises(ValueError):
+            hamming74_decode([1] * 6)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            hamming74_encode([2, 0, 0, 0])
+
+
+class TestRepetition:
+    def test_rate(self):
+        assert repetition_encode([1, 0], factor=3) == [1, 1, 1, 0, 0, 0]
+
+    def test_majority_vote_corrects(self):
+        encoded = repetition_encode([1, 0], factor=3)
+        encoded[0] ^= 1  # one flip in the first group
+        encoded[5] ^= 1  # one flip in the second group
+        assert repetition_decode(encoded, factor=3) == [1, 0]
+
+    @given(st.lists(st.integers(0, 1), max_size=40), st.sampled_from([1, 3, 5]))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data, factor):
+        assert repetition_decode(repetition_encode(data, factor), factor) == data
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=20), st.data())
+    @settings(max_examples=50)
+    def test_minority_flips_always_corrected(self, data, drawer):
+        encoded = repetition_encode(data, factor=5)
+        corrupted = list(encoded)
+        for group in range(len(data)):
+            positions = drawer.draw(
+                st.lists(st.integers(0, 4), min_size=0, max_size=2, unique=True)
+            )
+            for position in positions:
+                corrupted[group * 5 + position] ^= 1
+        assert repetition_decode(corrupted, factor=5) == data
+
+    def test_even_factor_rejected(self):
+        with pytest.raises(ValueError):
+            repetition_encode([1], factor=2)
+        with pytest.raises(ValueError):
+            repetition_decode([1, 1], factor=2)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            repetition_decode([1, 1], factor=3)
+
+
+class TestBlockRepetition:
+    def test_layout_is_whole_copies(self):
+        assert block_repetition_encode([1, 0], copies=3) == [1, 0, 1, 0, 1, 0]
+
+    def test_clean_roundtrip(self):
+        data = [1, 0, 0, 1, 1]
+        assert block_repetition_decode(block_repetition_encode(data), copies=3) == data
+
+    def test_burst_error_in_one_copy_corrected(self):
+        # A burst garbling several adjacent bits lands in a single copy —
+        # the property plain per-bit repetition lacks.
+        data = [1, 0, 1, 1, 0, 0, 1, 0]
+        encoded = block_repetition_encode(data, copies=3)
+        for position in range(2, 6):  # burst inside copy 0
+            encoded[position] ^= 1
+        assert block_repetition_decode(encoded, copies=3) == data
+
+    @given(st.lists(st.integers(0, 1), max_size=30), st.sampled_from([1, 3, 5]))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data, copies):
+        encoded = block_repetition_encode(data, copies=copies)
+        assert block_repetition_decode(encoded, copies=copies) == data
+
+    def test_even_copies_rejected(self):
+        with pytest.raises(ValueError):
+            block_repetition_encode([1], copies=2)
+        with pytest.raises(ValueError):
+            block_repetition_decode([1, 1], copies=2)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            block_repetition_decode([1, 1], copies=3)

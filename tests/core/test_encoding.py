@@ -1,0 +1,59 @@
+"""Unit + property tests for repro.core.encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    alternating_bits,
+    bits_to_bytes,
+    bits_to_text,
+    bytes_to_bits,
+    pattern_100100,
+    random_bits,
+    text_to_bits,
+)
+
+
+class TestByteConversion:
+    def test_known_value(self):
+        assert bytes_to_bits(b"\xa5") == [1, 0, 1, 0, 0, 1, 0, 1]
+
+    def test_empty(self):
+        assert bytes_to_bits(b"") == []
+        assert bits_to_bytes([]) == b""
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([2] * 8)
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip(self, payload):
+        assert bits_to_bytes(bytes_to_bits(payload)) == payload
+
+    @given(st.text(max_size=32))
+    def test_text_roundtrip(self, text):
+        assert bits_to_text(text_to_bits(text)) == text
+
+
+class TestPatterns:
+    def test_alternating(self):
+        assert alternating_bits(6) == [0, 1, 0, 1, 0, 1]
+        assert alternating_bits(4, start=1) == [1, 0, 1, 0]
+
+    def test_pattern_100100(self):
+        bits = pattern_100100(9)
+        assert bits == [1, 0, 0, 1, 0, 0, 1, 0, 0]
+
+    def test_pattern_100100_default_128(self):
+        assert len(pattern_100100()) == 128
+
+    def test_random_bits(self):
+        bits = random_bits(1000, np.random.default_rng(0))
+        assert set(bits) == {0, 1}
+        assert 400 < sum(bits) < 600

@@ -1,0 +1,59 @@
+"""Unit tests for repro.core.latency — calibration and classification."""
+
+import pytest
+
+from repro.core.latency import (
+    ThresholdClassifier,
+    calibrate_classifier,
+    classifier_from_samples,
+)
+from repro.sgx.timing import CounterThreadTimer
+
+
+class TestThresholdClassifier:
+    def test_decode(self):
+        classifier = ThresholdClassifier(threshold=650, hit_estimate=530, miss_estimate=800)
+        assert classifier.decode_bit(500) == 0
+        assert classifier.decode_bit(800) == 1
+        assert not classifier.is_miss(650)
+        assert classifier.is_miss(651)
+
+
+class TestClassifierFromSamples:
+    def test_midpoint(self):
+        classifier = classifier_from_samples([500, 520, 510], [800, 790, 810])
+        assert classifier.threshold == pytest.approx((510 + 800) / 2)
+
+    def test_median_robust_to_outliers(self):
+        classifier = classifier_from_samples([500, 510, 5000], [800, 810, 790])
+        assert classifier.hit_estimate == 510
+
+    def test_inverted_samples_rejected(self):
+        with pytest.raises(ValueError):
+            classifier_from_samples([800, 810], [500, 510])
+
+
+class TestCalibration:
+    def test_calibrates_hit_and_miss_classes(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        timer = CounterThreadTimer()
+        calibration = calibrate_classifier(machine, space, enclave, timer, samples=32)
+        classifier = calibration.classifier
+        # Measured values include ~50 cycles of timer overhead.
+        assert 450 <= classifier.hit_estimate <= 620
+        assert 720 <= classifier.miss_estimate <= 900
+        assert calibration.separation >= 200
+
+    def test_sample_counts(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        timer = CounterThreadTimer()
+        calibration = calibrate_classifier(machine, space, enclave, timer, samples=20)
+        assert len(calibration.hit_samples) == 20
+        assert len(calibration.miss_samples) == 20
+
+    def test_classifier_separates_channel_classes(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        timer = CounterThreadTimer()
+        calibration = calibrate_classifier(machine, space, enclave, timer, samples=32)
+        classifier = calibration.classifier
+        assert classifier.hit_estimate < classifier.threshold < classifier.miss_estimate

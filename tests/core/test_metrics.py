@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    ChannelMetrics,
+    binary_entropy,
+    bit_error_rate,
+    bit_rate_kbps,
+)
+
+
+class TestBinaryEntropy:
+    def test_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert binary_entropy(0.1) == pytest.approx(binary_entropy(0.9))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+
+
+class TestBitRate:
+    def test_paper_headline(self):
+        # 15000-cycle windows at 4.2 GHz = 35 KBps (paper Section 5.4).
+        assert bit_rate_kbps(15000, 4.2e9) == pytest.approx(35.0)
+
+    def test_smallest_window(self):
+        assert bit_rate_kbps(5000, 4.2e9) == pytest.approx(105.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            bit_rate_kbps(0, 4.2e9)
+
+
+class TestBitErrorRate:
+    def test_no_errors(self):
+        assert bit_error_rate([1, 0, 1], [1, 0, 1]) == 0.0
+
+    def test_all_errors(self):
+        assert bit_error_rate([1, 1], [0, 0]) == 1.0
+
+    def test_partial(self):
+        assert bit_error_rate([1, 0, 1, 0], [1, 1, 1, 0]) == 0.25
+
+    def test_empty(self):
+        assert bit_error_rate([], []) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bit_error_rate([1], [1, 0])
+
+
+class TestChannelMetrics:
+    def test_from_bits_confusion(self):
+        metrics = ChannelMetrics.from_bits(
+            sent=[0, 0, 1, 1], received=[0, 1, 1, 0], window_cycles=15000, clock_hz=4.2e9
+        )
+        assert metrics.false_ones == 1
+        assert metrics.false_zeros == 1
+        assert metrics.errors == 2
+        assert metrics.error_rate == 0.5
+
+    def test_goodput_discounts_errors(self):
+        metrics = ChannelMetrics.from_bits(
+            sent=[0, 1], received=[1, 1], window_cycles=15000, clock_hz=4.2e9
+        )
+        assert metrics.goodput == pytest.approx(metrics.bit_rate * 0.5)
+
+    def test_zero_bits(self):
+        metrics = ChannelMetrics.from_bits([], [], 15000, 4.2e9)
+        assert metrics.error_rate == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelMetrics.from_bits([1], [1, 0], 15000, 4.2e9)

@@ -1,0 +1,90 @@
+"""Tests for the spy's monitor-address discovery."""
+
+import pytest
+
+from repro.core.candidates import allocate_candidate_pages
+from repro.core.latency import calibrate_classifier
+from repro.core.monitor import find_monitor_address
+from repro.core.reverse_engineering import find_eviction_set
+from repro.errors import ChannelError
+from repro.sgx.timing import CounterThreadTimer
+
+
+@pytest.fixture(scope="module")
+def discovered(request):
+    """Machine with trojan eviction set already discovered (module-scoped:
+    Algorithm 1 is the expensive step)."""
+    from repro.config import skylake_i7_6700k
+    from repro.system.machine import Machine
+
+    machine = Machine(skylake_i7_6700k(seed=2024))
+    trojan_space = machine.new_address_space("m-trojan")
+    spy_space = machine.new_address_space("m-spy")
+    trojan_enclave = machine.create_enclave("m-trojan-e", trojan_space)
+    spy_enclave = machine.create_enclave("m-spy-e", spy_space)
+    timer = CounterThreadTimer()
+    calibration = calibrate_classifier(machine, spy_space, spy_enclave, timer, core=1)
+    candidates = allocate_candidate_pages(trojan_enclave, 128, unit=3)
+    eviction = find_eviction_set(
+        machine, trojan_space, trojan_enclave, candidates, timer, calibration.classifier
+    )
+    return machine, trojan_space, trojan_enclave, spy_space, spy_enclave, timer, calibration, eviction
+
+
+class TestMonitorSearch:
+    def test_finds_monitor_in_trojan_set(self, discovered):
+        machine, trojan_space, trojan_enclave, spy_space, spy_enclave, timer, calibration, eviction = discovered
+        spy_candidates = allocate_candidate_pages(spy_enclave, 64, unit=3)
+        result = find_monitor_address(
+            machine,
+            spy_space,
+            spy_enclave,
+            trojan_space,
+            trojan_enclave,
+            eviction.eviction_set,
+            spy_candidates,
+            timer,
+            calibration.classifier,
+        )
+        monitor_set = machine.layout.versions_set(spy_space.translate(result.monitor), 128)
+        trojan_set = machine.layout.versions_set(
+            trojan_space.translate(eviction.eviction_set[0]), 128
+        )
+        assert monitor_set == trojan_set
+        assert max(result.miss_counts) >= 4
+
+    def test_wrong_unit_candidates_rejected(self, discovered):
+        # Candidates on a different 512 B unit never share the trojan's set.
+        machine, trojan_space, trojan_enclave, spy_space, spy_enclave, timer, calibration, eviction = discovered
+        wrong_unit = (3 + 4) % 8
+        spy_candidates = allocate_candidate_pages(spy_enclave, 16, unit=wrong_unit)
+        with pytest.raises(ChannelError):
+            find_monitor_address(
+                machine,
+                spy_space,
+                spy_enclave,
+                trojan_space,
+                trojan_enclave,
+                eviction.eviction_set,
+                spy_candidates,
+                timer,
+                calibration.classifier,
+                trials=4,
+            )
+
+    def test_eviction_ratio_accessor(self, discovered):
+        machine, trojan_space, trojan_enclave, spy_space, spy_enclave, timer, calibration, eviction = discovered
+        spy_candidates = allocate_candidate_pages(spy_enclave, 48, unit=3)
+        result = find_monitor_address(
+            machine,
+            spy_space,
+            spy_enclave,
+            trojan_space,
+            trojan_enclave,
+            eviction.eviction_set,
+            spy_candidates,
+            timer,
+            calibration.classifier,
+        )
+        best_index = max(range(len(result.miss_counts)), key=result.miss_counts.__getitem__)
+        assert result.eviction_ratio(best_index) >= 0.7

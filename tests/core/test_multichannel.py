@@ -1,0 +1,76 @@
+"""Tests for the multi-lane channel extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import skylake_i7_6700k
+from repro.core.encoding import random_bits
+from repro.core.multichannel import MultiChannel, lane_window_cycles
+from repro.errors import ChannelError
+from repro.system.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def two_lane():
+    machine = Machine(skylake_i7_6700k(seed=911))
+    channel = MultiChannel(machine, lanes=2)
+    channel.setup()
+    return machine, channel
+
+
+class TestLaneWindow:
+    def test_window_grows_with_lanes(self):
+        assert lane_window_cycles(1) < lane_window_cycles(2) < lane_window_cycles(3)
+
+    def test_single_lane_window_near_paper(self):
+        assert 10_000 <= lane_window_cycles(1) <= 15_000
+
+
+class TestMultiChannel:
+    def test_lane_bounds(self, machine):
+        with pytest.raises(ChannelError):
+            MultiChannel(machine, lanes=0)
+        with pytest.raises(ChannelError):
+            MultiChannel(machine, lanes=9)
+
+    def test_transmit_before_setup_rejected(self, machine):
+        channel = MultiChannel(machine, lanes=2)
+        with pytest.raises(ChannelError):
+            channel.transmit([1, 0])
+
+    def test_setup_builds_disjoint_lanes(self, two_lane):
+        machine, channel = two_lane
+        assert channel.is_ready
+        lane_sets = []
+        for lane, eviction_set in enumerate(channel.lane_sets):
+            assert len(eviction_set) == 8
+            truth = {
+                machine.layout.versions_set(channel.trojan_space.translate(v), 128)
+                for v in eviction_set
+            }
+            assert len(truth) == 1
+            lane_sets.append(truth.pop())
+        assert len(set(lane_sets)) == 2  # the lanes use different sets
+
+    def test_transmission_accuracy(self, two_lane):
+        _, channel = two_lane
+        bits = random_bits(120, np.random.default_rng(3))
+        result = channel.transmit(bits)
+        assert result.metrics.error_rate <= 0.08
+        assert len(result.received) == len(bits)
+
+    def test_throughput_beats_single_lane(self, two_lane):
+        _, channel = two_lane
+        result = channel.transmit([1, 0] * 20)
+        assert result.metrics.bit_rate > 35.0  # paper's single-lane rate
+
+    def test_odd_length_padding(self, two_lane):
+        _, channel = two_lane
+        result = channel.transmit([1, 0, 1])  # not a multiple of lanes
+        assert len(result.received) == 3
+
+    def test_per_lane_error_accounting(self, two_lane):
+        _, channel = two_lane
+        bits = random_bits(80, np.random.default_rng(4))
+        result = channel.transmit(bits)
+        assert sum(result.per_lane_errors) == result.metrics.errors

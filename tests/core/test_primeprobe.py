@@ -1,0 +1,67 @@
+"""Tests for the Prime+Probe baseline (paper Section 5.2 / Figure 6a)."""
+
+import numpy as np
+import pytest
+
+from repro.config import skylake_i7_6700k
+from repro.core.encoding import alternating_bits
+from repro.core.primeprobe import PrimeProbeChannel
+from repro.errors import ChannelError
+from repro.system.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def pp_channel():
+    machine = Machine(skylake_i7_6700k(seed=77))
+    channel = PrimeProbeChannel(machine)
+    channel.setup()
+    return machine, channel
+
+
+class TestPrimeProbeSetup:
+    def test_spy_holds_8_way_set(self, pp_channel):
+        _, channel = pp_channel
+        assert channel.eviction_result.associativity == 8
+
+    def test_conflict_address_in_spy_set(self, pp_channel):
+        machine, channel = pp_channel
+        spy_set = machine.layout.versions_set(
+            channel.spy_space.translate(channel.eviction_result.eviction_set[0]), 128
+        )
+        trojan_set = machine.layout.versions_set(
+            channel.trojan_space.translate(channel.conflict_address), 128
+        )
+        assert spy_set == trojan_set
+
+    def test_transmit_before_setup_rejected(self):
+        machine = Machine(skylake_i7_6700k(seed=78))
+        channel = PrimeProbeChannel(machine)
+        with pytest.raises(ChannelError):
+            channel.transmit([1, 0])
+
+
+class TestPrimeProbeFailure:
+    def test_probe_time_exceeds_3500_cycles(self, pp_channel):
+        # Paper: "a probing latency that exceeds 3500 cycles".
+        _, channel = pp_channel
+        result = channel.transmit(alternating_bits(20))
+        assert min(result.probe_times) > 3000
+        assert np.median(result.probe_times) > 3500
+
+    def test_probe_noise_swamps_single_eviction_signal(self, pp_channel):
+        # The std of idle probes is comparable to the ~270-cycle signal.
+        _, channel = pp_channel
+        idle = np.array(channel.idle_probe_times)
+        assert idle.std() > 100
+
+    def test_communication_unreliable(self, pp_channel):
+        # Paper: "proper communication cannot be established".
+        _, channel = pp_channel
+        result = channel.transmit(alternating_bits(60))
+        assert result.metrics.error_rate > 0.05
+
+    def test_records_threshold_and_idle_baseline(self, pp_channel):
+        _, channel = pp_channel
+        result = channel.transmit(alternating_bits(10))
+        assert result.threshold == channel.threshold
+        assert len(result.idle_probe_times) == 32

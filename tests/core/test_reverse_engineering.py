@@ -1,0 +1,127 @@
+"""Integration tests for the paper's Section 4 procedures.
+
+These run the actual attack code against the simulated machine and check
+it recovers the ground-truth MEE geometry.
+"""
+
+import pytest
+
+from repro.core.candidates import allocate_candidate_pages
+from repro.core.latency import calibrate_classifier
+from repro.core.reverse_engineering import (
+    CapacityCurve,
+    capacity_experiment,
+    eviction_test,
+    find_eviction_set,
+    sweep_addresses,
+)
+from repro.errors import ChannelError
+from repro.sgx.timing import CounterThreadTimer
+
+
+@pytest.fixture()
+def attack_setup(enclave_setup):
+    machine, space, enclave = enclave_setup
+    timer = CounterThreadTimer()
+    calibration = calibrate_classifier(machine, space, enclave, timer, samples=48)
+    return machine, space, enclave, timer, calibration.classifier
+
+
+class TestCapacityCurve:
+    def test_saturation_and_capacity(self):
+        curve = CapacityCurve(sizes=(2, 4, 64), probabilities=(0.1, 0.4, 1.0), trials=10)
+        assert curve.saturation_size(0.99) == 64
+        assert curve.inferred_capacity_bytes(0.99) == 64 * 1024
+
+    def test_no_saturation_raises(self):
+        curve = CapacityCurve(sizes=(2, 4), probabilities=(0.1, 0.4), trials=10)
+        with pytest.raises(ChannelError):
+            curve.saturation_size(0.99)
+
+
+class TestEvictionTest:
+    def test_self_test_is_hit(self, attack_setup):
+        # Empty set: the victim's re-access must be a versions hit.
+        machine, space, enclave, timer, classifier = attack_setup
+        region = enclave.alloc(4096)
+        results = []
+
+        def body():
+            elapsed = yield from eviction_test([], region.base, timer)
+            results.append(elapsed)
+
+        machine.spawn("et", body(), core=0, space=space, enclave=enclave)
+        machine.run()
+        assert not classifier.is_miss(results[0])
+
+    def test_sweep_rotation_preserves_coverage(self, attack_setup):
+        machine, space, enclave, timer, classifier = attack_setup
+        region = enclave.alloc(8 * 4096)
+        addresses = [region.base + i * 4096 for i in range(8)]
+        touched = []
+
+        def body():
+            yield from sweep_addresses(addresses, rotation=3)
+            touched.append(True)
+
+        machine.spawn("sweep", body(), core=0, space=space, enclave=enclave)
+        machine.run()
+        for vaddr in addresses:
+            assert machine.mee.versions_cached(space.translate(vaddr))
+
+
+class TestCapacityExperiment:
+    def test_curve_monotone_trend_and_saturation(self, attack_setup):
+        machine, space, enclave, timer, classifier = attack_setup
+        curve = capacity_experiment(
+            machine, space, enclave, timer, classifier, sizes=(4, 64), trials=25
+        )
+        small, large = curve.probabilities
+        assert large > small
+        assert large >= 0.9  # paper: 100% at 64
+
+    def test_inferred_capacity_is_64kb(self, attack_setup):
+        machine, space, enclave, timer, classifier = attack_setup
+        curve = capacity_experiment(
+            machine, space, enclave, timer, classifier, sizes=(64,), trials=30
+        )
+        assert curve.inferred_capacity_bytes(0.9) == 64 * 1024
+
+
+class TestAlgorithm1:
+    def test_recovers_8_way_eviction_set(self, attack_setup):
+        machine, space, enclave, timer, classifier = attack_setup
+        candidates = allocate_candidate_pages(enclave, 128, unit=3)
+        result = find_eviction_set(
+            machine, space, enclave, candidates, timer, classifier
+        )
+        assert result.associativity == 8  # the paper's conclusion
+
+    def test_eviction_set_is_one_true_cache_set(self, attack_setup):
+        machine, space, enclave, timer, classifier = attack_setup
+        candidates = allocate_candidate_pages(enclave, 128, unit=5)
+        result = find_eviction_set(
+            machine, space, enclave, candidates, timer, classifier
+        )
+        truth = {
+            machine.layout.versions_set(space.translate(vaddr), 128)
+            for vaddr in result.eviction_set
+        }
+        assert len(truth) == 1
+        test_set = machine.layout.versions_set(space.translate(result.test_address), 128)
+        assert truth == {test_set}
+
+    def test_index_set_is_bounded_by_capacity_slice(self, attack_setup):
+        machine, space, enclave, timer, classifier = attack_setup
+        candidates = allocate_candidate_pages(enclave, 128, unit=1)
+        result = find_eviction_set(
+            machine, space, enclave, candidates, timer, classifier
+        )
+        # 8 possible sets x 8 ways = 64 resident candidates max (+ noise).
+        assert result.index_set_size <= 70
+
+    def test_small_pool_raises(self, attack_setup):
+        machine, space, enclave, timer, classifier = attack_setup
+        candidates = allocate_candidate_pages(enclave, 8, unit=3)
+        with pytest.raises(ChannelError):
+            find_eviction_set(machine, space, enclave, candidates, timer, classifier)

@@ -1,0 +1,105 @@
+"""Tests for the MEE-activity covert-channel detector."""
+
+import numpy as np
+import pytest
+
+from repro.defense.detector import MEEActivityDetector
+
+
+def synthetic_channel_events(bits=120, window=15000, hot_set=55):
+    """Events mimicking the channel's fingerprint."""
+    events = []
+    rng = np.random.default_rng(0)
+    for i in range(bits):
+        bit = i % 3 == 0  # '100100...'
+        time = i * window
+        if bit:
+            # trojan eviction burst at window start...
+            events.append((time + 300, hot_set, 0, (hot_set, hot_set, hot_set)))
+            # ...and the spy's probe misses near window end, refilling.
+            events.append((time + window - 1200, hot_set, 1, (hot_set,)))
+        else:
+            events.append((time + window - 1200, hot_set, 0, ()))
+        # occasional unrelated background access in a random set
+        if i % 5 == 0:
+            background_set = int(rng.integers(0, 128))
+            events.append(
+                (time + 7000 + rng.uniform(-2000, 2000), 33, 4, (background_set,))
+            )
+    return events
+
+
+def synthetic_benign_events(count=400):
+    """Poisson-ish accesses spread over many sets."""
+    rng = np.random.default_rng(1)
+    events = []
+    time = 0.0
+    for _ in range(count):
+        time += rng.exponential(900)
+        set_index = int(rng.integers(0, 128))
+        events.append((time, set_index | 1, int(rng.integers(0, 5)), (set_index,)))
+    return events
+
+
+class TestDetectorScoring:
+    def test_flags_channel_fingerprint(self):
+        detector = MEEActivityDetector()
+        report = detector.analyze_events(synthetic_channel_events())
+        assert report.flagged
+        assert report.set_concentration > 0.5
+        assert report.lattice_score > 0.7
+
+    def test_benign_not_flagged(self):
+        detector = MEEActivityDetector()
+        report = detector.analyze_events(synthetic_benign_events())
+        assert not report.flagged
+        assert report.set_concentration < 0.3
+
+    def test_empty_events(self):
+        report = MEEActivityDetector().analyze_events([])
+        assert not report.flagged
+        assert report.events == 0
+
+    def test_too_few_evictions_not_flagged(self):
+        events = synthetic_channel_events(bits=6)
+        report = MEEActivityDetector().analyze_events(events)
+        assert not report.flagged
+
+    def test_summary_contains_verdict(self):
+        report = MEEActivityDetector().analyze_events(synthetic_channel_events())
+        assert "SUSPECTED" in report.summary()
+
+    def test_aperiodic_concentrated_traffic_not_flagged(self):
+        # Concentration alone must not trigger: hammer one set at random
+        # times without alternation.
+        rng = np.random.default_rng(2)
+        events = []
+        time = 0.0
+        for _ in range(200):
+            time += rng.exponential(5000) + 500
+            events.append((time, 55, 0, (55,)))
+        report = MEEActivityDetector().analyze_events(events)
+        assert not report.flagged
+
+
+class TestDetectorOnMachine:
+    def test_extract_events_reads_trace(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        from repro.sim.ops import Access, Flush
+
+        region = enclave.alloc(8 * 4096)
+        machine.trace.enabled = True
+
+        def body():
+            for page in range(8):
+                yield Access(region.base + page * 4096)
+                yield Flush(region.base + page * 4096)
+
+        machine.spawn("t", body(), core=0, space=space, enclave=enclave)
+        machine.run()
+        events = MEEActivityDetector.extract_events(machine)
+        machine.trace.enabled = False
+        assert len(events) == 8
+        for _, versions_set, hit_level, _ in events:
+            assert versions_set % 2 == 1
+            assert 0 <= hit_level <= 4

@@ -1,0 +1,40 @@
+"""Tests for the noise-injection defense."""
+
+import pytest
+
+from repro.defense.noise_injection import NoiseInjector
+from repro.units import KIB
+
+
+class TestNoiseInjector:
+    def test_body_issues_accesses(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        region = enclave.alloc(256 * KIB)
+        injector = NoiseInjector(region=region, period_cycles=5000, accesses_per_burst=4)
+        process = machine.spawn(
+            "injector", injector.body(300_000), core=0, space=space, enclave=enclave
+        )
+        machine.run()
+        assert process.result > 0
+        assert machine.mee.stats.accesses >= process.result
+
+    def test_stronger_injector_issues_more(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        region = enclave.alloc(256 * KIB)
+        weak = NoiseInjector(region=region, period_cycles=50_000)
+        strong = NoiseInjector(region=region, period_cycles=5_000, seed=1)
+        weak_proc = machine.spawn(
+            "weak", weak.body(400_000), core=0, space=space, enclave=enclave
+        )
+        strong_proc = machine.spawn(
+            "strong", strong.body(400_000), core=1, space=space, enclave=enclave
+        )
+        machine.run()
+        assert strong_proc.result > weak_proc.result
+
+    def test_duty_cycle_monotone_in_period(self):
+        region = object.__new__(type("R", (), {}))  # duty_cycle ignores region
+        fast = NoiseInjector(region=None, period_cycles=4_000)
+        slow = NoiseInjector(region=None, period_cycles=40_000)
+        assert fast.duty_cycle > slow.duty_cycle
+        assert 0.0 < slow.duty_cycle < 1.0

@@ -1,0 +1,112 @@
+"""Tests for MEE-cache way partitioning (defense)."""
+
+import pytest
+
+from repro.config import skylake_i7_6700k
+from repro.core.channel import CovertChannel
+from repro.defense.partitioning import (
+    SHARED_DOMAIN,
+    WayPartitionPolicy,
+    install_way_partitioning,
+)
+from repro.errors import ChannelError, ConfigurationError
+from repro.system.machine import Machine
+from repro.units import PAGE_SIZE
+
+
+class TestWayPartitionPolicy:
+    def test_assignments_respected(self):
+        policy = WayPartitionPolicy(8, {"a": (0, 1), "b": (2, 3, 4)})
+        assert policy.ways_for("a") == (0, 1)
+        assert policy.ways_for("b") == (2, 3, 4)
+
+    def test_unknown_domain_gets_all_ways(self):
+        policy = WayPartitionPolicy(8, {"a": (0, 1)})
+        assert policy.ways_for("ghost") == tuple(range(8))
+        assert policy.ways_for(None) == tuple(range(8))
+        assert policy.ways_for(SHARED_DOMAIN) == tuple(range(8))
+
+    def test_overlapping_assignments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WayPartitionPolicy(8, {"a": (0, 1), "b": (1, 2)})
+
+    def test_out_of_range_way_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WayPartitionPolicy(8, {"a": (8,)})
+
+
+class TestPartitionedCacheBehaviour:
+    @pytest.fixture()
+    def partitioned(self, machine):
+        space = machine.new_address_space("part-proc")
+        enclave_a = machine.create_enclave("enclave-a", space)
+        enclave_b = machine.create_enclave("enclave-b", space)
+        region_a = enclave_a.alloc(64 * PAGE_SIZE)
+        region_b = enclave_b.alloc(64 * PAGE_SIZE)
+        cache = install_way_partitioning(
+            machine, {"enclave-a": (0, 1, 2, 3), "enclave-b": (4, 5, 6, 7)}
+        )
+        return machine, space, enclave_a, enclave_b, region_a, region_b, cache
+
+    def test_cache_installed_on_engine(self, partitioned):
+        machine, *_, cache = partitioned
+        assert machine.mee.cache is cache
+
+    def test_fills_stay_in_owner_ways(self, partitioned):
+        machine, space, enclave_a, _, region_a, _, cache = partitioned
+        from repro.sim.ops import Access, Flush
+
+        def body():
+            for page in range(32):
+                vaddr = region_a.base + page * PAGE_SIZE
+                yield Access(vaddr)
+                yield Flush(vaddr)
+
+        machine.spawn("filler", body(), core=0, space=space, enclave=enclave_a)
+        machine.run()
+        # Every versions line of enclave-a must occupy ways 0..3 only.
+        for page in range(32):
+            paddr = space.translate(region_a.base + page * PAGE_SIZE)
+            line = machine.layout.versions_line(paddr)
+            set_index = cache.set_index_of(line)
+            lookup = cache._sets[set_index].lookup
+            if line in lookup:
+                assert lookup[line] in (0, 1, 2, 3)
+
+    def test_cross_domain_eviction_impossible(self, partitioned):
+        machine, space, enclave_a, enclave_b, region_a, region_b, cache = partitioned
+        from repro.sim.ops import Access, Flush
+
+        victim = region_b.base
+
+        def body():
+            # Enclave B primes one line...
+            yield Access(victim)
+            yield Flush(victim)
+
+        machine.spawn("victim", body(), core=0, space=space, enclave=enclave_b)
+        machine.run()
+
+        def attacker():
+            # ... enclave A floods everything it owns.
+            for page in range(64):
+                vaddr = region_a.base + page * PAGE_SIZE
+                for unit in range(8):
+                    yield Access(vaddr + unit * 512)
+                    yield Flush(vaddr + unit * 512)
+
+        machine.spawn("attacker", attacker(), core=1, space=space, enclave=enclave_a)
+        machine.run()
+        victim_line = machine.layout.versions_line(space.translate(victim))
+        assert cache.contains(victim_line)
+
+
+class TestPartitioningDefeatsAttack:
+    def test_channel_setup_fails_under_partitioning(self):
+        machine = Machine(skylake_i7_6700k(seed=5))
+        channel = CovertChannel(machine)
+        install_way_partitioning(
+            machine, {"trojan-enclave": (0, 1, 2, 3), "spy-enclave": (4, 5, 6, 7)}
+        )
+        with pytest.raises(ChannelError):
+            channel.setup()

@@ -1,0 +1,144 @@
+"""Smoke + shape tests for the per-figure experiment harnesses.
+
+Sizes are scaled down from the benchmark defaults; the assertions check
+the *shape* claims of each figure, the same ones EXPERIMENTS.md records.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    algorithm1,
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    headline,
+)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2.run(seed=11, samples=80)
+
+    def test_rdtsc_faults_in_enclave(self, result):
+        assert result.rdtsc_faulted_in_enclave
+
+    def test_ocall_in_paper_range(self, result):
+        ocall = next(r for r in result.rows if r.mechanism.startswith("ocall"))
+        assert 8000 <= ocall.stats.mean <= 15000
+
+    def test_counter_thread_about_50_cycles(self, result):
+        counter = next(r for r in result.rows if "counter" in r.mechanism)
+        assert 30 <= counter.stats.mean <= 80
+
+    def test_render(self, result):
+        text = figure2.render(result)
+        assert "FAULTS" in text and "confirmed" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4.run(seed=11, sizes=(4, 16, 64), trials=30)
+
+    def test_probability_increases(self, result):
+        probabilities = result.curve.probabilities
+        assert probabilities[-1] > probabilities[0]
+
+    def test_saturates_at_64(self, result):
+        assert result.curve.probabilities[-1] >= 0.9
+
+    def test_capacity_inference(self, result):
+        assert result.inferred_capacity_bytes == 64 * 1024
+
+    def test_render(self, result):
+        assert "64 KB" in figure4.render(result)
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure5.run(seed=11, accesses_per_stride=300)
+
+    def test_all_levels_observed(self, result):
+        assert set(result.level_stats) == {"versions", "level0", "level1", "level2", "root"}
+
+    def test_level_medians_ordered(self, result):
+        order = ["versions", "level0", "level1", "level2", "root"]
+        medians = [result.level_stats[level].median for level in order]
+        assert medians == sorted(medians)
+
+    def test_anchor_values(self, result):
+        assert result.versions_hit_estimate == pytest.approx(480, abs=30)
+        assert result.versions_miss_estimate == pytest.approx(750, abs=30)
+        assert result.hit_miss_gap >= 240
+
+    def test_l2_root_gap_smallest(self, result):
+        order = ["versions", "level0", "level1", "level2", "root"]
+        medians = [result.level_stats[level].median for level in order]
+        gaps = [b - a for a, b in zip(medians, medians[1:])]
+        assert gaps[-1] == min(gaps)
+
+    def test_small_strides_mostly_low_levels(self, result):
+        # 64 B stride: dominated by versions hits.
+        import numpy as np
+
+        small = np.median(result.stride_samples[64])
+        large = np.median(result.stride_samples[256 * 1024])
+        assert small < large
+
+    def test_render(self, result):
+        text = figure5.render(result)
+        assert "versions" in text and "gap" in text
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure7.run(seed=11, windows=(7500, 10000, 15000), bits_per_window=260)
+
+    def test_error_knee_between_7500_and_10000(self, result):
+        rates = {p.window_cycles: p.metrics.error_rate for p in result.points}
+        assert rates[7500] > rates[10000] * 3  # paper: 34% vs 5.2%
+        assert rates[7500] > 0.15
+
+    def test_window_15000_near_paper_error(self, result):
+        rates = {p.window_cycles: p.metrics.error_rate for p in result.points}
+        assert rates[15000] < 0.06
+
+    def test_bit_rate_inverse_in_window(self, result):
+        rates = [p.metrics.bit_rate for p in result.points]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_render(self, result):
+        assert "35" in figure7.render(result)
+
+
+class TestHeadline:
+    def test_headline_reproduces(self):
+        result = headline.run(seed=12, bits=700)
+        assert result.metrics.bit_rate == pytest.approx(35.0, rel=0.01)
+        assert result.metrics.error_rate < 0.05
+        assert result.bit_rate_matches
+        assert result.error_rate_comparable
+
+    def test_render(self):
+        result = headline.run(seed=13, bits=200)
+        assert "KBps" in headline.render(result)
+
+
+class TestAlgorithm1Experiment:
+    def test_full_geometry_recovered(self):
+        result = algorithm1.run(seed=14, capacity_trials=30)
+        assert result.capacity_bytes == 64 * 1024
+        assert result.associativity == 8
+        assert result.num_sets == 128
+
+    def test_render(self):
+        result = algorithm1.run(seed=15, capacity_trials=20)
+        text = algorithm1.render(result)
+        assert "128" in text and "recovered" in text

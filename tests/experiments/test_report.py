@@ -1,0 +1,44 @@
+"""Tests for the one-shot report runner."""
+
+from repro.experiments import report
+
+
+class TestReportPlan:
+    def test_plan_covers_every_figure(self):
+        plan = report.build_plan(seed=1, quick=True)
+        names = [name for name, _ in plan]
+        for required in (
+            "figure2_timers",
+            "figure4_capacity",
+            "figure5_latency",
+            "figure6_channels",
+            "figure7_tradeoff",
+            "figure8_noise",
+            "headline",
+            "algorithm1_geometry",
+        ):
+            assert required in names
+
+    def test_plan_entries_unique(self):
+        plan = report.build_plan(seed=1, quick=False)
+        names = [name for name, _ in plan]
+        assert len(names) == len(set(names))
+
+    def test_single_runner_produces_text(self, tmp_path):
+        plan = dict(report.build_plan(seed=3, quick=True))
+        text = plan["figure2_timers"]()
+        assert "counter-thread" in text
+
+    def test_run_report_writes_artifacts(self, tmp_path, monkeypatch):
+        # Shrink the plan to one cheap experiment to keep the test fast.
+        original_plan = report.build_plan
+
+        def tiny_plan(seed, quick):
+            full = original_plan(seed, quick)
+            return [entry for entry in full if entry[0] == "figure2_timers"]
+
+        monkeypatch.setattr(report, "build_plan", tiny_plan)
+        path = report.run_report(seed=2, quick=True, out_dir=str(tmp_path))
+        assert path.exists()
+        assert (tmp_path / "figure2_timers.txt").exists()
+        assert "figure2_timers" in path.read_text()

@@ -1,0 +1,94 @@
+"""Unit tests for experiment result dataclasses (no simulation needed)."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import ChannelMetrics
+from repro.experiments.figure6 import Figure6Result
+from repro.experiments.figure7 import Figure7Result, WindowPoint
+from repro.experiments.headline import HeadlineResult
+
+
+def metrics(bits=100, errors=0, window=15000):
+    sent = [0] * bits
+    received = [1] * errors + [0] * (bits - errors)
+    return ChannelMetrics.from_bits(sent, received, window, 4.2e9)
+
+
+class TestFigure7Result:
+    def _result(self, rates):
+        points = tuple(
+            WindowPoint(window_cycles=w, metrics=metrics(bits=1000, errors=int(1000 * e), window=w))
+            for w, e in rates.items()
+        )
+        return Figure7Result(points=points, bits_per_window=1000)
+
+    def test_best_point(self):
+        result = self._result({7500: 0.3, 10000: 0.05, 15000: 0.01})
+        assert result.best_point().window_cycles == 15000
+
+    def test_knee_ratio(self):
+        result = self._result({7500: 0.30, 10000: 0.05})
+        assert result.knee_ratio() == pytest.approx(6.0)
+
+    def test_knee_ratio_missing_windows(self):
+        result = self._result({15000: 0.01})
+        assert math.isnan(result.knee_ratio())
+
+    def test_knee_ratio_zero_denominator(self):
+        result = self._result({7500: 0.3, 10000: 0.0})
+        assert math.isnan(result.knee_ratio())
+
+
+class TestHeadlineResult:
+    def test_bit_rate_band(self):
+        result = HeadlineResult(metrics=metrics(window=15000), window_cycles=15000)
+        assert result.bit_rate_matches
+
+    def test_bit_rate_mismatch(self):
+        result = HeadlineResult(metrics=metrics(window=30000), window_cycles=30000)
+        assert not result.bit_rate_matches
+
+    def test_error_band(self):
+        good = HeadlineResult(metrics=metrics(bits=1000, errors=17), window_cycles=15000)
+        assert good.error_rate_comparable
+        bad = HeadlineResult(metrics=metrics(bits=10, errors=5), window_cycles=15000)
+        assert not bad.error_rate_comparable
+
+
+class TestFigure6Result:
+    def _channel_result(self, errors, bits=40):
+        from repro.core.channel import ChannelResult
+
+        sent = [0] * bits
+        received = [1] * errors + [0] * (bits - errors)
+        return ChannelResult(
+            sent=sent, received=received, probe_times=[500.0] * bits,
+            window_cycles=15000, clock_hz=4.2e9,
+        )
+
+    def _pp_result(self, errors, bits=40):
+        from repro.core.primeprobe import PrimeProbeResult
+
+        sent = [0] * bits
+        received = [1] * errors + [0] * (bits - errors)
+        return PrimeProbeResult(
+            sent=sent, received=received, probe_times=[4000.0] * bits,
+            window_cycles=15000, clock_hz=4.2e9, threshold=4100.0,
+            idle_probe_times=[4000.0] * 8,
+        )
+
+    def test_verdicts(self):
+        result = Figure6Result(
+            prime_probe=self._pp_result(errors=8), this_work=self._channel_result(errors=0)
+        )
+        assert result.prime_probe_failed
+        assert result.this_work_succeeded
+
+    def test_inverted_verdicts(self):
+        result = Figure6Result(
+            prime_probe=self._pp_result(errors=0), this_work=self._channel_result(errors=20)
+        )
+        assert not result.prime_probe_failed
+        assert not result.this_work_succeeded

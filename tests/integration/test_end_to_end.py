@@ -1,0 +1,96 @@
+"""End-to-end integration: the whole attack from a cold machine.
+
+These are the tests that stand in for "does the paper's system work as a
+system": reverse-engineer the cache, build the channel, exfiltrate real
+payloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CovertChannel,
+    Machine,
+    bits_to_text,
+    skylake_i7_6700k,
+    text_to_bits,
+)
+from repro.core.channel import ChannelConfig
+from repro.core.ecc import block_repetition_decode, block_repetition_encode
+
+
+class TestFullAttack:
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_cold_start_to_working_channel(self, seed):
+        machine = Machine(skylake_i7_6700k(seed=seed))
+        channel = CovertChannel(machine)
+        channel.setup()
+        assert channel.eviction_result.associativity == 8
+        result = channel.transmit([1, 0, 1, 1, 0, 0, 1, 0] * 6)
+        assert result.metrics.error_rate <= 0.08
+
+    def test_text_exfiltration(self, ready_channel):
+        _, channel = ready_channel
+        secret = "sk-4242-secret-token"
+        result = channel.transmit(text_to_bits(secret))
+        recovered = bits_to_text(result.received)
+        # Raw channel: ~1-2% BER; a 160-bit payload sees a handful of bit
+        # flips at worst (possibly paired by one OS interrupt).
+        assert result.metrics.errors <= 8
+        matches = sum(1 for a, b in zip(secret, recovered) if a == b)
+        assert matches >= len(secret) - 4
+
+    def test_text_exfiltration_with_repetition_code(self, ready_channel):
+        # Block repetition: copies of each bit sit a whole payload apart,
+        # so bursty channel errors (stolen time slices) cannot out-vote
+        # the clean copies.
+        _, channel = ready_channel
+        secret = "AES key: 0xDEADBEEF"
+        encoded = block_repetition_encode(text_to_bits(secret), copies=5)
+        result = channel.transmit(encoded)
+        decoded = block_repetition_decode(result.received, copies=5)
+        assert bits_to_text(decoded) == secret
+
+    def test_channel_reusable_across_transmissions(self, ready_channel):
+        _, channel = ready_channel
+        first = channel.transmit([1, 0, 1, 0] * 10)
+        second = channel.transmit([0, 1, 1, 0] * 10)
+        assert first.metrics.error_rate <= 0.1
+        assert second.metrics.error_rate <= 0.1
+
+    def test_different_agreed_units_work(self):
+        machine = Machine(skylake_i7_6700k(seed=303))
+        channel = CovertChannel(machine, config=ChannelConfig(unit=6))
+        channel.setup()
+        result = channel.transmit([1, 0] * 20)
+        assert result.metrics.error_rate <= 0.1
+
+    def test_determinism_same_seed_same_setup(self):
+        first = CovertChannel(Machine(skylake_i7_6700k(seed=404)))
+        first.setup()
+        second = CovertChannel(Machine(skylake_i7_6700k(seed=404)))
+        second.setup()
+        assert first.eviction_result.eviction_set == second.eviction_result.eviction_set
+        assert first.monitor_result.monitor == second.monitor_result.monitor
+
+
+class TestCrossEnclaveIsolation:
+    def test_channel_works_without_shared_memory(self, ready_channel):
+        # Threat model: no shared memory between trojan and spy — their
+        # address spaces must not overlap physically.
+        machine, channel = ready_channel
+        trojan_frames = {
+            channel.trojan_space.translate(vaddr) // 4096
+            for vaddr in channel.eviction_result.eviction_set
+        }
+        monitor_frame = channel.spy_space.translate(channel.monitor_result.monitor) // 4096
+        assert monitor_frame not in trojan_frames
+
+    def test_signal_carried_only_by_mee_cache(self, ready_channel):
+        # The monitor line and the eviction set share an MEE cache set but
+        # no LLC interaction is needed: flushes keep data out of the
+        # hierarchy, so the only shared state is integrity-tree metadata.
+        machine, channel = ready_channel
+        monitor_paddr = channel.spy_space.translate(channel.monitor_result.monitor)
+        monitor_versions = machine.layout.versions_line(monitor_paddr)
+        assert machine.physical.is_metadata(monitor_versions)

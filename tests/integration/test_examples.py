@@ -1,0 +1,39 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least import cleanly and expose ``main``; the
+cheapest one runs end to end (the others exercise code paths the
+experiment tests already cover, at sizes unsuited to a test suite).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_five_examples_ship(self):
+        assert len(EXAMPLE_FILES) >= 5
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = load_example(path)
+        assert callable(getattr(module, "main", None))
+        assert module.__doc__, "examples must explain themselves"
+
+    def test_quickstart_runs_end_to_end(self, capsys):
+        module = load_example(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "bit rate" in output
+        assert "35.0 KBps" in output

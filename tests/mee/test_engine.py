@@ -1,0 +1,142 @@
+"""Unit tests for repro.mee.engine — the MEE walk and latency model."""
+
+import numpy as np
+import pytest
+
+from repro.config import DRAMConfig, MEECacheConfig, MEELatencyConfig
+from repro.mem.address import PhysicalLayout
+from repro.mem.dram import DRAMModel
+from repro.mee.engine import MemoryEncryptionEngine
+from repro.mee.layout import MEELayout
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture()
+def engine():
+    layout = MEELayout(PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB))
+    dram = DRAMModel(DRAMConfig(jitter_sigma=0.0, tail_probability=0.0), np.random.default_rng(0))
+    return MemoryEncryptionEngine(
+        layout, MEECacheConfig(), MEELatencyConfig(), dram, np.random.default_rng(1)
+    )
+
+
+def paddr(engine, page=0, offset=0):
+    return engine.layout.physical.protected_base + page * PAGE_SIZE + offset
+
+
+class TestWalkSemantics:
+    def test_cold_access_reaches_root(self, engine):
+        result = engine.access(paddr(engine))
+        assert result.hit_level == 4
+        assert result.hit_level_name == "root"
+        assert len(result.nodes_fetched) == 4
+
+    def test_second_access_versions_hit(self, engine):
+        engine.access(paddr(engine))
+        result = engine.access(paddr(engine))
+        assert result.hit_level == 0
+        assert result.nodes_fetched == ()
+
+    def test_sibling_chunk_stops_at_l0(self, engine):
+        engine.access(paddr(engine, offset=0))
+        result = engine.access(paddr(engine, offset=512))
+        assert result.hit_level == 1  # fresh versions node, L0 cached
+
+    def test_next_page_in_l1_group_stops_at_l1(self, engine):
+        engine.access(paddr(engine, page=0))
+        result = engine.access(paddr(engine, page=1))
+        assert result.hit_level == 2
+
+    def test_next_l1_group_stops_at_l2(self, engine):
+        engine.access(paddr(engine, page=0))
+        result = engine.access(paddr(engine, page=9))
+        assert result.hit_level == 3
+
+    def test_next_l2_group_reaches_root(self, engine):
+        engine.access(paddr(engine, page=0))
+        result = engine.access(paddr(engine, page=65))
+        assert result.hit_level == 4
+
+    def test_pd_tag_cofetched_on_versions_miss(self, engine):
+        address = paddr(engine)
+        engine.access(address)
+        assert engine.cache.contains(engine.layout.pd_tag_line(address))
+
+    def test_versions_cached_oracle(self, engine):
+        address = paddr(engine)
+        assert not engine.versions_cached(address)
+        engine.access(address)
+        assert engine.versions_cached(address)
+
+    def test_write_updates_tree_then_verifies(self, engine):
+        address = paddr(engine)
+        engine.access(address, write=True)
+        result = engine.access(address)
+        assert result.hit_level == 0
+
+    def test_stats_histogram(self, engine):
+        engine.access(paddr(engine))
+        engine.access(paddr(engine))
+        assert engine.stats.accesses == 2
+        assert engine.stats.hit_level_counts[0] == 1
+        assert engine.stats.hit_level_counts[4] == 1
+
+
+class TestLatencyModel:
+    def test_extra_cycles_monotone_in_hit_level(self, engine):
+        addresses = [
+            paddr(engine, page=100),  # root (cold)
+            paddr(engine, page=100, offset=512),  # L0 hit
+        ]
+        cold = engine.access(addresses[0])
+        warm_l0 = engine.access(addresses[1])
+        hit = engine.access(addresses[1])
+        assert cold.extra_cycles > warm_l0.extra_cycles > hit.extra_cycles
+
+    def test_versions_hit_anchor_total(self, engine):
+        # uncore 215 + dram 165 + extra: total ~480 + small lookup cost.
+        address = paddr(engine, page=5)
+        engine.access(address)
+        expected = engine.expected_latency(0)
+        assert expected == pytest.approx(480 + engine.cache_config.lookup_cycles, abs=5)
+
+    def test_versions_miss_anchor_total(self, engine):
+        expected = engine.expected_latency(1)
+        assert expected == pytest.approx(750 + 2 * engine.cache_config.lookup_cycles, abs=5)
+
+    def test_gap_at_least_paper_quote(self, engine):
+        gap = engine.expected_latency(1) - engine.expected_latency(0)
+        assert gap >= 265  # paper: ~300 cycles ("at least approximately")
+
+    def test_contention_raises_extra_cycles(self, engine):
+        address = paddr(engine, page=50)
+        engine.access(address)  # warm tree
+        cold_extra = []
+        for page in (60, 61):
+            cold_extra.append(engine.access(paddr(engine, page=page)).extra_cycles)
+        engine.dram.register_stressor()
+        stressed = engine.access(paddr(engine, page=62)).extra_cycles
+        engine.dram.unregister_stressor()
+        # Same hit level (L1 for 61 within group? use rough comparison on means)
+        assert stressed >= min(cold_extra) * 0.9
+
+
+class TestEvictionBehaviour:
+    def test_conflicting_versions_evict(self, engine):
+        # 9 pages sharing a versions set (frame stride 8 pages keeps the
+        # same set) must overflow the 8 ways.
+        base_page = 0
+        unit = 0
+        addresses = [paddr(engine, page=base_page + 8 * i, offset=unit * 512) for i in range(9)]
+        for address in addresses:
+            engine.access(address)
+        resident = [engine.versions_cached(a) for a in addresses]
+        assert not all(resident)
+
+    def test_eviction_records_line(self, engine):
+        addresses = [paddr(engine, page=8 * i) for i in range(20)]
+        evicted = []
+        for address in addresses:
+            result = engine.access(address)
+            evicted.extend(result.evicted_lines)
+        assert evicted  # something must have been pushed out

@@ -1,0 +1,102 @@
+"""Property-based invariants of the MEE engine under random access streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DRAMConfig, MEECacheConfig, MEELatencyConfig
+from repro.mem.address import PhysicalLayout
+from repro.mem.dram import DRAMModel
+from repro.mee.engine import MemoryEncryptionEngine
+from repro.mee.layout import MEELayout
+from repro.units import MIB, PAGE_SIZE
+
+
+def make_engine(seed=0):
+    layout = MEELayout(PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB))
+    dram = DRAMModel(DRAMConfig(jitter_sigma=0.0, tail_probability=0.0), np.random.default_rng(seed))
+    return MemoryEncryptionEngine(
+        layout, MEECacheConfig(), MEELatencyConfig(), dram, np.random.default_rng(seed)
+    )
+
+
+# (page, unit, write) triples over a modest protected footprint
+access_streams = st.lists(
+    st.tuples(st.integers(0, 255), st.integers(0, 7), st.booleans()),
+    min_size=1,
+    max_size=120,
+)
+
+
+def addr(engine, page, unit):
+    return engine.layout.physical.protected_base + page * PAGE_SIZE + unit * 512
+
+
+class TestEngineInvariants:
+    @given(access_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_walk_never_errors_and_hit_levels_valid(self, stream):
+        engine = make_engine()
+        for page, unit, write in stream:
+            result = engine.access(addr(engine, page, unit), write=write)
+            assert 0 <= result.hit_level <= 4
+
+    @given(access_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_versions_cached_after_every_access(self, stream):
+        # Whatever happened before, the last touched chunk's versions node
+        # must be resident (it was either hit or just filled).
+        engine = make_engine()
+        for page, unit, write in stream:
+            address = addr(engine, page, unit)
+            engine.access(address, write=write)
+            assert engine.versions_cached(address)
+
+    @given(access_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_immediate_reaccess_is_versions_hit(self, stream):
+        engine = make_engine()
+        for page, unit, write in stream:
+            address = addr(engine, page, unit)
+            engine.access(address, write=write)
+            assert engine.access(address).hit_level == 0
+
+    @given(access_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_stop_on_hit_never_fetches_above_hit(self, stream):
+        engine = make_engine()
+        for page, unit, write in stream:
+            result = engine.access(addr(engine, page, unit), write=write)
+            for node in result.nodes_fetched:
+                assert node.level < result.hit_level or result.hit_level == 4
+
+    @given(access_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_extra_cycles_monotone_in_hit_level_on_average(self, stream):
+        engine = make_engine()
+        by_level = {}
+        for page, unit, write in stream:
+            result = engine.access(addr(engine, page, unit), write=write)
+            by_level.setdefault(result.hit_level, []).append(result.extra_cycles)
+        means = {level: sum(v) / len(v) for level, v in by_level.items()}
+        levels = sorted(means)
+        for low, high in zip(levels, levels[1:]):
+            assert means[low] < means[high] + 60  # jitter tolerance
+
+    @given(access_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_stats_account_every_access(self, stream):
+        engine = make_engine()
+        for page, unit, write in stream:
+            engine.access(addr(engine, page, unit), write=write)
+        assert engine.stats.accesses == len(stream)
+        assert sum(engine.stats.hit_level_counts) == len(stream)
+
+    @given(access_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_cache_capacity_respected(self, stream):
+        engine = make_engine()
+        for page, unit, write in stream:
+            engine.access(addr(engine, page, unit), write=write)
+        assert len(engine.cache) <= engine.cache_config.num_sets * engine.cache_config.ways

@@ -1,0 +1,116 @@
+"""Unit + property tests for repro.mee.layout (the ground-truth geometry)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.mem.address import PhysicalLayout
+from repro.mee.layout import HIT_LEVEL_NAMES, MEELayout
+from repro.units import CACHE_LINE, KIB, MIB, PAGE_SIZE
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return MEELayout(PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB))
+
+
+def protected_addresses(layout):
+    base = layout.physical.protected_base
+    return st.integers(min_value=base, max_value=base + layout.physical.protected_bytes - 1)
+
+
+class TestNodeAddressing:
+    def test_rejects_unprotected_address(self, layout):
+        with pytest.raises(AddressError):
+            layout.versions_line(0)
+
+    def test_versions_distinct_per_chunk(self, layout):
+        base = layout.physical.protected_base
+        lines = {layout.versions_line(base + i * 512) for i in range(16)}
+        assert len(lines) == 16
+
+    def test_same_chunk_same_versions_line(self, layout):
+        base = layout.physical.protected_base
+        assert layout.versions_line(base) == layout.versions_line(base + 511)
+
+    def test_l0_shared_within_page(self, layout):
+        base = layout.physical.protected_base
+        assert layout.l0_line(base) == layout.l0_line(base + PAGE_SIZE - 1)
+        assert layout.l0_line(base) != layout.l0_line(base + PAGE_SIZE)
+
+    def test_l1_covers_8_pages(self, layout):
+        base = layout.physical.protected_base
+        assert layout.l1_line(base) == layout.l1_line(base + 8 * PAGE_SIZE - 1)
+        assert layout.l1_line(base) != layout.l1_line(base + 8 * PAGE_SIZE)
+
+    def test_l2_covers_64_pages(self, layout):
+        base = layout.physical.protected_base
+        assert layout.l2_line(base) == layout.l2_line(base + 64 * PAGE_SIZE - 1)
+        assert layout.l2_line(base) != layout.l2_line(base + 64 * PAGE_SIZE)
+
+    def test_walk_nodes_order_and_levels(self, layout):
+        base = layout.physical.protected_base
+        nodes = layout.walk_nodes(base + 12345)
+        assert [node.level for node in nodes] == [0, 1, 2, 3]
+        assert [node.level_name for node in nodes] == ["versions", "level0", "level1", "level2"]
+
+    def test_hit_level_names(self):
+        assert HIT_LEVEL_NAMES == ("versions", "level0", "level1", "level2", "root")
+
+
+class TestSetParity:
+    """Figure 3's odd/even interleaving plus the even-parity tree inference."""
+
+    @given(st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_versions_sets_are_odd(self, layout, data):
+        paddr = data.draw(protected_addresses(layout))
+        assert layout.versions_set(paddr, 128) % 2 == 1
+
+    @given(st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_pd_tag_sets_are_even(self, layout, data):
+        paddr = data.draw(protected_addresses(layout))
+        assert layout.mee_set_of_line(layout.pd_tag_line(paddr), 128) % 2 == 0
+
+    @given(st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_tree_node_sets_are_even(self, layout, data):
+        paddr = data.draw(protected_addresses(layout))
+        for line in (layout.l0_line(paddr), layout.l1_line(paddr), layout.l2_line(paddr)):
+            assert layout.mee_set_of_line(line, 128) % 2 == 0
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_pd_tag_adjacent_to_versions(self, layout, data):
+        paddr = data.draw(protected_addresses(layout))
+        assert layout.versions_line(paddr) - layout.pd_tag_line(paddr) == CACHE_LINE
+
+    def test_page_versions_cover_8_contiguous_odd_sets(self, layout):
+        # Paper Section 4.1: a 4 KB page's 8 versions nodes map contiguously.
+        base = layout.physical.protected_base
+        sets = [layout.versions_set(base + unit * 512, 128) for unit in range(8)]
+        assert sets == [sets[0] + 2 * i for i in range(8)]
+
+    def test_candidate_unit_maps_to_8_possible_sets(self, layout):
+        # Fixed 512 B unit, varying frame: exactly 8 distinct sets, odd.
+        base = layout.physical.protected_base
+        unit_offset = 3 * 512
+        sets = {
+            layout.versions_set(base + frame * PAGE_SIZE + unit_offset, 128)
+            for frame in range(64)
+        }
+        assert len(sets) == 8
+        assert all(s % 2 == 1 for s in sets)
+
+
+class TestCapacityArithmetic:
+    def test_versions_region_footprint_matches_paper(self, layout):
+        # 16 lines x 64 B per page of protected memory: the paper's
+        # "size of one cache way within consecutive versions data region".
+        assert layout.physical.meta_bytes // layout.physical.protected_pages == 16 * CACHE_LINE
+
+    def test_64_candidates_fill_one_way_column(self):
+        # 64 addresses x 16 x 64 B = 64 KB (paper Section 4.1).
+        assert 64 * 16 * CACHE_LINE == 64 * KIB

@@ -1,0 +1,97 @@
+"""Unit tests for repro.mee.tree."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.mem.address import PhysicalLayout
+from repro.mee.layout import MEELayout
+from repro.mee.tree import IntegrityTree
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture()
+def tree():
+    layout = MEELayout(PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB))
+    return IntegrityTree(layout)
+
+
+def paddr(tree, page=0, offset=0):
+    return tree.layout.physical.protected_base + page * PAGE_SIZE + offset
+
+
+class TestVerification:
+    def test_fresh_memory_verifies(self, tree):
+        nodes = tree.verify_path(paddr(tree), up_to_level=4)
+        assert len(nodes) == 4
+
+    def test_verify_stops_at_hit_level(self, tree):
+        assert len(tree.verify_path(paddr(tree), up_to_level=0)) == 0
+        assert len(tree.verify_path(paddr(tree), up_to_level=2)) == 2
+
+    def test_write_then_verify(self, tree):
+        tree.update_path(paddr(tree))
+        tree.verify_path(paddr(tree), up_to_level=4)
+
+    def test_sibling_chunks_unaffected_by_write(self, tree):
+        # Writing one chunk must not break its page/tree siblings.
+        tree.update_path(paddr(tree, page=0, offset=0))
+        tree.verify_path(paddr(tree, page=0, offset=512), up_to_level=4)
+        tree.verify_path(paddr(tree, page=1), up_to_level=4)
+        tree.verify_path(paddr(tree, page=100), up_to_level=4)
+
+    def test_many_writes_stay_consistent(self, tree):
+        for page in range(10):
+            for _ in range(3):
+                tree.update_path(paddr(tree, page=page))
+        for page in range(10):
+            tree.verify_path(paddr(tree, page=page), up_to_level=4)
+
+    def test_counters_increment(self, tree):
+        address = paddr(tree)
+        line = tree.layout.versions_line(address)
+        tree.update_path(address)
+        tree.update_path(address)
+        assert tree.node_counter(line) == 2
+
+
+class TestTamperDetection:
+    def test_corrupt_versions_detected(self, tree):
+        address = paddr(tree)
+        tree.update_path(address)
+        tree.corrupt_node(tree.layout.versions_line(address))
+        with pytest.raises(IntegrityError):
+            tree.verify_path(address, up_to_level=4)
+
+    def test_corrupt_l1_detected(self, tree):
+        address = paddr(tree)
+        tree.update_path(address)
+        tree.corrupt_node(tree.layout.l1_line(address))
+        with pytest.raises(IntegrityError):
+            tree.verify_path(address, up_to_level=4)
+
+    def test_replay_detected(self, tree):
+        address = paddr(tree)
+        tree.update_path(address)
+        tree.update_path(address)
+        tree.replay_node(tree.layout.versions_line(address))
+        with pytest.raises(IntegrityError):
+            tree.verify_path(address, up_to_level=4)
+
+    def test_replay_of_unwritten_node_rejected(self, tree):
+        with pytest.raises(IntegrityError):
+            tree.replay_node(tree.layout.versions_line(paddr(tree)))
+
+    def test_corruption_above_hit_level_not_checked(self, tree):
+        # A cached (pre-verified) level is not re-verified: corruption at
+        # L1 goes unnoticed when the walk already hit at level 1 (L0).
+        address = paddr(tree)
+        tree.update_path(address)
+        tree.corrupt_node(tree.layout.l1_line(address))
+        tree.verify_path(address, up_to_level=2)  # must not raise
+
+    def test_stats_counted(self, tree):
+        address = paddr(tree)
+        tree.update_path(address)
+        tree.verify_path(address, up_to_level=4)
+        assert tree.updates == 4
+        assert tree.verifications == 4

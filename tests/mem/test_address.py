@@ -1,0 +1,93 @@
+"""Unit tests for repro.mem.address."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.mem.address import (
+    PhysicalLayout,
+    chunk_index,
+    chunk_offset_in_page,
+    line_index,
+    page_index,
+    page_offset,
+)
+from repro.units import CACHE_LINE, MIB, PAGE_SIZE
+
+
+class TestAddressMath:
+    def test_page_index(self):
+        assert page_index(0) == 0
+        assert page_index(PAGE_SIZE) == 1
+        assert page_index(PAGE_SIZE - 1) == 0
+
+    def test_page_offset(self):
+        assert page_offset(PAGE_SIZE + 17) == 17
+
+    def test_line_index(self):
+        assert line_index(63) == 0
+        assert line_index(64) == 1
+
+    def test_chunk_index(self):
+        assert chunk_index(511) == 0
+        assert chunk_index(512) == 1
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_page_decomposition_roundtrip(self, addr):
+        assert page_index(addr) * PAGE_SIZE + page_offset(addr) == addr
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_chunk_offset_in_page_range(self, addr):
+        assert 0 <= chunk_offset_in_page(addr) < 8
+
+
+class TestPhysicalLayout:
+    def test_regions_are_ordered_and_disjoint(self):
+        layout = PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB)
+        assert layout.protected_base == 64 * MIB
+        assert layout.meta_base >= layout.protected_base + layout.protected_bytes
+        assert layout.l0_base >= layout.meta_base + layout.meta_bytes
+        assert layout.l1_base >= layout.l0_base + layout.l0_bytes
+        assert layout.l2_base >= layout.l1_base + layout.l1_bytes
+        assert layout.total_bytes >= layout.l2_base
+
+    def test_meta_sized_16_lines_per_page(self):
+        layout = PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB)
+        assert layout.meta_bytes == layout.protected_pages * 16 * CACHE_LINE
+
+    def test_metadata_bases_preserve_set_parity(self):
+        # Bases aligned to 128 lines keep versions odd / PD_Tag even.
+        layout = PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB)
+        for base in (layout.meta_base, layout.l0_base, layout.l1_base, layout.l2_base):
+            assert (base // CACHE_LINE) % 128 == 0
+
+    def test_is_protected(self):
+        layout = PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB)
+        assert not layout.is_protected(0)
+        assert layout.is_protected(layout.protected_base)
+        assert layout.is_protected(layout.protected_base + layout.protected_bytes - 1)
+        assert not layout.is_protected(layout.protected_base + layout.protected_bytes)
+
+    def test_is_metadata(self):
+        layout = PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB)
+        assert layout.is_metadata(layout.meta_base)
+        assert layout.is_metadata(layout.l2_base)
+        assert not layout.is_metadata(layout.protected_base)
+
+    def test_check_rejects_out_of_range(self):
+        layout = PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB)
+        with pytest.raises(AddressError):
+            layout.check(layout.total_bytes)
+        with pytest.raises(AddressError):
+            layout.check(-1)
+
+    def test_rejects_unaligned_regions(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PhysicalLayout(general_bytes=100, protected_bytes=128 * MIB)
+
+    def test_protected_pages_count(self):
+        layout = PhysicalLayout(general_bytes=64 * MIB, protected_bytes=128 * MIB)
+        assert layout.protected_pages == 32768

@@ -1,0 +1,172 @@
+"""Unit + property tests for repro.mem.cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheGeometry
+from repro.mem.cache import SetAssociativeCache
+
+
+def small_cache(ways=4, sets=8, policy="lru"):
+    geometry = CacheGeometry(ways * sets * 64, ways, 64, policy=policy)
+    return SetAssociativeCache(geometry)
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        first = cache.access(0x1000)
+        second = cache.access(0x1000)
+        assert not first.hit and second.hit
+
+    def test_same_line_different_bytes_hit(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x103F).hit
+
+    def test_adjacent_line_misses(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert not cache.access(0x1040).hit
+
+    def test_contains_does_not_mutate(self):
+        cache = small_cache()
+        assert not cache.contains(0x1000)
+        cache.access(0x1000)
+        stats_before = (cache.stats.hits, cache.stats.misses)
+        assert cache.contains(0x1000)
+        assert (cache.stats.hits, cache.stats.misses) == stats_before
+
+    def test_set_index_wraps(self):
+        cache = small_cache(ways=4, sets=8)
+        assert cache.set_index_of(0) == cache.set_index_of(8 * 64)
+
+    def test_eviction_on_overflow(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        result = cache.access(2 * 64)
+        assert result.evicted is not None
+        assert result.evicted.line_addr == 0  # LRU
+
+    def test_lru_order_respected(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(0 * 64)  # 1 becomes LRU
+        result = cache.access(2 * 64)
+        assert result.evicted.line_addr == 64
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.contains(0x1000)
+        assert not cache.invalidate(0x1000)
+
+    def test_fill_inserts_without_access_stats(self):
+        cache = small_cache()
+        accesses_before = cache.stats.accesses
+        cache.fill(0x2000)
+        assert cache.contains(0x2000)
+        assert cache.stats.accesses == accesses_before
+
+    def test_fill_existing_line_no_eviction(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0)
+        cache.access(64)
+        assert cache.fill(0) is None
+
+    def test_occupancy_and_resident_lines(self):
+        cache = small_cache(ways=4, sets=1)
+        for i in range(3):
+            cache.access(i * 64)
+        assert cache.occupancy(0) == 3
+        assert sorted(cache.resident_lines(0)) == [0, 64, 128]
+
+    def test_clear(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        cache.clear()
+        assert not cache.contains(0x1000)
+        assert len(cache) == 0
+
+    def test_len_counts_lines(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(64)
+        assert len(cache) == 2
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_hit_rate_empty(self):
+        assert small_cache().stats.hit_rate == 0.0
+
+    def test_eviction_count(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)
+        assert cache.stats.evictions == 2
+
+
+@st.composite
+def access_sequences(draw):
+    lines = draw(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+    return [line * 64 for line in lines]
+
+
+class TestProperties:
+    @given(access_sequences())
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_ways(self, addresses):
+        cache = small_cache(ways=4, sets=4, policy="lru")
+        for addr in addresses:
+            cache.access(addr)
+        for set_index in range(4):
+            assert cache.occupancy(set_index) <= 4
+
+    @given(access_sequences(), st.sampled_from(["lru", "plru", "rrip"]))
+    @settings(max_examples=50, deadline=None)
+    def test_last_access_always_resident(self, addresses, policy):
+        cache = small_cache(ways=4, sets=4, policy=policy)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.contains(addresses[-1])
+
+    @given(access_sequences())
+    @settings(max_examples=50, deadline=None)
+    def test_working_set_within_ways_never_evicts(self, addresses):
+        # Restrict to 4 distinct lines in one set: all must stay resident.
+        cache = small_cache(ways=4, sets=1, policy="lru")
+        distinct = sorted(set(a % (4 * 64) for a in addresses))
+        for addr in addresses:
+            cache.access(addr % (4 * 64))
+        for line in distinct:
+            assert cache.contains(line)
+
+    @given(access_sequences())
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = small_cache()
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+    @given(access_sequences())
+    @settings(max_examples=50, deadline=None)
+    def test_resident_lines_map_to_their_set(self, addresses):
+        cache = small_cache(ways=4, sets=4)
+        for addr in addresses:
+            cache.access(addr)
+        for set_index in range(4):
+            for line in cache.resident_lines(set_index):
+                assert cache.set_index_of(line) == set_index

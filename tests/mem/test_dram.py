@@ -1,0 +1,69 @@
+"""Unit tests for repro.mem.dram."""
+
+import numpy as np
+import pytest
+
+from repro.config import DRAMConfig
+from repro.mem.dram import DRAMModel
+
+
+def make_dram(**overrides):
+    config = DRAMConfig(**overrides)
+    return DRAMModel(config, np.random.default_rng(0))
+
+
+class TestSampling:
+    def test_mean_near_nominal(self):
+        dram = make_dram(tail_probability=0.0)
+        samples = [dram.sample() for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(165.0, rel=0.02)
+
+    def test_floor_enforced(self):
+        dram = make_dram(jitter_sigma=200.0, tail_probability=0.0)
+        samples = [dram.sample() for _ in range(2000)]
+        assert min(samples) >= 0.6 * 165.0
+
+    def test_tail_raises_high_percentiles(self):
+        no_tail = make_dram(tail_probability=0.0)
+        tail = DRAMModel(
+            DRAMConfig(tail_probability=0.2, tail_mean_cycles=500.0),
+            np.random.default_rng(0),
+        )
+        clean = [no_tail.sample() for _ in range(3000)]
+        spiky = [tail.sample() for _ in range(3000)]
+        assert np.percentile(spiky, 99) > np.percentile(clean, 99) + 100
+
+    def test_sample_many_matches_scalar_distribution(self):
+        dram = make_dram()
+        vector = dram.sample_many(5000)
+        assert vector.shape == (5000,)
+        assert np.mean(vector) == pytest.approx(dram.config.access_cycles, rel=0.1)
+
+    def test_fetch_counter(self):
+        dram = make_dram()
+        dram.sample()
+        dram.sample_many(10)
+        assert dram.fetches == 11
+
+
+class TestContention:
+    def test_stressors_raise_mean(self):
+        dram = make_dram()
+        base = dram.mean_latency
+        dram.register_stressor()
+        dram.register_stressor()
+        assert dram.mean_latency == pytest.approx(
+            base + 2 * dram.config.contention_cycles_per_stressor
+        )
+
+    def test_unregister_restores(self):
+        dram = make_dram()
+        base = dram.mean_latency
+        dram.register_stressor()
+        dram.unregister_stressor()
+        assert dram.mean_latency == base
+
+    def test_unregister_never_negative(self):
+        dram = make_dram()
+        dram.unregister_stressor()
+        assert dram.active_stressors == 0

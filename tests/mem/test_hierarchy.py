@@ -1,0 +1,92 @@
+"""Unit tests for repro.mem.hierarchy."""
+
+import pytest
+
+from repro.config import CacheGeometry, HierarchyConfig
+from repro.mem.hierarchy import AccessLevel, CacheHierarchy
+
+
+def tiny_hierarchy(cores=2):
+    config = HierarchyConfig(
+        l1=CacheGeometry(2 * 64 * 2, 2, 64, hit_cycles=4),
+        l2=CacheGeometry(4 * 64 * 4, 4, 64, hit_cycles=14),
+        llc=CacheGeometry(8 * 64 * 8, 8, 64, hit_cycles=42),
+    )
+    return CacheHierarchy(config, cores)
+
+
+class TestAccessPath:
+    def test_first_access_is_memory(self):
+        hierarchy = tiny_hierarchy()
+        assert hierarchy.access(0, 0x1000) is AccessLevel.MEMORY
+
+    def test_second_access_is_l1(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, 0x1000)
+        assert hierarchy.access(0, 0x1000) is AccessLevel.L1
+
+    def test_cross_core_sees_llc(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, 0x1000)
+        assert hierarchy.access(1, 0x1000) is AccessLevel.LLC
+
+    def test_llc_fill_promotes_to_private(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, 0x1000)
+        hierarchy.access(1, 0x1000)
+        assert hierarchy.access(1, 0x1000) is AccessLevel.L1
+
+    def test_latency_of_levels(self):
+        hierarchy = tiny_hierarchy()
+        assert hierarchy.latency_of(AccessLevel.L1) == 4
+        assert hierarchy.latency_of(AccessLevel.L2) == 14
+        assert hierarchy.latency_of(AccessLevel.LLC) == 42
+
+    def test_latency_of_memory_raises(self):
+        hierarchy = tiny_hierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.latency_of(AccessLevel.MEMORY)
+
+
+class TestFlush:
+    def test_flush_forces_memory_access(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, 0x1000)
+        assert hierarchy.flush(0x1000)
+        assert hierarchy.access(0, 0x1000) is AccessLevel.MEMORY
+
+    def test_flush_affects_all_cores(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, 0x1000)
+        hierarchy.access(1, 0x1000)
+        hierarchy.flush(0x1000)
+        assert hierarchy.access(1, 0x1000) is AccessLevel.MEMORY
+
+    def test_flush_absent_line_returns_false(self):
+        assert not tiny_hierarchy().flush(0x5000)
+
+
+class TestInclusivity:
+    def test_llc_eviction_back_invalidates_private_caches(self):
+        hierarchy = tiny_hierarchy()
+        # Fill one LLC set (8 ways) with lines all mapping to LLC set 0.
+        llc_sets = hierarchy.llc.geometry.num_sets
+        victim = 0
+        hierarchy.access(0, victim)
+        assert hierarchy.access(0, victim) is AccessLevel.L1
+        for i in range(1, 9):
+            hierarchy.access(1, i * llc_sets * 64)
+        # victim must be gone from core 0's private caches too.
+        assert hierarchy.access(0, victim) is AccessLevel.MEMORY
+
+    def test_private_eviction_keeps_llc_copy(self):
+        hierarchy = tiny_hierarchy()
+        l1_sets = hierarchy.l1[0].geometry.num_sets
+        addr = 0x0
+        hierarchy.access(0, addr)
+        # Four conflicting lines overflow the 2-way L1 set but stay within
+        # the L2 and LLC sets, so addr must still be on-chip below L1.
+        for i in range(1, 5):
+            hierarchy.access(0, addr + i * l1_sets * 64)
+        level = hierarchy.access(0, addr)
+        assert level in (AccessLevel.L2, AccessLevel.LLC)

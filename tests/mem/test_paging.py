@@ -1,0 +1,185 @@
+"""Unit + property tests for repro.mem.paging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, PagingError
+from repro.mem.paging import AddressSpace, FrameAllocator, PageTable
+from repro.units import HUGEPAGE_SIZE, PAGE_SIZE
+
+
+def make_space(general=512, protected=512, randomize=True):
+    rng = np.random.default_rng(7)
+    general_pool = FrameAllocator(0, general, randomize=randomize, rng=rng)
+    protected_pool = FrameAllocator(
+        general * PAGE_SIZE, protected, randomize=randomize, rng=rng
+    )
+    return AddressSpace(general_pool, protected_pool), general_pool, protected_pool
+
+
+class TestFrameAllocator:
+    def test_allocates_distinct_frames(self):
+        allocator = FrameAllocator(0, 16, rng=np.random.default_rng(0))
+        frames = {allocator.allocate() for _ in range(16)}
+        assert len(frames) == 16
+
+    def test_exhaustion_raises(self):
+        allocator = FrameAllocator(0, 2, rng=np.random.default_rng(0))
+        allocator.allocate()
+        allocator.allocate()
+        with pytest.raises(PagingError):
+            allocator.allocate()
+
+    def test_free_allows_reuse(self):
+        allocator = FrameAllocator(0, 1, rng=np.random.default_rng(0))
+        frame = allocator.allocate()
+        allocator.free(frame)
+        assert allocator.allocate() == frame
+
+    def test_double_free_rejected(self):
+        allocator = FrameAllocator(0, 2, rng=np.random.default_rng(0))
+        frame = allocator.allocate()
+        allocator.free(frame)
+        with pytest.raises(PagingError):
+            allocator.free(frame)
+
+    def test_frames_page_aligned(self):
+        allocator = FrameAllocator(0, 32, rng=np.random.default_rng(0))
+        for _ in range(32):
+            assert allocator.allocate() % PAGE_SIZE == 0
+
+    def test_randomized_order_differs_from_sequential(self):
+        random_alloc = FrameAllocator(0, 256, randomize=True, rng=np.random.default_rng(1))
+        ordered = [random_alloc.allocate() for _ in range(256)]
+        assert ordered != sorted(ordered)
+
+    def test_sequential_mode(self):
+        allocator = FrameAllocator(0, 8, randomize=False)
+        assert [allocator.allocate() for _ in range(8)] == [i * PAGE_SIZE for i in range(8)]
+
+    def test_clustered_mode_has_runs(self):
+        allocator = FrameAllocator(
+            0, 4096, randomize=True, rng=np.random.default_rng(2), cluster_mean_run=16
+        )
+        frames = [allocator.allocate() // PAGE_SIZE for _ in range(512)]
+        sequential_steps = sum(1 for a, b in zip(frames, frames[1:]) if b == a + 1)
+        assert sequential_steps > len(frames) * 0.5
+
+    def test_clustered_mode_is_permutation(self):
+        allocator = FrameAllocator(
+            0, 300, randomize=True, rng=np.random.default_rng(3), cluster_mean_run=8
+        )
+        frames = {allocator.allocate() for _ in range(300)}
+        assert len(frames) == 300
+
+    def test_allocate_contiguous(self):
+        allocator = FrameAllocator(0, 64, randomize=False)
+        base = allocator.allocate_contiguous(8)
+        assert base % PAGE_SIZE == 0
+        # The run is removed from the pool.
+        remaining = {allocator.allocate() for _ in range(56)}
+        assert len(remaining) == 56
+        assert base not in remaining
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(PagingError):
+            FrameAllocator(100, 4)
+
+
+class TestPageTable:
+    def test_translate(self):
+        table = PageTable()
+        table.map(1, 0x8000)
+        assert table.translate(PAGE_SIZE + 0x123) == 0x8000 + 0x123
+
+    def test_unmapped_raises(self):
+        with pytest.raises(AddressError):
+            PageTable().translate(0)
+
+    def test_double_map_rejected(self):
+        table = PageTable()
+        table.map(1, 0x8000)
+        with pytest.raises(PagingError):
+            table.map(1, 0x9000)
+
+    def test_unmap(self):
+        table = PageTable()
+        table.map(1, 0x8000)
+        assert table.unmap(1) == 0x8000
+        assert not table.is_mapped(PAGE_SIZE)
+
+    def test_unmap_missing_rejected(self):
+        with pytest.raises(PagingError):
+            PageTable().unmap(1)
+
+    def test_unaligned_frame_rejected(self):
+        with pytest.raises(PagingError):
+            PageTable().map(0, 0x8001)
+
+
+class TestAddressSpace:
+    def test_mmap_translates_whole_region(self):
+        space, _, _ = make_space()
+        region = space.mmap(3 * PAGE_SIZE)
+        for offset in (0, PAGE_SIZE, 2 * PAGE_SIZE, 3 * PAGE_SIZE - 1):
+            space.translate(region.base + offset)
+
+    def test_protected_regions_use_protected_pool(self):
+        space, _, protected = make_space()
+        before = protected.free_frames
+        space.mmap(2 * PAGE_SIZE, protected=True)
+        assert protected.free_frames == before - 2
+
+    def test_regions_do_not_overlap(self):
+        space, _, _ = make_space()
+        a = space.mmap(PAGE_SIZE)
+        b = space.mmap(PAGE_SIZE)
+        assert a.end <= b.base
+
+    def test_region_of(self):
+        space, _, _ = make_space()
+        region = space.mmap(PAGE_SIZE)
+        assert space.region_of(region.base) == region
+        assert space.region_of(region.end) is None
+
+    def test_munmap_frees_frames(self):
+        space, general, _ = make_space()
+        before = general.free_frames
+        region = space.mmap(4 * PAGE_SIZE)
+        space.munmap(region)
+        assert general.free_frames == before
+        with pytest.raises(AddressError):
+            space.translate(region.base)
+
+    def test_munmap_foreign_region_rejected(self):
+        space, _, _ = make_space()
+        other, _, _ = make_space()
+        region = other.mmap(PAGE_SIZE)
+        with pytest.raises(PagingError):
+            space.munmap(region)
+
+    def test_hugepage_is_contiguous(self):
+        space, _, _ = make_space(general=1024, randomize=False)
+        region = space.mmap(HUGEPAGE_SIZE, hugepage=True)
+        base_paddr = space.translate(region.base)
+        for page in range(HUGEPAGE_SIZE // PAGE_SIZE):
+            assert space.translate(region.base + page * PAGE_SIZE) == base_paddr + page * PAGE_SIZE
+
+    def test_guard_gap_between_regions(self):
+        space, _, _ = make_space()
+        a = space.mmap(PAGE_SIZE)
+        b = space.mmap(PAGE_SIZE)
+        assert b.base - a.end >= PAGE_SIZE
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_translations_are_injective(self, sizes):
+        space, _, _ = make_space(general=2048)
+        paddrs = []
+        for pages in sizes:
+            region = space.mmap(pages * PAGE_SIZE)
+            for page in range(pages):
+                paddrs.append(space.translate(region.base + page * PAGE_SIZE))
+        assert len(set(paddrs)) == len(paddrs)

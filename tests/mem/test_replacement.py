@@ -1,0 +1,151 @@
+"""Unit + property tests for repro.mem.replacement."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mem.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    RRIPPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        assert policy.victim() == 0
+
+    def test_touch_promotes(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.touch(way)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_fill_equals_touch(self):
+        policy = LRUPolicy(2)
+        policy.fill(0)
+        policy.fill(1)
+        assert policy.victim() == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=50))
+    def test_victim_never_most_recent(self, touches):
+        policy = LRUPolicy(8)
+        for way in touches:
+            policy.touch(way)
+        assert policy.victim() != touches[-1] or len(set(touches)) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=8, max_size=60))
+    def test_recency_order_is_permutation(self, touches):
+        policy = LRUPolicy(8)
+        for way in touches:
+            policy.touch(way)
+        assert sorted(policy.recency_order()) == list(range(8))
+
+
+class TestTreePLRUPolicy:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            TreePLRUPolicy(6)
+
+    def test_victim_avoids_just_touched(self):
+        policy = TreePLRUPolicy(8)
+        policy.touch(3)
+        assert policy.victim() != 3
+
+    def test_all_touched_victim_valid(self):
+        policy = TreePLRUPolicy(8)
+        for way in range(8):
+            policy.touch(way)
+        assert 0 <= policy.victim() < 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60))
+    def test_victim_in_range_and_not_last_touch(self, touches):
+        policy = TreePLRUPolicy(8)
+        for way in touches:
+            policy.touch(way)
+        victim = policy.victim()
+        assert 0 <= victim < 8
+        assert victim != touches[-1]
+
+    def test_bits_length(self):
+        assert len(TreePLRUPolicy(8).bits()) == 7
+
+
+class TestRRIPPolicy:
+    def test_fresh_fill_evicted_before_hit_promoted(self):
+        # The property the covert channel relies on: a primed (filled)
+        # line loses to hit-promoted lines at the first conflicting fill.
+        policy = RRIPPolicy(4)
+        for way in range(4):
+            policy.fill(way)
+        for way in range(3):
+            policy.touch(way)  # promote all but way 3
+        assert policy.victim() == 3
+
+    def test_hit_promoted_survives_first_aging_wave(self):
+        policy = RRIPPolicy(4)
+        for way in range(4):
+            policy.fill(way)
+            policy.touch(way)
+        victim = policy.victim()  # forces aging of all-zero RRPVs
+        assert 0 <= victim < 4
+
+    def test_aging_reaches_untouched_line(self):
+        policy = RRIPPolicy(4)
+        for way in range(4):
+            policy.fill(way)
+        policy.touch(0)
+        policy.touch(1)
+        policy.touch(2)
+        # Way 3 still at insert RRPV: it ages to 3 first.
+        assert policy.victim() == 3
+
+    def test_victim_deterministic_tie_break(self):
+        policy = RRIPPolicy(4)
+        for way in range(4):
+            policy.fill(way)
+        assert policy.victim() == policy.victim()
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 7)), min_size=1, max_size=80))
+    def test_rrpv_always_in_range(self, ops):
+        policy = RRIPPolicy(8)
+        for is_fill, way in ops:
+            if is_fill:
+                policy.fill(way)
+            else:
+                policy.touch(way)
+        policy.victim()
+        assert all(0 <= value <= RRIPPolicy.MAX_RRPV + 1 for value in policy.rrpv_values())
+
+
+class TestRandomPolicy:
+    def test_victims_cover_ways(self):
+        policy = RandomPolicy(8, rng=np.random.default_rng(0))
+        victims = {policy.victim() for _ in range(200)}
+        assert victims == set(range(8))
+
+    def test_touch_is_noop(self):
+        policy = RandomPolicy(4, rng=np.random.default_rng(0))
+        policy.touch(0)
+        policy.fill(1)  # must not raise
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LRUPolicy), ("plru", TreePLRUPolicy), ("rrip", RRIPPolicy), ("random", RandomPolicy)],
+    )
+    def test_dispatch(self, name, cls):
+        assert isinstance(make_policy(name, 8), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("fifo", 8)

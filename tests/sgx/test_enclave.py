@@ -1,0 +1,76 @@
+"""Unit tests for repro.sgx.enclave."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EnclaveError, EPCError
+from repro.mem.paging import AddressSpace, FrameAllocator
+from repro.sgx.enclave import Enclave
+from repro.sgx.epc import EnclavePageCache
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture()
+def setup():
+    rng = np.random.default_rng(0)
+    general = FrameAllocator(0, 256, rng=rng)
+    protected = FrameAllocator(256 * PAGE_SIZE, 256, rng=rng)
+    space = AddressSpace(general, protected)
+    epc = EnclavePageCache(256 * PAGE_SIZE)
+    return space, epc
+
+
+class TestEnclave:
+    def test_alloc_is_protected_4k_pages(self, setup):
+        space, epc = setup
+        enclave = Enclave("e", space, epc)
+        region = enclave.alloc(3 * PAGE_SIZE)
+        assert region.protected
+        assert not region.hugepage
+        assert epc.usage_of("e") == 3
+
+    def test_alloc_rounds_up_to_pages(self, setup):
+        space, epc = setup
+        enclave = Enclave("e", space, epc)
+        region = enclave.alloc(1)
+        assert region.size == PAGE_SIZE
+
+    def test_hugepages_unavailable(self, setup):
+        # Paper Section 3, challenge 3.
+        space, epc = setup
+        enclave = Enclave("e", space, epc)
+        with pytest.raises(EnclaveError):
+            enclave.alloc_hugepage(2 * MIB)
+
+    def test_owns(self, setup):
+        space, epc = setup
+        enclave = Enclave("e", space, epc)
+        region = enclave.alloc(PAGE_SIZE)
+        assert enclave.owns(region.base)
+        assert not enclave.owns(region.end)
+
+    def test_epc_exhaustion(self, setup):
+        space, epc = setup
+        enclave = Enclave("e", space, epc)
+        with pytest.raises(EPCError):
+            enclave.alloc(257 * PAGE_SIZE)
+
+    def test_destroy_releases_everything(self, setup):
+        space, epc = setup
+        enclave = Enclave("e", space, epc)
+        region = enclave.alloc(4 * PAGE_SIZE)
+        enclave.destroy()
+        assert epc.usage_of("e") == 0
+        assert space.region_of(region.base) is None
+
+    def test_destroyed_enclave_unusable(self, setup):
+        space, epc = setup
+        enclave = Enclave("e", space, epc)
+        enclave.destroy()
+        with pytest.raises(EnclaveError):
+            enclave.alloc(PAGE_SIZE)
+
+    def test_repr(self, setup):
+        space, epc = setup
+        enclave = Enclave("spy", space, epc)
+        assert "spy" in repr(enclave)

@@ -1,0 +1,52 @@
+"""Unit tests for repro.sgx.epc."""
+
+import pytest
+
+from repro.errors import EPCError
+from repro.sgx.epc import EnclavePageCache
+from repro.units import MIB, PAGE_SIZE
+
+
+class TestEnclavePageCache:
+    def test_capacity(self):
+        epc = EnclavePageCache(128 * MIB)
+        assert epc.total_pages == 32768
+        assert epc.free_pages == 32768
+
+    def test_reserve_and_release(self):
+        epc = EnclavePageCache(1 * MIB)
+        epc.reserve("a", 100)
+        assert epc.usage_of("a") == 100
+        assert epc.free_pages == 256 - 100
+        assert epc.release("a") == 100
+        assert epc.free_pages == 256
+
+    def test_reserve_accumulates(self):
+        epc = EnclavePageCache(1 * MIB)
+        epc.reserve("a", 10)
+        epc.reserve("a", 20)
+        assert epc.usage_of("a") == 30
+
+    def test_oversubscription_rejected(self):
+        epc = EnclavePageCache(1 * MIB)
+        with pytest.raises(EPCError):
+            epc.reserve("a", 257)
+
+    def test_multiple_enclaves_share_budget(self):
+        epc = EnclavePageCache(1 * MIB)
+        epc.reserve("a", 200)
+        with pytest.raises(EPCError):
+            epc.reserve("b", 100)
+        epc.reserve("b", 56)
+
+    def test_negative_reserve_rejected(self):
+        epc = EnclavePageCache(1 * MIB)
+        with pytest.raises(EPCError):
+            epc.reserve("a", -1)
+
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(EPCError):
+            EnclavePageCache(PAGE_SIZE + 1)
+
+    def test_release_unknown_enclave(self):
+        assert EnclavePageCache(1 * MIB).release("ghost") == 0

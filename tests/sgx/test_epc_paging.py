@@ -1,0 +1,130 @@
+"""Tests for EPC oversubscription (EWB/ELDU paging)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import skylake_i7_6700k
+from repro.errors import EPCError
+from repro.sgx.epc_paging import EPCPager
+from repro.sim.ops import Access, Flush
+from repro.system.machine import Machine
+from repro.units import PAGE_SIZE
+
+
+class TestEPCPagerUnit:
+    def test_first_touch_faults(self):
+        pager = EPCPager(resident_limit=4)
+        extra, evicted = pager.touch(0x1000)
+        assert extra == pager.eldu_cycles
+        assert evicted is None
+        assert pager.stats.faults == 1
+
+    def test_resident_touch_free(self):
+        pager = EPCPager(resident_limit=4)
+        pager.touch(0x1000)
+        extra, evicted = pager.touch(0x1800)  # same page
+        assert extra == 0.0 and evicted is None
+
+    def test_lru_eviction_on_overflow(self):
+        pager = EPCPager(resident_limit=2)
+        pager.touch(0 * PAGE_SIZE)
+        pager.touch(1 * PAGE_SIZE)
+        pager.touch(0 * PAGE_SIZE)  # page 1 becomes LRU
+        extra, evicted = pager.touch(2 * PAGE_SIZE)
+        assert evicted == 1 * PAGE_SIZE
+        assert extra == pager.eldu_cycles + pager.ewb_cycles
+        assert pager.stats.writebacks == 1
+
+    def test_is_resident(self):
+        pager = EPCPager(resident_limit=1)
+        pager.touch(0)
+        assert pager.is_resident(100)
+        pager.touch(PAGE_SIZE)
+        assert not pager.is_resident(100)
+
+    def test_drop(self):
+        pager = EPCPager(resident_limit=2)
+        pager.touch(0)
+        assert pager.drop(0)
+        assert not pager.drop(0)
+        assert pager.resident_pages == 0
+
+    def test_limit_validated(self):
+        with pytest.raises(EPCError):
+            EPCPager(resident_limit=0)
+
+    def test_peak_tracked(self):
+        pager = EPCPager(resident_limit=8)
+        for page in range(5):
+            pager.touch(page * PAGE_SIZE)
+        assert pager.stats.resident_peak == 5
+
+
+def paged_machine(limit_pages: int, seed: int = 0) -> Machine:
+    config = skylake_i7_6700k(seed=seed)
+    paging = dataclasses.replace(config.paging, epc_resident_limit_pages=limit_pages)
+    return Machine(dataclasses.replace(config, paging=paging))
+
+
+class TestMachineIntegration:
+    def test_paging_disabled_by_default(self, machine):
+        assert machine.pager is None
+
+    def test_thrashing_costs_fault_latency(self):
+        machine = paged_machine(limit_pages=4)
+        space = machine.new_address_space("p")
+        enclave = machine.create_enclave("e", space)
+        region = enclave.alloc(16 * PAGE_SIZE)
+        latencies = []
+
+        def body():
+            for lap in range(2):
+                for page in range(16):
+                    result = yield Access(region.base + page * PAGE_SIZE)
+                    latencies.append(result.latency)
+                    yield Flush(region.base + page * PAGE_SIZE)
+
+        machine.spawn("thrash", body(), core=0, space=space, enclave=enclave)
+        machine.run()
+        # With only 4 resident pages, every access in the 16-page loop
+        # faults: latencies include the ~40k-cycle ELDU cost.
+        assert min(latencies) > 30_000
+        assert machine.pager.stats.faults == 32
+
+    def test_working_set_within_limit_no_faults_after_warmup(self):
+        machine = paged_machine(limit_pages=8)
+        space = machine.new_address_space("p")
+        enclave = machine.create_enclave("e", space)
+        region = enclave.alloc(4 * PAGE_SIZE)
+        latencies = []
+
+        def body():
+            for lap in range(3):
+                for page in range(4):
+                    result = yield Access(region.base + page * PAGE_SIZE)
+                    latencies.append(result.latency)
+                    yield Flush(region.base + page * PAGE_SIZE)
+
+        machine.spawn("warm", body(), core=0, space=space, enclave=enclave)
+        machine.run()
+        assert machine.pager.stats.faults == 4  # cold faults only
+        assert max(latencies[4:]) < 10_000
+
+    def test_evicted_page_metadata_scrubbed(self):
+        machine = paged_machine(limit_pages=1)
+        space = machine.new_address_space("p")
+        enclave = machine.create_enclave("e", space)
+        region = enclave.alloc(2 * PAGE_SIZE)
+        observed = []
+
+        def body():
+            yield Access(region.base)
+            yield Flush(region.base)
+            observed.append(machine.mee.versions_cached(space.translate(region.base)))
+            yield Access(region.base + PAGE_SIZE)  # evicts page 0 from EPC
+            observed.append(machine.mee.versions_cached(space.translate(region.base)))
+
+        machine.spawn("t", body(), core=0, space=space, enclave=enclave)
+        machine.run()
+        assert observed == [True, False]

@@ -1,0 +1,42 @@
+"""Unit tests for repro.sgx.ocall."""
+
+import numpy as np
+
+from repro.config import TimerConfig
+from repro.sgx.ocall import OCallModel
+
+
+def make_model(seed=0):
+    return OCallModel(TimerConfig(), np.random.default_rng(seed))
+
+
+class TestOCallModel:
+    def test_cost_within_paper_range(self):
+        model = make_model()
+        for _ in range(500):
+            cost = model.sample_cost()
+            assert 8000 <= cost <= 15000
+
+    def test_costs_vary(self):
+        model = make_model()
+        costs = {model.sample_cost() for _ in range(100)}
+        assert len(costs) > 10
+
+    def test_split_cost_sums_to_total_range(self):
+        model = make_model()
+        for _ in range(200):
+            exit_cycles, reentry_cycles = model.split_cost()
+            total = exit_cycles + reentry_cycles
+            assert 8000 <= total <= 15000
+            assert exit_cycles > 0 and reentry_cycles > 0
+
+    def test_split_roughly_balanced(self):
+        model = make_model()
+        exit_cycles, reentry_cycles = model.split_cost()
+        assert 0.4 <= exit_cycles / (exit_cycles + reentry_cycles) <= 0.6
+
+    def test_calls_counted(self):
+        model = make_model()
+        model.sample_cost()
+        model.split_cost()
+        assert model.calls == 2

@@ -1,0 +1,145 @@
+"""Unit tests for repro.sgx.timing — the Figure 2 timer mechanisms.
+
+These run the timers against the real machine model so the costs are the
+ones the attack experiences.
+"""
+
+import pytest
+
+from repro.errors import InstructionNotAvailableError
+from repro.sgx.timing import (
+    CounterThreadTimer,
+    DirectRdtscTimer,
+    OCallTimer,
+    measured_access,
+)
+from repro.sim.ops import Access, Busy
+from repro.units import PAGE_SIZE
+
+
+def run_body(machine, body, space, enclave=None, core=0):
+    process = machine.spawn("timer-test", body, core=core, space=space, enclave=enclave)
+    machine.run()
+    return process
+
+
+class TestDirectRdtsc:
+    def test_reads_advance(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        values = []
+
+        def body():
+            timer = DirectRdtscTimer()
+            first = yield from timer.read()
+            yield Busy(1000)
+            second = yield from timer.read()
+            values.append((first, second))
+
+        run_body(machine, body(), space)
+        first, second = values[0]
+        assert second - first >= 1000
+
+    def test_faults_in_enclave(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        outcomes = []
+
+        def body():
+            timer = DirectRdtscTimer()
+            try:
+                yield from timer.read()
+                outcomes.append("ok")
+            except InstructionNotAvailableError:
+                outcomes.append("fault")
+
+        run_body(machine, body(), space, enclave=enclave)
+        assert outcomes == ["fault"]
+
+
+class TestOCallTimer:
+    def test_works_in_enclave_with_heavy_cost(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        values = []
+
+        def body():
+            timer = OCallTimer(machine.ocall)
+            first = yield from timer.read()
+            second = yield from timer.read()
+            values.append(second - first)
+
+        run_body(machine, body(), space, enclave=enclave)
+        # Two OCALLs back to back: the gap includes one full round trip.
+        assert values[0] >= 7000
+
+    def test_overhead_estimate_in_range(self, machine):
+        timer = OCallTimer(machine.ocall)
+        assert 8000 <= timer.overhead_estimate() <= 15000
+
+
+class TestCounterThreadTimer:
+    def test_works_in_enclave_cheaply(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        values = []
+
+        def body():
+            timer = CounterThreadTimer()
+            first = yield from timer.read()
+            yield Busy(500)
+            second = yield from timer.read()
+            values.append(second - first)
+
+        run_body(machine, body(), space, enclave=enclave)
+        # ~500 busy + ~50 read cost +- staleness.
+        assert 400 <= values[0] <= 700
+
+    def test_overhead_estimate(self):
+        assert CounterThreadTimer(50).overhead_estimate() == 50.0
+
+
+class TestMeasuredAccess:
+    def test_separates_hit_from_miss(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        region = enclave.alloc(2 * PAGE_SIZE)
+        samples = {"cold": [], "hit": []}
+
+        def body():
+            timer = CounterThreadTimer()
+            cold = yield from measured_access(timer, region.base)
+            samples["cold"].append(cold)
+            for _ in range(5):
+                warm = yield from measured_access(timer, region.base)
+                samples["hit"].append(warm)
+
+        run_body(machine, body(), space, enclave=enclave)
+        assert min(samples["cold"]) > max(samples["hit"])
+
+    def test_flush_keeps_access_at_memory(self, enclave_setup):
+        # With flush_after, every measurement sees main-memory latency.
+        machine, space, enclave = enclave_setup
+        region = enclave.alloc(PAGE_SIZE)
+        latencies = []
+
+        def body():
+            timer = CounterThreadTimer()
+            for _ in range(6):
+                value = yield from measured_access(timer, region.base, flush_after=True)
+                latencies.append(value)
+
+        run_body(machine, body(), space, enclave=enclave)
+        # All accesses (after the first) are versions hits ~480+timer cost,
+        # never on-chip cache hits (~10-100).
+        assert all(latency > 300 for latency in latencies[1:])
+
+    def test_without_flush_hits_on_chip(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        region = enclave.alloc(PAGE_SIZE)
+        latencies = []
+
+        def body():
+            timer = CounterThreadTimer()
+            yield Access(region.base)
+            for _ in range(3):
+                value = yield from measured_access(timer, region.base, flush_after=False)
+                latencies.append(value)
+
+        run_body(machine, body(), space, enclave=enclave)
+        assert min(latencies) < 300

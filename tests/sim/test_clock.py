@@ -1,0 +1,84 @@
+"""Unit tests for repro.sim.clock."""
+
+import numpy as np
+import pytest
+
+from repro.sim.clock import CoreClock, InterruptModel
+
+
+def quiet_clock(core_id=0, skew=0.0):
+    return CoreClock(
+        core_id,
+        skew=skew,
+        interrupts=InterruptModel(rate_per_cycle=0.0),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestCoreClock:
+    def test_advance_without_skew(self):
+        clock = quiet_clock()
+        elapsed = clock.advance(1000)
+        assert elapsed == pytest.approx(1000.0)
+        assert clock.now == pytest.approx(1000.0)
+
+    def test_positive_skew_runs_fast(self):
+        # A fast core finishes its cycles in less reference time.
+        clock = quiet_clock(skew=1e-4)
+        clock.advance(1_000_000)
+        assert clock.now < 1_000_000
+
+    def test_negative_skew_runs_slow(self):
+        clock = quiet_clock(skew=-1e-4)
+        clock.advance(1_000_000)
+        assert clock.now > 1_000_000
+
+    def test_tsc_is_integer_reference_time(self):
+        clock = quiet_clock()
+        clock.advance(123.7)
+        assert clock.tsc() == 123
+
+    def test_uninterruptible_advance_never_stretched(self):
+        clock = CoreClock(
+            0,
+            interrupts=InterruptModel(rate_per_cycle=1.0, duration_cycles=1000),
+            rng=np.random.default_rng(0),
+        )
+        elapsed = clock.advance(100, interruptible=False)
+        assert elapsed == pytest.approx(100.0)
+        assert clock.interrupt_cycles == 0.0
+
+
+class TestInterruptModel:
+    def test_zero_rate_never_stretches(self):
+        model = InterruptModel(rate_per_cycle=0.0)
+        assert model.stretch(1e9, np.random.default_rng(0)) == 0.0
+
+    def test_high_rate_stretches(self):
+        model = InterruptModel(rate_per_cycle=1e-3, duration_cycles=100.0)
+        extra = model.stretch(1e6, np.random.default_rng(0))
+        assert extra > 0.0
+
+    def test_stretch_scales_with_duration(self):
+        model = InterruptModel(rate_per_cycle=1e-4, duration_cycles=500.0)
+        rng = np.random.default_rng(1)
+        short = np.mean([model.stretch(1e4, rng) for _ in range(200)])
+        long = np.mean([model.stretch(1e6, rng) for _ in range(200)])
+        assert long > short
+
+    def test_expected_stretch_matches_rate(self):
+        model = InterruptModel(rate_per_cycle=1e-5, duration_cycles=1000.0)
+        rng = np.random.default_rng(2)
+        samples = [model.stretch(1e6, rng) for _ in range(500)]
+        # Expectation = rate * cycles * duration = 10 * 1000 = 10000.
+        assert np.mean(samples) == pytest.approx(10_000, rel=0.2)
+
+    def test_interrupt_cycles_accounted(self):
+        clock = CoreClock(
+            0,
+            interrupts=InterruptModel(rate_per_cycle=1e-3, duration_cycles=100.0),
+            rng=np.random.default_rng(3),
+        )
+        clock.advance(1e6)
+        assert clock.interrupt_cycles > 0
+        assert clock.now > 1e6

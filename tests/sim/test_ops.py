@@ -1,0 +1,48 @@
+"""Unit tests for the operation dataclasses."""
+
+from repro.sim.ops import (
+    Access,
+    Busy,
+    Fence,
+    Flush,
+    Label,
+    OpResult,
+    Rdtsc,
+    ReadTimer,
+    WriteOp,
+)
+
+
+class TestOperations:
+    def test_access_defaults(self):
+        op = Access(0x1000)
+        assert op.vaddr == 0x1000
+        assert op.size == 8
+
+    def test_operations_are_frozen(self):
+        import dataclasses
+
+        for op in (Access(0), WriteOp(0), Flush(0), Fence(), Busy(1), Rdtsc(), ReadTimer(), Label("x")):
+            assert dataclasses.is_dataclass(op)
+            try:
+                object.__getattribute__(op, "__dataclass_params__")
+            except AttributeError:
+                pass
+            assert type(op).__dataclass_params__.frozen
+
+    def test_rdtsc_ocall_flag(self):
+        assert not Rdtsc().via_ocall
+        assert Rdtsc(via_ocall=True).via_ocall
+
+    def test_opresult_defaults(self):
+        result = OpResult(latency=5.0)
+        assert result.latency == 5.0
+        assert result.value is None
+
+    def test_label_payload(self):
+        label = Label("window", payload={"index": 3})
+        assert label.payload["index"] == 3
+
+    def test_equality_semantics(self):
+        assert Access(0x10) == Access(0x10)
+        assert Flush(0x10) != Flush(0x20)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.sim.process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim.clock import CoreClock, InterruptModel
+from repro.sim.ops import Busy, OpResult
+from repro.sim.process import ProcessState, SimProcess
+
+
+def make_clock():
+    return CoreClock(0, interrupts=InterruptModel(rate_per_cycle=0.0), rng=np.random.default_rng(0))
+
+
+def simple_body(results):
+    got = yield Busy(10)
+    results.append(got)
+    return "done"
+
+
+class TestSimProcess:
+    def test_rejects_non_generator(self):
+        with pytest.raises(ProcessError):
+            SimProcess("p", lambda: None, make_clock())
+
+    def test_initial_state_ready(self):
+        process = SimProcess("p", simple_body([]), make_clock())
+        assert process.state is ProcessState.READY
+        assert not process.in_enclave
+
+    def test_step_yields_operations_then_finishes(self):
+        results = []
+        process = SimProcess("p", simple_body(results), make_clock())
+        op = process.step(None)
+        assert isinstance(op, Busy)
+        op2 = process.step(OpResult(latency=10.0))
+        assert op2 is None
+        assert process.state is ProcessState.FINISHED
+        assert process.result == "done"
+        assert results == [OpResult(latency=10.0)]
+
+    def test_op_count_increments(self):
+        process = SimProcess("p", simple_body([]), make_clock())
+        process.step(None)
+        assert process.op_count == 1
+
+    def test_exception_marks_failed(self):
+        def bad_body():
+            yield Busy(1)
+            raise ValueError("boom")
+
+        process = SimProcess("p", bad_body(), make_clock())
+        process.step(None)
+        with pytest.raises(ValueError):
+            process.step(OpResult(latency=1.0))
+        assert process.state is ProcessState.FAILED
+        assert isinstance(process.failure, ValueError)
+
+    def test_throw_delivers_into_generator(self):
+        caught = []
+
+        def catching_body():
+            try:
+                yield Busy(1)
+            except RuntimeError as exc:
+                caught.append(exc)
+            return "recovered"
+
+        process = SimProcess("p", catching_body(), make_clock())
+        process.step(None)
+        op = process.throw(RuntimeError("fault"))
+        assert op is None
+        assert process.state is ProcessState.FINISHED
+        assert process.result == "recovered"
+        assert len(caught) == 1
+
+    def test_throw_uncaught_marks_failed(self):
+        def body():
+            yield Busy(1)
+
+        process = SimProcess("p", body(), make_clock())
+        process.step(None)
+        with pytest.raises(RuntimeError):
+            process.throw(RuntimeError("fault"))
+        assert process.state is ProcessState.FAILED
+
+    def test_enclave_flag(self):
+        process = SimProcess("p", simple_body([]), make_clock(), enclave=object())
+        assert process.in_enclave
+
+    def test_repr_contains_name_and_state(self):
+        process = SimProcess("spy", simple_body([]), make_clock())
+        text = repr(process)
+        assert "spy" in text and "ready" in text

@@ -1,0 +1,44 @@
+"""Unit tests for repro.sim.rng."""
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RandomStreams(seed=1)
+        assert streams.stream("dram") is streams.stream("dram")
+
+    def test_deterministic_across_instances(self):
+        a = RandomStreams(seed=1).stream("dram").random(5)
+        b = RandomStreams(seed=1).stream("dram").random(5)
+        assert list(a) == list(b)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(seed=1)
+        a = streams.stream("dram").random(5)
+        b = streams.stream("mee").random(5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).stream("dram").random(5)
+        b = RandomStreams(seed=2).stream("dram").random(5)
+        assert list(a) != list(b)
+
+    def test_draw_order_does_not_couple_streams(self):
+        # Drawing from one stream must not perturb another.
+        first = RandomStreams(seed=3)
+        first.stream("noise").random(100)
+        value_after = first.stream("dram").random(3)
+        fresh = RandomStreams(seed=3)
+        value_fresh = fresh.stream("dram").random(3)
+        assert list(value_after) == list(value_fresh)
+
+    def test_fork_is_deterministic_and_distinct(self):
+        base = RandomStreams(seed=1)
+        fork_a = base.fork(7).stream("x").random(4)
+        fork_b = RandomStreams(seed=1).fork(7).stream("x").random(4)
+        assert list(fork_a) == list(fork_b)
+        assert list(fork_a) != list(base.stream("x").random(4))
+
+    def test_seed_property(self):
+        assert RandomStreams(seed=42).seed == 42

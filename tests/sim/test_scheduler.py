@@ -1,0 +1,149 @@
+"""Unit tests for repro.sim.scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EnclaveError, SimulationError
+from repro.sim.clock import CoreClock, InterruptModel
+from repro.sim.ops import Busy, Label, OpResult
+from repro.sim.process import ProcessState, SimProcess
+from repro.sim.scheduler import Scheduler
+
+
+def make_clock(core=0):
+    return CoreClock(core, interrupts=InterruptModel(rate_per_cycle=0.0), rng=np.random.default_rng(core))
+
+
+class RecordingExecutor:
+    """Executes Busy/Label, recording (name, op, time) in global order."""
+
+    def __init__(self):
+        self.log = []
+        self.fail_on = None
+
+    def execute(self, process, operation):
+        if self.fail_on is not None and self.fail_on(process, operation):
+            raise EnclaveError("injected fault")
+        self.log.append((process.name, operation, process.clock.now))
+        if isinstance(operation, Label):
+            return OpResult(latency=0.0)
+        return OpResult(latency=float(operation.cycles))
+
+
+def busy_loop(name, cycles, count):
+    for _ in range(count):
+        yield Busy(cycles)
+    return name
+
+
+class TestScheduler:
+    def test_single_process_runs_to_completion(self):
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        process = SimProcess("a", busy_loop("a", 10, 3), make_clock())
+        scheduler.add(process)
+        scheduler.run()
+        assert process.state is ProcessState.FINISHED
+        assert process.result == "a"
+        assert len(executor.log) == 3
+
+    def test_interleaves_by_global_time(self):
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        fast = SimProcess("fast", busy_loop("fast", 10, 6), make_clock(0))
+        slow = SimProcess("slow", busy_loop("slow", 35, 2), make_clock(1))
+        scheduler.add(fast)
+        scheduler.add(slow)
+        scheduler.run()
+        times = [entry[2] for entry in executor.log]
+        assert times == sorted(times)
+        names = [entry[0] for entry in executor.log]
+        # fast executes several ops before slow's second op
+        assert names.count("fast") == 6 and names.count("slow") == 2
+
+    def test_clock_advances_by_latency(self):
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        process = SimProcess("a", busy_loop("a", 100, 2), make_clock())
+        scheduler.add(process)
+        scheduler.run()
+        assert process.clock.now == pytest.approx(200.0)
+
+    def test_run_until_pauses_and_resumes(self):
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        process = SimProcess("a", busy_loop("a", 100, 5), make_clock())
+        scheduler.add(process)
+        scheduler.run(until=250)
+        assert process.state is not ProcessState.FINISHED
+        scheduler.run()
+        assert process.state is ProcessState.FINISHED
+
+    def test_operation_budget_guards_infinite_loops(self):
+        def spinner():
+            while True:
+                yield Busy(1)
+
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor, max_ops=100)
+        scheduler.add(SimProcess("spin", spinner(), make_clock()))
+        with pytest.raises(SimulationError):
+            scheduler.run()
+
+    def test_enclave_error_thrown_into_generator(self):
+        def body(caught):
+            try:
+                yield Busy(1)
+            except EnclaveError:
+                caught.append(True)
+            yield Busy(2)
+            return "ok"
+
+        caught = []
+        executor = RecordingExecutor()
+        executor.fail_on = lambda proc, op: isinstance(op, Busy) and op.cycles == 1
+        scheduler = Scheduler(executor)
+        process = SimProcess("e", body(caught), make_clock())
+        scheduler.add(process)
+        scheduler.run()
+        assert caught == [True]
+        assert process.result == "ok"
+
+    def test_uncaught_enclave_error_propagates(self):
+        def body():
+            yield Busy(1)
+
+        executor = RecordingExecutor()
+        executor.fail_on = lambda proc, op: True
+        scheduler = Scheduler(executor)
+        process = SimProcess("e", body(), make_clock())
+        scheduler.add(process)
+        with pytest.raises(EnclaveError):
+            scheduler.run()
+        assert process.state is ProcessState.FAILED
+
+    def test_label_costs_no_time(self):
+        def body():
+            yield Label("marker")
+            yield Busy(10)
+
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        process = SimProcess("a", body(), make_clock())
+        scheduler.add(process)
+        scheduler.run()
+        assert process.clock.now == pytest.approx(10.0)
+
+    def test_total_ops_counted(self):
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        scheduler.add(SimProcess("a", busy_loop("a", 1, 4), make_clock()))
+        scheduler.run()
+        assert scheduler.total_ops == 4
+
+    def test_processes_property(self):
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        process = SimProcess("a", busy_loop("a", 1, 1), make_clock())
+        scheduler.add(process)
+        assert scheduler.processes == [process]

@@ -1,0 +1,43 @@
+"""Unit tests for repro.sim.trace."""
+
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_disabled_records_nothing(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record(1.0, "p", "access", 42)
+        assert len(recorder) == 0
+
+    def test_enabled_records(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(1.0, "p", "access", 42)
+        assert len(recorder) == 1
+        event = recorder.events[0]
+        assert event == TraceEvent(time=1.0, process="p", kind="access", detail=42)
+
+    def test_filter_limits_events(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.filter = lambda event: event.kind == "flush"
+        recorder.record(1.0, "p", "access", None)
+        recorder.record(2.0, "p", "flush", None)
+        assert len(recorder) == 1
+        assert recorder.events[0].kind == "flush"
+
+    def test_of_kind(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(1.0, "p", "access", None)
+        recorder.record(2.0, "p", "flush", None)
+        recorder.record(3.0, "q", "access", None)
+        accesses = recorder.of_kind("access")
+        assert [event.time for event in accesses] == [1.0, 3.0]
+
+    def test_clear(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(1.0, "p", "access", None)
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_repr_of_event(self):
+        event = TraceEvent(time=1.5, process="spy", kind="access", detail="x")
+        assert "spy" in repr(event)

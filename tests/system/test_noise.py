@@ -1,0 +1,107 @@
+"""Unit tests for repro.system.noise."""
+
+import numpy as np
+
+from repro.system.noise import (
+    ambient_system_noise,
+    llc_memory_stressor,
+    mee_stride_stressor,
+)
+from repro.units import MIB, PAGE_SIZE
+
+
+class TestLLCMemoryStressor:
+    def test_registers_contention_while_running(self, machine):
+        space = machine.new_address_space("stress")
+        region = space.mmap(1 * MIB)
+        seen = []
+
+        def observer():
+            from repro.sim.ops import Busy
+
+            for _ in range(5):
+                yield Busy(20_000)
+                seen.append(machine.dram.active_stressors)
+
+        machine.spawn(
+            "stressor",
+            llc_memory_stressor(machine.dram, region, 150_000),
+            core=0,
+            space=space,
+        )
+        machine.spawn("observer", observer(), core=1, space=space)
+        machine.run()
+        assert max(seen) == 1
+        assert machine.dram.active_stressors == 0  # unregistered at exit
+
+    def test_never_touches_mee(self, machine):
+        space = machine.new_address_space("stress")
+        region = space.mmap(1 * MIB)
+        machine.spawn(
+            "stressor",
+            llc_memory_stressor(machine.dram, region, 100_000),
+            core=0,
+            space=space,
+        )
+        machine.run()
+        assert machine.mee.stats.accesses == 0
+
+    def test_returns_access_count(self, machine):
+        space = machine.new_address_space("stress")
+        region = space.mmap(1 * MIB)
+        process = machine.spawn(
+            "stressor",
+            llc_memory_stressor(machine.dram, region, 80_000),
+            core=0,
+            space=space,
+        )
+        machine.run()
+        assert process.result > 0
+
+
+class TestMEEStrideStressor:
+    def test_fills_mee_cache(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        region = enclave.alloc(1 * MIB)
+        machine.spawn(
+            "mee-noise",
+            mee_stride_stressor(region, 512, 200_000),
+            core=0,
+            space=space,
+            enclave=enclave,
+        )
+        machine.run()
+        assert machine.mee.stats.accesses > 100
+
+    def test_4k_stride_misses_more_levels_than_512(self, machine):
+        space = machine.new_address_space("p")
+        enclave = machine.create_enclave("e", space)
+        region = enclave.alloc(2 * MIB)
+        machine.spawn(
+            "noise-512",
+            mee_stride_stressor(region, 512, 150_000),
+            core=0,
+            space=space,
+            enclave=enclave,
+        )
+        machine.run()
+        counts_512 = list(machine.mee.stats.hit_level_counts)
+        # 512 B stride within warmed pages: mostly L0 hits (level 1).
+        assert counts_512[1] > counts_512[4] or counts_512[4] > 0
+
+
+class TestAmbientNoise:
+    def test_emits_bursts(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        region = enclave.alloc(64 * PAGE_SIZE)
+        process = machine.spawn(
+            "ambient",
+            ambient_system_noise(
+                region, 600_000, np.random.default_rng(0), mean_gap_cycles=100_000, burst_pages=4
+            ),
+            core=0,
+            space=space,
+            enclave=enclave,
+        )
+        machine.run()
+        assert process.result >= 1

@@ -1,0 +1,80 @@
+"""Unit tests for repro.system.workload."""
+
+import pytest
+
+from repro.mem.paging import MappedRegion
+from repro.system.workload import stride_access_pattern, stride_reader
+from repro.units import KIB, PAGE_SIZE
+
+
+def region(size=64 * KIB):
+    return MappedRegion(base=0x100000, size=size, protected=True, hugepage=False)
+
+
+class TestStridePattern:
+    def test_length(self):
+        assert len(stride_access_pattern(region(), 512, 10)) == 10
+
+    def test_stride_respected(self):
+        addrs = stride_access_pattern(region(), 4096, 4)
+        assert [a - addrs[0] for a in addrs] == [0, 4096, 8192, 12288]
+
+    def test_stays_in_region(self):
+        target = region(16 * KIB)
+        for addr in stride_access_pattern(target, 4096, 100):
+            assert target.base <= addr < target.end
+
+    def test_wraps_with_offset_shift(self):
+        target = region(8 * KIB)
+        addrs = stride_access_pattern(target, 4096, 5)
+        # Third lap restarts shifted by 64 B.
+        assert addrs[2] != addrs[0]
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            stride_access_pattern(region(), 0, 1)
+
+
+class TestStrideReader:
+    def test_collects_latencies(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        target = enclave.alloc(64 * PAGE_SIZE)
+        out = []
+        machine.spawn(
+            "reader",
+            stride_reader(target, 512, 50, latencies_out=out),
+            core=0,
+            space=space,
+            enclave=enclave,
+        )
+        machine.run()
+        assert len(out) == 50
+        assert all(latency > 0 for latency in out)
+
+    def test_returns_latencies_as_result(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        target = enclave.alloc(16 * PAGE_SIZE)
+        process = machine.spawn(
+            "reader",
+            stride_reader(target, 4096, 10),
+            core=0,
+            space=space,
+            enclave=enclave,
+        )
+        machine.run()
+        assert len(process.result) == 10
+
+    def test_no_flush_mode_hits_on_chip(self, enclave_setup):
+        machine, space, enclave = enclave_setup
+        target = enclave.alloc(PAGE_SIZE)
+        out = []
+        machine.spawn(
+            "reader",
+            stride_reader(target, 64, 100, flush=False, latencies_out=out),
+            core=0,
+            space=space,
+            enclave=enclave,
+        )
+        machine.run()
+        # The second lap over the page re-hits L1 (4 cycles) without flushes.
+        assert min(out) < 10

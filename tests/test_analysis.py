@@ -1,0 +1,92 @@
+"""Unit tests for repro.analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.histogram import Histogram, latency_histogram
+from repro.analysis.render import render_curve, render_histogram, render_series, render_table
+from repro.analysis.stats import summarize
+
+
+class TestHistogram:
+    def test_counts_sum_to_samples(self):
+        histogram = latency_histogram([480, 485, 750, 760, 1100], bin_width=50)
+        assert histogram.total == 5
+
+    def test_bin_centers_match_edges(self):
+        histogram = latency_histogram([0.0, 99.0], bin_width=50, lo=0, hi=100)
+        assert histogram.bin_centers() == [25.0, 75.0]
+
+    def test_mode_bin(self):
+        histogram = latency_histogram([10, 10, 10, 90], bin_width=50, lo=0, hi=100)
+        center, count = histogram.mode_bin()
+        assert center == 25.0 and count == 3
+
+    def test_peaks_finds_separated_modes(self):
+        samples = [480] * 50 + [750] * 40 + [1100] * 30
+        histogram = latency_histogram(samples, bin_width=25)
+        peaks = histogram.peaks(min_count=10)
+        assert len(peaks) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_histogram([])
+
+    @given(st.lists(st.floats(min_value=0, max_value=2000), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_total_preserved_property(self, samples):
+        histogram = latency_histogram(samples, bin_width=25)
+        assert histogram.total == len(samples)
+
+
+class TestSummaryStats:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.median == 2.0
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+
+    def test_single_sample_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_contains_fields(self):
+        assert "med=" in str(summarize([1.0, 2.0]))
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_histogram_render_skips_empty_bins(self):
+        histogram = latency_histogram([0.0, 99.0], bin_width=10, lo=0, hi=100)
+        text = render_histogram(histogram)
+        assert len(text.splitlines()) == 2
+
+    def test_curve_render(self):
+        text = render_curve([2, 4], [0.5, 1.0], "n", "p")
+        assert "0.500" in text and "1.000" in text
+
+    def test_curve_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            render_curve([1], [0.1, 0.2], "n", "p")
+
+    def test_series_marks_errors(self):
+        text = render_series([100, 200, 300], marks=[1])
+        assert "<-- error" in text
+        assert text.count("o") >= 2
+
+    def test_series_empty(self):
+        assert "empty" in render_series([])

@@ -1,0 +1,136 @@
+"""Unit tests for repro.config."""
+
+import pytest
+
+from repro.config import (
+    CacheGeometry,
+    DRAMConfig,
+    MEECacheConfig,
+    MEELatencyConfig,
+    SystemConfig,
+    skylake_i7_6700k,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheGeometry:
+    def test_num_sets(self):
+        geometry = CacheGeometry(64 * 1024, 8, 64)
+        assert geometry.num_sets == 128
+
+    def test_num_lines(self):
+        geometry = CacheGeometry(64 * 1024, 8, 64)
+        assert geometry.num_lines == 1024
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(1000, 8, 64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(3 * 8 * 64, 8, 64)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(64 * 1024, 8, 64, policy="mru")
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(-64, 8, 64)
+
+    @pytest.mark.parametrize("policy", ["lru", "plru", "rrip", "random"])
+    def test_accepts_all_policies(self, policy):
+        CacheGeometry(64 * 1024, 8, 64, policy=policy)
+
+
+class TestMEECacheConfig:
+    def test_paper_geometry_default(self):
+        config = MEECacheConfig()
+        assert config.size_bytes == 64 * 1024
+        assert config.ways == 8
+        assert config.num_sets == 128
+        assert config.line_bytes == 64
+
+    def test_as_geometry_roundtrip(self):
+        config = MEECacheConfig()
+        geometry = config.as_geometry()
+        assert geometry.num_sets == config.num_sets
+        assert geometry.ways == config.ways
+
+
+class TestMEELatencyConfig:
+    def test_versions_hit_anchor(self):
+        latency = MEELatencyConfig()
+        assert latency.expected_latency(165.0, 0) == pytest.approx(480.0)
+
+    def test_versions_miss_anchor(self):
+        latency = MEELatencyConfig()
+        assert latency.expected_latency(165.0, 1) == pytest.approx(750.0)
+
+    def test_root_anchor(self):
+        latency = MEELatencyConfig()
+        assert latency.expected_latency(165.0, 4) == pytest.approx(1160.0)
+
+    def test_monotone_in_level(self):
+        latency = MEELatencyConfig()
+        values = [latency.expected_latency(165.0, level) for level in range(5)]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_l2_vs_root_gap_smallest(self):
+        # Paper: "the difference between level 2 data hit or accessing the
+        # root level is relatively small".
+        latency = MEELatencyConfig()
+        gaps = [
+            latency.expected_latency(165.0, level + 1) - latency.expected_latency(165.0, level)
+            for level in range(4)
+        ]
+        assert gaps[-1] == min(gaps)
+
+    def test_rejects_too_few_levels(self):
+        with pytest.raises(ConfigurationError):
+            MEELatencyConfig(level_miss_cycles=(100.0,))
+
+
+class TestDRAMConfig:
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(access_cycles=-1.0)
+
+    def test_rejects_bad_tail_probability(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(tail_probability=1.5)
+
+
+class TestSystemConfig:
+    def test_preset_matches_paper_platform(self):
+        config = skylake_i7_6700k()
+        assert config.cores == 4
+        assert config.mee_region_bytes == 128 * 1024 * 1024
+        assert config.mee_cache.num_sets == 128
+
+    def test_with_seed_changes_only_seed(self):
+        config = skylake_i7_6700k(seed=1)
+        other = config.with_seed(2)
+        assert other.seed == 2
+        assert other.mee_cache == config.mee_cache
+
+    def test_with_mee_cache(self):
+        config = skylake_i7_6700k()
+        other = config.with_mee_cache(MEECacheConfig(policy="lru"))
+        assert other.mee_cache.policy == "lru"
+        assert config.mee_cache.policy == "rrip"
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(cores=0)
+
+    def test_cycles_to_seconds(self):
+        config = skylake_i7_6700k()
+        assert config.cycles_to_seconds(4.2e9) == pytest.approx(1.0)
+
+    def test_headline_window_is_35_kbps(self):
+        # 4.2e9 / 15000 / 8 / 1000 = 35 KBps: the paper's headline is pure
+        # cycle arithmetic at the turbo clock.
+        config = skylake_i7_6700k()
+        assert config.clock_hz / 15000 / 8 / 1000 == pytest.approx(35.0)

@@ -1,0 +1,76 @@
+"""Contract tests for the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_exports_resolve(self):
+        from repro import core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_defense_exports_resolve(self):
+        from repro import defense
+
+        for name in defense.__all__:
+            assert hasattr(defense, name), name
+
+    def test_experiments_exports_resolve(self):
+        from repro import experiments
+
+        for name in experiments.__all__:
+            assert hasattr(experiments, name), name
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_enclave_family(self):
+        assert issubclass(errors.InstructionNotAvailableError, errors.EnclaveError)
+        assert issubclass(errors.EPCError, errors.EnclaveError)
+
+    def test_paging_is_address_error(self):
+        assert issubclass(errors.PagingError, errors.AddressError)
+
+    def test_catchable_as_single_family(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ChannelError("x")
+
+
+class TestCommonBuilders:
+    def test_build_machine_default(self):
+        from repro.experiments.common import build_machine
+
+        machine = build_machine(seed=5)
+        assert machine.config.seed == 5
+        assert machine.config.cores == 4
+
+    def test_build_machine_reseeds_config(self):
+        from repro.config import skylake_i7_6700k
+        from repro.experiments.common import build_machine
+
+        config = skylake_i7_6700k(seed=1)
+        machine = build_machine(seed=9, config=config)
+        assert machine.config.seed == 9
+
+    def test_build_ready_channel(self):
+        from repro.experiments.common import build_ready_channel
+
+        machine, channel = build_ready_channel(seed=606)
+        assert channel.is_ready
+        assert channel.eviction_result.associativity == 8

@@ -1,0 +1,76 @@
+"""Tests for the window-aligned timeline reconstruction."""
+
+import pytest
+
+from repro.analysis.timeline import ChannelTimeline, WindowActivity, build_timeline
+from repro.sim.ops import Access, Busy, Flush
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture()
+def traced_run(enclave_setup):
+    """A machine with a traced, window-structured access pattern."""
+    machine, space, enclave = enclave_setup
+    region = enclave.alloc(8 * PAGE_SIZE)
+    machine.trace.enabled = True
+    start = machine.now
+
+    def body():
+        # Window 0: two accesses; window 1: idle; window 2: one access.
+        yield Access(region.base)
+        yield Flush(region.base)
+        yield Access(region.base + PAGE_SIZE)
+        yield Flush(region.base + PAGE_SIZE)
+        yield Busy(20_000)
+        yield Access(region.base + 2 * PAGE_SIZE)
+
+    machine.spawn("worker", body(), core=0, space=space, enclave=enclave)
+    machine.run()
+    machine.trace.enabled = False
+    return machine, start
+
+
+class TestBuildTimeline:
+    def test_accesses_assigned_to_windows(self, traced_run):
+        machine, start = traced_run
+        timeline = build_timeline(machine, start, 10_000, 4)
+        assert sum(w.accesses for w in timeline.windows) == 3
+        assert timeline.windows[0].accesses == 2
+
+    def test_process_attribution(self, traced_run):
+        machine, start = traced_run
+        timeline = build_timeline(machine, start, 10_000, 4)
+        assert timeline.busiest().by_process == {"worker": 2}
+
+    def test_process_filter(self, traced_run):
+        machine, start = traced_run
+        timeline = build_timeline(machine, start, 10_000, 4, processes=["ghost"])
+        assert sum(w.accesses for w in timeline.windows) == 0
+
+    def test_quiet_windows(self, traced_run):
+        machine, start = traced_run
+        timeline = build_timeline(machine, start, 10_000, 4)
+        assert len(timeline.quiet_windows()) >= 1
+
+    def test_window_of(self, traced_run):
+        machine, start = traced_run
+        timeline = build_timeline(machine, start, 10_000, 4)
+        assert timeline.window_of(start + 5_000).index == 0
+        assert timeline.window_of(start - 1) is None
+        assert timeline.window_of(start + 10_000 * 99) is None
+
+    def test_out_of_grid_events_dropped(self, traced_run):
+        machine, start = traced_run
+        timeline = build_timeline(machine, start, 10_000, 1)
+        assert sum(w.accesses for w in timeline.windows) <= 2
+
+    def test_render(self, traced_run):
+        machine, start = traced_run
+        timeline = build_timeline(machine, start, 10_000, 4)
+        text = timeline.render(limit=2)
+        assert "w0000" in text
+        assert "more windows" in text
+
+    def test_versions_miss_counting(self):
+        window = WindowActivity(index=0, start=0.0, hit_levels=[0, 1, 4, 0])
+        assert window.versions_misses == 2

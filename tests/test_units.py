@@ -1,0 +1,58 @@
+"""Unit tests for repro.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_cache_line_is_64(self):
+        assert units.CACHE_LINE == 64
+
+    def test_page_holds_eight_chunks(self):
+        assert units.CHUNKS_PER_PAGE == 8
+        assert units.CHUNKS_PER_PAGE * units.CHUNK_SIZE == units.PAGE_SIZE
+
+    def test_versions_node_has_eight_counters(self):
+        assert units.COUNTERS_PER_VERSIONS_NODE == 8
+
+    def test_hugepage_is_512_pages(self):
+        assert units.HUGEPAGE_SIZE == 512 * units.PAGE_SIZE
+
+
+class TestAlignment:
+    def test_align_down_exact(self):
+        assert units.align_down(4096, 4096) == 4096
+
+    def test_align_down_rounds(self):
+        assert units.align_down(4097, 4096) == 4096
+
+    def test_align_up_exact(self):
+        assert units.align_up(8192, 4096) == 8192
+
+    def test_align_up_rounds(self):
+        assert units.align_up(4097, 4096) == 8192
+
+    def test_align_up_zero(self):
+        assert units.align_up(0, 64) == 0
+
+    @given(st.integers(min_value=0, max_value=1 << 40), st.sampled_from([64, 512, 4096]))
+    def test_align_pair_brackets_value(self, value, alignment):
+        down = units.align_down(value, alignment)
+        up = units.align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 4096, 1 << 30])
+    def test_powers(self, value):
+        assert units.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100, 4097])
+    def test_non_powers(self, value):
+        assert not units.is_power_of_two(value)
