@@ -13,7 +13,7 @@ Design choices DESIGN.md calls out, each validated by toggling it:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from ..core.encoding import random_bits
 from ..core.metrics import ChannelMetrics, bit_error_rate
 from ..errors import ChannelError
 from .common import build_ready_channel
+from .runner import run_trials
 
 __all__ = [
     "TwoPhaseAblation",
@@ -62,19 +63,30 @@ class TwoPhaseAblation:
         return self.one_phase.error_rate > self.two_phase.error_rate
 
 
-def run_two_phase(seed: int = 0, bits: int = 600, window_cycles: int = 15_000) -> TwoPhaseAblation:
+def _two_phase_trial(
+    task: Tuple[bool, int, Sequence[int], int]
+) -> ChannelMetrics:
+    """One eviction-sweep variant on a fresh channel."""
+    two_phase, seed, payload, window_cycles = task
+    channel_config = None if two_phase else ChannelConfig(eviction_two_phase=False)
+    _, channel = build_ready_channel(seed=seed, channel_config=channel_config)
+    return channel.transmit(list(payload), window_cycles=window_cycles).metrics
+
+
+def run_two_phase(
+    seed: int = 0,
+    bits: int = 600,
+    window_cycles: int = 15_000,
+    jobs: Optional[int] = None,
+) -> TwoPhaseAblation:
     """Same payload through a two-phase and a one-phase trojan."""
-    rng = np.random.default_rng(seed + 5)
-    payload = random_bits(bits, rng)
-
-    _, channel = build_ready_channel(seed=seed)
-    two = channel.transmit(payload, window_cycles=window_cycles)
-
-    one_config = ChannelConfig(eviction_two_phase=False)
-    _, channel_one = build_ready_channel(seed=seed, channel_config=one_config)
-    one = channel_one.transmit(payload, window_cycles=window_cycles)
-
-    return TwoPhaseAblation(two_phase=two.metrics, one_phase=one.metrics)
+    payload = tuple(random_bits(bits, np.random.default_rng(seed + 5)))
+    two, one = run_trials(
+        _two_phase_trial,
+        [(True, seed, payload, window_cycles), (False, seed, payload, window_cycles)],
+        jobs=jobs,
+    )
+    return TwoPhaseAblation(two_phase=two, one_phase=one)
 
 
 def render_two_phase(result: TwoPhaseAblation) -> str:
@@ -102,27 +114,40 @@ class PolicyAblation:
     setup_failures: Tuple[str, ...]
 
 
+def _policy_trial(
+    task: Tuple[str, int, Sequence[int], int]
+) -> Tuple[str, Optional[ChannelMetrics]]:
+    """Full attack against one replacement policy; None metrics on failure."""
+    policy, seed, payload, window_cycles = task
+    config = skylake_i7_6700k(seed=seed).with_mee_cache(MEECacheConfig(policy=policy))
+    try:
+        _, channel = build_ready_channel(seed=seed, config=config)
+        result = channel.transmit(list(payload), window_cycles=window_cycles)
+        return (policy, result.metrics)
+    except ChannelError:
+        # Setup itself failing (no eviction set / monitor) is the
+        # strongest mitigation outcome.
+        return (policy, None)
+
+
 def run_policies(
     seed: int = 0,
     bits: int = 400,
     window_cycles: int = 15_000,
     policies: Tuple[str, ...] = ("rrip", "lru", "plru", "random"),
+    jobs: Optional[int] = None,
 ) -> PolicyAblation:
     """Run the full attack against each replacement policy."""
-    rng = np.random.default_rng(seed + 6)
-    payload = random_bits(bits, rng)
+    payload = tuple(random_bits(bits, np.random.default_rng(seed + 6)))
+    tasks = [(policy, seed, payload, window_cycles) for policy in policies]
+    outcomes = run_trials(_policy_trial, tasks, jobs=jobs)
     metrics: Dict[str, ChannelMetrics] = {}
     failures: List[str] = []
-    for policy in policies:
-        config = skylake_i7_6700k(seed=seed).with_mee_cache(MEECacheConfig(policy=policy))
-        try:
-            _, channel = build_ready_channel(seed=seed, config=config)
-            result = channel.transmit(payload, window_cycles=window_cycles)
-            metrics[policy] = result.metrics
-        except ChannelError:
-            # Setup itself failing (no eviction set / monitor) is the
-            # strongest mitigation outcome.
+    for policy, result in outcomes:
+        if result is None:
             failures.append(policy)
+        else:
+            metrics[policy] = result
     return PolicyAblation(metrics_by_policy=metrics, setup_failures=tuple(failures))
 
 
@@ -148,35 +173,52 @@ class CodingAblation:
     # (scheme, window, raw channel BER, residual data BER, data goodput KBps)
 
 
+def _coding_window_trial(
+    task: Tuple[int, int, Sequence[int]]
+) -> Tuple[Tuple[str, int, float, float, float], ...]:
+    """Raw + Hamming(7,4) + 3x repetition over one window on a fresh channel."""
+    window, seed, data_seq = task
+    data = list(data_seq)
+    _, channel = build_ready_channel(seed=seed)
+    rows: List[Tuple[str, int, float, float, float]] = []
+
+    raw = channel.transmit(data, window_cycles=window)
+    raw_ber = raw.metrics.error_rate
+    rows.append(("raw", window, raw_ber, raw_ber, raw.metrics.goodput))
+
+    encoded = hamming74_encode(data)
+    received = channel.transmit(encoded, window_cycles=window)
+    decoded, _ = hamming74_decode(received.received)
+    residual = bit_error_rate(data, decoded)
+    goodput = received.metrics.bit_rate * (4 / 7) * (1 - residual)
+    rows.append(("hamming74", window, received.metrics.error_rate, residual, goodput))
+
+    encoded = repetition_encode(data, factor=3)
+    received = channel.transmit(encoded, window_cycles=window)
+    decoded = repetition_decode(received.received, factor=3)
+    residual = bit_error_rate(data, decoded)
+    goodput = received.metrics.bit_rate * (1 / 3) * (1 - residual)
+    rows.append(("repetition3", window, received.metrics.error_rate, residual, goodput))
+    return tuple(rows)
+
+
 def run_coding(
     seed: int = 0,
     data_bits: int = 560,  # divisible by 4 (Hamming) and honest for repetition
     windows: Tuple[int, ...] = (7500, 10000, 15000),
+    jobs: Optional[int] = None,
 ) -> CodingAblation:
-    """Compare raw, Hamming(7,4) and 3x repetition over noisy windows."""
-    rng = np.random.default_rng(seed + 7)
-    data = random_bits(data_bits, rng)
-    _, channel = build_ready_channel(seed=seed)
+    """Compare raw, Hamming(7,4) and 3x repetition over noisy windows.
 
+    Each window is an independent trial on a fresh channel (the three
+    schemes still share one channel within a window, transmitted in order).
+    """
+    data = tuple(random_bits(data_bits, np.random.default_rng(seed + 7)))
+    tasks = [(window, seed, data) for window in windows]
+    window_rows = run_trials(_coding_window_trial, tasks, jobs=jobs)
     rows: List[Tuple[str, int, float, float, float]] = []
-    for window in windows:
-        raw = channel.transmit(data, window_cycles=window)
-        raw_ber = raw.metrics.error_rate
-        rows.append(("raw", window, raw_ber, raw_ber, raw.metrics.goodput))
-
-        encoded = hamming74_encode(data)
-        received = channel.transmit(encoded, window_cycles=window)
-        decoded, _ = hamming74_decode(received.received)
-        residual = bit_error_rate(data, decoded)
-        goodput = received.metrics.bit_rate * (4 / 7) * (1 - residual)
-        rows.append(("hamming74", window, received.metrics.error_rate, residual, goodput))
-
-        encoded = repetition_encode(data, factor=3)
-        received = channel.transmit(encoded, window_cycles=window)
-        decoded = repetition_decode(received.received, factor=3)
-        residual = bit_error_rate(data, decoded)
-        goodput = received.metrics.bit_rate * (1 / 3) * (1 - residual)
-        rows.append(("repetition3", window, received.metrics.error_rate, residual, goodput))
+    for trial_rows in window_rows:
+        rows.extend(trial_rows)
     return CodingAblation(rows=tuple(rows))
 
 

@@ -14,7 +14,7 @@ Three experiments:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from ..errors import ChannelError
 from ..system.workload import stride_reader
 from ..units import KIB, MIB
 from .common import build_machine, build_ready_channel
+from .runner import run_trials
 
 __all__ = [
     "DetectionResult",
@@ -66,37 +67,49 @@ class DetectionResult:
         return tuple(name for name, report in self.benign_reports.items() if report.flagged)
 
 
-def run_detection(seed: int = 0, bits: int = 200) -> DetectionResult:
+def _is_access_event(event) -> bool:
+    """Module-level trace filter (picklable, reused by every detection run)."""
+    return event.kind == "access"
+
+
+def _benign_detection_trial(task: Tuple[str, int, int, int]) -> DetectionReport:
+    """Run one benign enclave workload under the detector's trace."""
+    name, stride, seed, bits = task
+    detector = MEEActivityDetector()
+    benign = build_machine(seed=seed)
+    space = benign.new_address_space(f"benign-{name}")
+    enclave = benign.create_enclave(f"benign-{name}-e", space)
+    region = enclave.alloc(4 * MIB)
+    benign.spawn(
+        name,
+        stride_reader(region, stride, bits * 10),
+        core=0,
+        space=space,
+        enclave=enclave,
+    )
+    with benign.trace.section(filter=_is_access_event):
+        benign.run()
+    return detector.analyze(benign)
+
+
+def run_detection(
+    seed: int = 0, bits: int = 200, jobs: Optional[int] = None
+) -> DetectionResult:
     """Score the detector against the channel and two benign workloads."""
     detector = MEEActivityDetector()
 
     # Covert channel under observation.
     machine, channel = build_ready_channel(seed=seed)
-    machine.trace.enabled = True
-    machine.trace.filter = lambda event: event.kind == "access"
-    machine.trace.clear()
-    channel.transmit(pattern_100100(bits))
+    with machine.trace.section(filter=_is_access_event, clear=True):
+        channel.transmit(pattern_100100(bits))
     channel_report = detector.analyze(machine)
-    machine.trace.enabled = False
 
-    benign_reports: Dict[str, DetectionReport] = {}
-    for name, stride in (("sequential-scan", 512), ("page-walk", 4096)):
-        benign = build_machine(seed=seed + 7)
-        space = benign.new_address_space(f"benign-{name}")
-        enclave = benign.create_enclave(f"benign-{name}-e", space)
-        region = enclave.alloc(4 * MIB)
-        benign.trace.enabled = True
-        benign.trace.filter = lambda event: event.kind == "access"
-        benign.spawn(
-            name,
-            stride_reader(region, stride, bits * 10),
-            core=0,
-            space=space,
-            enclave=enclave,
-        )
-        benign.run()
-        benign_reports[name] = detector.analyze(benign)
-        benign.trace.enabled = False
+    benign_tasks = [
+        ("sequential-scan", 512, seed + 7, bits),
+        ("page-walk", 4096, seed + 7, bits),
+    ]
+    reports = run_trials(_benign_detection_trial, benign_tasks, jobs=jobs)
+    benign_reports = {task[0]: report for task, report in zip(benign_tasks, reports)}
 
     return DetectionResult(channel_report=channel_report, benign_reports=benign_reports)
 
@@ -129,10 +142,16 @@ class PartitioningResult:
         return self.defended_error_rate >= 0.25
 
 
-def run_partitioning(seed: int = 0, bits: int = 200) -> PartitioningResult:
-    """Mount the attack against a baseline and a partitioned machine."""
-    _, channel = build_ready_channel(seed=seed)
-    baseline = channel.transmit(random_bits(bits, np.random.default_rng(seed)))
+def _partitioning_trial(task: Tuple[str, int, int]) -> Tuple[str, float]:
+    """One attack mount: shared baseline or way-partitioned machine.
+
+    Returns ``(outcome_text, error_rate)``.
+    """
+    kind, seed, bits = task
+    if kind == "baseline":
+        _, channel = build_ready_channel(seed=seed)
+        result = channel.transmit(random_bits(bits, np.random.default_rng(seed)))
+        return (f"error={result.metrics.error_rate:.3f}", result.metrics.error_rate)
 
     machine = build_machine(seed=seed)
     defended = CovertChannel(machine)
@@ -145,16 +164,24 @@ def run_partitioning(seed: int = 0, bits: int = 200) -> PartitioningResult:
     try:
         defended.setup()
     except ChannelError as exc:
-        return PartitioningResult(
-            baseline_error_rate=baseline.metrics.error_rate,
-            defended_outcome=f"setup-failed ({exc})",
-            defended_error_rate=1.0,
-        )
+        return (f"setup-failed ({exc})", 1.0)
     result = defended.transmit(random_bits(bits, np.random.default_rng(seed)))
+    return (f"error={result.metrics.error_rate:.3f}", result.metrics.error_rate)
+
+
+def run_partitioning(
+    seed: int = 0, bits: int = 200, jobs: Optional[int] = None
+) -> PartitioningResult:
+    """Mount the attack against a baseline and a partitioned machine."""
+    (_, baseline_error), (defended_outcome, defended_error) = run_trials(
+        _partitioning_trial,
+        [("baseline", seed, bits), ("partitioned", seed, bits)],
+        jobs=jobs,
+    )
     return PartitioningResult(
-        baseline_error_rate=baseline.metrics.error_rate,
-        defended_outcome=f"error={result.metrics.error_rate:.3f}",
-        defended_error_rate=result.metrics.error_rate,
+        baseline_error_rate=baseline_error,
+        defended_outcome=defended_outcome,
+        defended_error_rate=defended_error,
     )
 
 
@@ -189,30 +216,35 @@ class NoiseInjectionResult:
         raise KeyError(period)
 
 
+def _noise_trial(task: Tuple[int, int, Sequence[int], int]) -> Tuple[int, float, float]:
+    """One injector-period point on a fresh channel: (period, duty, BER)."""
+    period, seed, payload, noise_core = task
+    machine, channel = build_ready_channel(seed=seed)
+    extra = []
+    duty = 0.0
+    if period > 0:
+        space = machine.new_address_space("injector-proc")
+        enclave = machine.create_enclave("injector-enclave", space)
+        region = enclave.alloc(512 * KIB)
+        injector = NoiseInjector(region=region, period_cycles=period, seed=seed)
+        duration = (len(payload) + 20) * channel.config.window_cycles
+        extra = [("injector", injector.body(duration), noise_core, space, enclave)]
+        duty = injector.duty_cycle
+    result = channel.transmit(list(payload), extra_processes=extra)
+    return (period, duty, result.metrics.error_rate)
+
+
 def run_noise_injection(
     seed: int = 0,
     bits: int = 200,
     periods: Tuple[int, ...] = (0, 40_000, 10_000, 4_000),
     noise_core: int = 3,
+    jobs: Optional[int] = None,
 ) -> NoiseInjectionResult:
-    """Sweep injector period (0 = defense off) against one channel setup."""
-    rows: List[Tuple[int, float, float]] = []
-    payload_rng = np.random.default_rng(seed + 1)
-    payload = random_bits(bits, payload_rng)
-    for period in periods:
-        machine, channel = build_ready_channel(seed=seed)
-        extra = []
-        duty = 0.0
-        if period > 0:
-            space = machine.new_address_space("injector-proc")
-            enclave = machine.create_enclave("injector-enclave", space)
-            region = enclave.alloc(512 * KIB)
-            injector = NoiseInjector(region=region, period_cycles=period, seed=seed)
-            duration = (bits + 20) * channel.config.window_cycles
-            extra = [("injector", injector.body(duration), noise_core, space, enclave)]
-            duty = injector.duty_cycle
-        result = channel.transmit(payload, extra_processes=extra)
-        rows.append((period, duty, result.metrics.error_rate))
+    """Sweep injector period (0 = defense off), one fresh channel per point."""
+    payload = tuple(random_bits(bits, np.random.default_rng(seed + 1)))
+    tasks = [(period, seed, payload, noise_core) for period in periods]
+    rows = run_trials(_noise_trial, tasks, jobs=jobs)
     return NoiseInjectionResult(rows=tuple(rows))
 
 
@@ -243,6 +275,49 @@ class ScrubbingResult:
         raise KeyError(rate)
 
 
+def _scrub_trial(
+    task: Tuple[int, int, Sequence[int], int, int, int]
+) -> Tuple[float, float, float]:
+    """One scrub-strength point: (rate lines/kcycle, attacker BER, benign cost)."""
+    from ..defense.scrubbing import CacheScrubber
+
+    lines, seed, payload, period_cycles, benign_core, scrub_core = task
+    machine, channel = build_ready_channel(seed=seed)
+    duration = (len(payload) + 20) * channel.config.window_cycles
+    extra = []
+
+    benign_space = machine.new_address_space("benign-tenant")
+    benign_enclave = machine.create_enclave("benign-tenant-e", benign_space)
+    benign_region = benign_enclave.alloc(1 * MIB)
+    benign_latencies: List[float] = []
+    benign_count = max(int(duration // 900), 200)
+    extra.append(
+        (
+            "benign",
+            stride_reader(benign_region, 64, benign_count, latencies_out=benign_latencies),
+            benign_core,
+            benign_space,
+            benign_enclave,
+        )
+    )
+
+    rate = 0.0
+    if lines > 0:
+        scrubber = CacheScrubber(
+            machine=machine,
+            period_cycles=period_cycles,
+            lines_per_scrub=lines,
+            seed=seed,
+        )
+        rate = scrubber.scrub_rate_lines_per_kcycle
+        scrub_space = machine.new_address_space("scrubber")
+        extra.append(("scrubber", scrubber.body(duration), scrub_core, scrub_space, None))
+
+    result = channel.transmit(list(payload), extra_processes=extra)
+    benign_cost = float(np.median(benign_latencies)) if benign_latencies else 0.0
+    return (rate, result.metrics.error_rate, benign_cost)
+
+
 def run_scrubbing(
     seed: int = 0,
     bits: int = 200,
@@ -250,6 +325,7 @@ def run_scrubbing(
     period_cycles: int = 15_000,
     benign_core: int = 2,
     scrub_core: int = 3,
+    jobs: Optional[int] = None,
 ) -> ScrubbingResult:
     """Sweep hardware scrub strength against the attack + a benign tenant.
 
@@ -257,45 +333,12 @@ def run_scrubbing(
     versions-hit-friendly pattern whose latency directly shows the cost of
     scrubbed (re-verified) tree nodes.
     """
-    from ..defense.scrubbing import CacheScrubber
-
-    payload = random_bits(bits, np.random.default_rng(seed + 2))
-    rows: List[Tuple[float, float, float]] = []
-    for lines in lines_per_scrub:
-        machine, channel = build_ready_channel(seed=seed)
-        duration = (bits + 20) * channel.config.window_cycles
-        extra = []
-
-        benign_space = machine.new_address_space("benign-tenant")
-        benign_enclave = machine.create_enclave("benign-tenant-e", benign_space)
-        benign_region = benign_enclave.alloc(1 * MIB)
-        benign_latencies: List[float] = []
-        benign_count = max(int(duration // 900), 200)
-        extra.append(
-            (
-                "benign",
-                stride_reader(benign_region, 64, benign_count, latencies_out=benign_latencies),
-                benign_core,
-                benign_space,
-                benign_enclave,
-            )
-        )
-
-        rate = 0.0
-        if lines > 0:
-            scrubber = CacheScrubber(
-                machine=machine,
-                period_cycles=period_cycles,
-                lines_per_scrub=lines,
-                seed=seed,
-            )
-            rate = scrubber.scrub_rate_lines_per_kcycle
-            scrub_space = machine.new_address_space("scrubber")
-            extra.append(("scrubber", scrubber.body(duration), scrub_core, scrub_space, None))
-
-        result = channel.transmit(payload, extra_processes=extra)
-        benign_cost = float(np.median(benign_latencies)) if benign_latencies else 0.0
-        rows.append((rate, result.metrics.error_rate, benign_cost))
+    payload = tuple(random_bits(bits, np.random.default_rng(seed + 2)))
+    tasks = [
+        (lines, seed, payload, period_cycles, benign_core, scrub_core)
+        for lines in lines_per_scrub
+    ]
+    rows = run_trials(_scrub_trial, tasks, jobs=jobs)
     return ScrubbingResult(rows=tuple(rows))
 
 

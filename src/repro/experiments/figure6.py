@@ -9,13 +9,14 @@ single-address probes separate cleanly at ~480 vs ~750 cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..analysis.render import render_series
 from ..core.channel import ChannelResult
 from ..core.encoding import alternating_bits
 from ..core.primeprobe import PrimeProbeResult, run_prime_probe_channel
 from .common import build_machine, build_ready_channel
+from .runner import run_trials
 
 __all__ = ["Figure6Result", "run", "render"]
 
@@ -38,7 +39,19 @@ class Figure6Result:
         return self.this_work.metrics.error_rate < 0.10
 
 
-def run(seed: int = 0, bits: int = 30, pp_bits: int = None) -> Figure6Result:
+def _figure6_trial(task: Tuple[str, int, Tuple[int, ...]]):
+    """One sub-figure's transmission on its own fresh machine."""
+    kind, seed, pattern = task
+    if kind == "prime-probe":
+        machine = build_machine(seed=seed)
+        return run_prime_probe_channel(machine, list(pattern))
+    _, channel = build_ready_channel(seed=seed)
+    return channel.transmit(list(pattern))
+
+
+def run(
+    seed: int = 0, bits: int = 30, pp_bits: int = None, jobs: Optional[int] = None
+) -> Figure6Result:
     """Send '0101...' over both channels on fresh machines.
 
     ``pp_bits`` lets callers give the Prime+Probe side a longer sequence
@@ -47,12 +60,14 @@ def run(seed: int = 0, bits: int = 30, pp_bits: int = None) -> Figure6Result:
     pattern = alternating_bits(bits)
     pp_pattern = alternating_bits(pp_bits) if pp_bits else pattern
 
-    pp_machine = build_machine(seed=seed)
-    prime_probe = run_prime_probe_channel(pp_machine, pp_pattern)
-
-    _, channel = build_ready_channel(seed=seed + 1)
-    this_work = channel.transmit(pattern)
-
+    prime_probe, this_work = run_trials(
+        _figure6_trial,
+        [
+            ("prime-probe", seed, tuple(pp_pattern)),
+            ("this-work", seed + 1, tuple(pattern)),
+        ],
+        jobs=jobs,
+    )
     return Figure6Result(prime_probe=prime_probe, this_work=this_work)
 
 

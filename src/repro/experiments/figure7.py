@@ -8,7 +8,7 @@ a 15000-cycle window — 35 KBps on the 4.2 GHz part.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -16,6 +16,7 @@ from ..analysis.render import render_table
 from ..core.encoding import random_bits
 from ..core.metrics import ChannelMetrics
 from .common import build_ready_channel
+from .runner import run_trials
 
 __all__ = ["WindowPoint", "Figure7Result", "run", "render", "DEFAULT_WINDOWS"]
 
@@ -51,15 +52,36 @@ class Figure7Result:
         return small / large
 
 
-def run(seed: int = 0, windows=DEFAULT_WINDOWS, bits_per_window: int = 600) -> Figure7Result:
-    """Sweep the timing window on one ready channel."""
-    _, channel = build_ready_channel(seed=seed)
+def _window_trial(task: Tuple[int, int, int, int]) -> WindowPoint:
+    """One sweep point: fresh channel, one transmission at one window size.
+
+    The per-window payload is batch ``index`` of the ``seed + 1000`` bit
+    stream — the same bits each window received when the sweep was a
+    single sequential loop — so the sweep is a pure function of
+    ``(seed, windows, bits_per_window)`` no matter how trials are split
+    across processes.
+    """
+    seed, window, index, bits_per_window = task
     rng = np.random.default_rng(seed + 1000)
-    points: List[WindowPoint] = []
-    for window in windows:
-        bits = random_bits(bits_per_window, rng)
-        result = channel.transmit(bits, window_cycles=window)
-        points.append(WindowPoint(window_cycles=window, metrics=result.metrics))
+    for _ in range(index):
+        random_bits(bits_per_window, rng)
+    bits = random_bits(bits_per_window, rng)
+    _, channel = build_ready_channel(seed=seed)
+    result = channel.transmit(bits, window_cycles=window)
+    return WindowPoint(window_cycles=window, metrics=result.metrics)
+
+
+def run(
+    seed: int = 0,
+    windows=DEFAULT_WINDOWS,
+    bits_per_window: int = 600,
+    jobs: Optional[int] = None,
+) -> Figure7Result:
+    """Sweep the timing window, one independent trial per window size."""
+    tasks = [
+        (seed, window, index, bits_per_window) for index, window in enumerate(windows)
+    ]
+    points = run_trials(_window_trial, tasks, jobs=jobs)
     return Figure7Result(points=tuple(points), bits_per_window=bits_per_window)
 
 

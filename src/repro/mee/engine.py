@@ -30,7 +30,7 @@ from .tree import IntegrityTree
 __all__ = ["MEEAccessResult", "MemoryEncryptionEngine"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MEEAccessResult:
     """Outcome of one protected-region access through the MEE.
 
@@ -110,9 +110,10 @@ class MemoryEncryptionEngine:
         fetched: List[TreeNode] = []
         evicted: List[int] = []
         lookups = 0
+        cache = self.cache
         for node in nodes:
             lookups += 1
-            result = self.cache.access(node.line_addr)
+            result = cache.access(node.line_addr)
             if result.hit:
                 hit_level = node.level
                 break
@@ -122,7 +123,7 @@ class MemoryEncryptionEngine:
             if node.level == 0:
                 # Versions and PD_Tag travel together: co-fetch the MAC line
                 # into its (even) set.
-                pd_evicted = self.cache.fill(self.layout.pd_tag_line(paddr))
+                pd_evicted = cache.fill(self.layout.pd_tag_line(paddr))
                 if pd_evicted is not None:
                     evicted.append(pd_evicted.line_addr)
 

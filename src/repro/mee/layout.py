@@ -29,7 +29,7 @@ establish.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, Tuple
 
 from ..errors import AddressError
 from ..mem.address import PhysicalLayout
@@ -46,7 +46,7 @@ PAGES_PER_L1 = 8
 PAGES_PER_L2 = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TreeNode:
     """One integrity-tree node: its level and metadata line address."""
 
@@ -59,10 +59,24 @@ class TreeNode:
 
 
 class MEELayout:
-    """Computes metadata line addresses for protected physical addresses."""
+    """Computes metadata line addresses for protected physical addresses.
+
+    Every node address is a pure function of the 512 B chunk an address
+    falls into, so the leaf-to-root walk is memoized per chunk — the MEE
+    probes the same handful of chunks millions of times per trial.  Only
+    successful computations are cached; unprotected addresses raise
+    :class:`~repro.errors.AddressError` every time.
+    """
+
+    #: log2(CHUNK_SIZE): shifts a paddr down to its chunk key.
+    _CHUNK_SHIFT = CHUNK_SIZE.bit_length() - 1
 
     def __init__(self, physical: PhysicalLayout):
         self.physical = physical
+        # chunk key (paddr >> 9) -> leaf-to-root node tuple / line addresses.
+        self._walk_cache: Dict[int, Tuple[TreeNode, ...]] = {}
+        self._versions_cache: Dict[int, int] = {}
+        self._pd_tag_cache: Dict[int, int] = {}
 
     # -- index helpers ------------------------------------------------------
 
@@ -79,13 +93,23 @@ class MEELayout:
 
     def versions_line(self, paddr: int) -> int:
         """Address of the versions node guarding ``paddr``'s 512 B chunk."""
-        frame, unit = self._page_and_chunk(paddr)
-        return self.physical.meta_base + (16 * frame + 2 * unit + 1) * CACHE_LINE
+        key = paddr >> self._CHUNK_SHIFT
+        line = self._versions_cache.get(key)
+        if line is None:
+            frame, unit = self._page_and_chunk(paddr)
+            line = self.physical.meta_base + (16 * frame + 2 * unit + 1) * CACHE_LINE
+            self._versions_cache[key] = line
+        return line
 
     def pd_tag_line(self, paddr: int) -> int:
         """Address of the PD_Tag (MAC) line paired with the versions node."""
-        frame, unit = self._page_and_chunk(paddr)
-        return self.physical.meta_base + (16 * frame + 2 * unit) * CACHE_LINE
+        key = paddr >> self._CHUNK_SHIFT
+        line = self._pd_tag_cache.get(key)
+        if line is None:
+            frame, unit = self._page_and_chunk(paddr)
+            line = self.physical.meta_base + (16 * frame + 2 * unit) * CACHE_LINE
+            self._pd_tag_cache[key] = line
+        return line
 
     def l0_line(self, paddr: int) -> int:
         """Address of the L0 node covering ``paddr``'s page.
@@ -106,15 +130,20 @@ class MEELayout:
         frame, _ = self._page_and_chunk(paddr)
         return self.physical.l2_base + (frame // PAGES_PER_L2) * 2 * CACHE_LINE
 
-    def walk_nodes(self, paddr: int) -> List[TreeNode]:
-        """Leaf-to-root node list for a protected access (root excluded —
-        it lives in SRAM and needs no cache line)."""
-        return [
-            TreeNode(0, self.versions_line(paddr)),
-            TreeNode(1, self.l0_line(paddr)),
-            TreeNode(2, self.l1_line(paddr)),
-            TreeNode(3, self.l2_line(paddr)),
-        ]
+    def walk_nodes(self, paddr: int) -> Tuple[TreeNode, ...]:
+        """Leaf-to-root node tuple for a protected access (root excluded —
+        it lives in SRAM and needs no cache line).  Memoized per chunk."""
+        key = paddr >> self._CHUNK_SHIFT
+        nodes = self._walk_cache.get(key)
+        if nodes is None:
+            nodes = (
+                TreeNode(0, self.versions_line(paddr)),
+                TreeNode(1, self.l0_line(paddr)),
+                TreeNode(2, self.l1_line(paddr)),
+                TreeNode(3, self.l2_line(paddr)),
+            )
+            self._walk_cache[key] = nodes
+        return nodes
 
     # -- set-index views (used by tests and the ground-truth oracle) --------
 

@@ -10,6 +10,7 @@ integrity tree region.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..errors import AddressError, ConfigurationError
 from ..units import CACHE_LINE, CHUNK_SIZE, MIB, PAGE_SIZE, align_up
@@ -63,6 +64,10 @@ class PhysicalLayout:
         [protected_base, +protected_bytes)      MEE protected data region
         [meta_base, +meta_bytes)                versions + PD_Tag lines
         [l0_base, ...)(l1, l2)                  integrity-tree level arrays
+
+    The chained region bases are ``cached_property``s: the layout is frozen,
+    so each base is computed once and then read back as a plain attribute —
+    :meth:`is_protected` sits on the per-access hot path.
     """
 
     general_bytes: int = 1024 * MIB
@@ -72,17 +77,17 @@ class PhysicalLayout:
         if self.general_bytes % PAGE_SIZE or self.protected_bytes % PAGE_SIZE:
             raise ConfigurationError("regions must be page aligned")
 
-    @property
+    @cached_property
     def protected_base(self) -> int:
         """Start of the protected (enclave) data region."""
         return self.general_bytes
 
-    @property
+    @cached_property
     def protected_pages(self) -> int:
         """Number of 4 KB pages in the protected region."""
         return self.protected_bytes // PAGE_SIZE
 
-    @property
+    @cached_property
     def meta_base(self) -> int:
         """Start of the interleaved versions/PD_Tag metadata array.
 
@@ -91,12 +96,12 @@ class PhysicalLayout:
         """
         return align_up(self.protected_base + self.protected_bytes, 128 * CACHE_LINE)
 
-    @property
+    @cached_property
     def meta_bytes(self) -> int:
         """Size of the versions/PD_Tag array: 16 lines per protected page."""
         return self.protected_pages * 16 * CACHE_LINE
 
-    @property
+    @cached_property
     def l0_base(self) -> int:
         """Start of the level-0 integrity-tree node array (one per page)."""
         return align_up(self.meta_base + self.meta_bytes, 128 * CACHE_LINE)
@@ -105,36 +110,41 @@ class PhysicalLayout:
     # on even set parity (see repro.mee.layout module docstring); the
     # arrays therefore span twice their payload size.
 
-    @property
+    @cached_property
     def l0_bytes(self) -> int:
         return self.protected_pages * 2 * CACHE_LINE
 
-    @property
+    @cached_property
     def l1_base(self) -> int:
         """Start of the level-1 array (one node per 8 pages / 32 KB)."""
         return align_up(self.l0_base + self.l0_bytes, 128 * CACHE_LINE)
 
-    @property
+    @cached_property
     def l1_bytes(self) -> int:
         return align_up(self.protected_pages, 8) // 8 * 2 * CACHE_LINE
 
-    @property
+    @cached_property
     def l2_base(self) -> int:
         """Start of the level-2 array (one node per 64 pages / 256 KB)."""
         return align_up(self.l1_base + self.l1_bytes, 128 * CACHE_LINE)
 
-    @property
+    @cached_property
     def l2_bytes(self) -> int:
         return align_up(self.protected_pages, 64) // 64 * 2 * CACHE_LINE
 
-    @property
+    @cached_property
     def total_bytes(self) -> int:
         """One past the highest physical address in use."""
         return self.l2_base + self.l2_bytes
 
+    @cached_property
+    def protected_end(self) -> int:
+        """One past the protected data region."""
+        return self.general_bytes + self.protected_bytes
+
     def is_protected(self, paddr: int) -> bool:
         """True when ``paddr`` lies in the MEE protected data region."""
-        return self.protected_base <= paddr < self.protected_base + self.protected_bytes
+        return self.general_bytes <= paddr < self.protected_end
 
     def is_metadata(self, paddr: int) -> bool:
         """True when ``paddr`` lies in any integrity-tree array."""

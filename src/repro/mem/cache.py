@@ -5,22 +5,28 @@ Used for L1/L2/LLC *and* (with the parity-preserving layout of
 addresses only — simulated programs never read real data through it, they
 only observe timing — which keeps the model fast while remaining exact
 about hits, misses and evictions.
+
+This is the innermost loop of every experiment (one cache probe per
+hierarchy level per simulated memory operation), so the implementation
+favors precomputed shift/mask geometry, flat per-set state and cheap
+result objects over abstraction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from ..config import CacheGeometry
-from .replacement import ReplacementPolicy, make_policy
+from ..units import is_power_of_two
+from .replacement import ReplacementPolicy, RRIPPolicy, policy_class
 
 __all__ = ["CacheStats", "EvictionRecord", "SetAssociativeCache"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/eviction counters for one cache."""
 
@@ -41,7 +47,7 @@ class CacheStats:
         return self.hits / self.accesses
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class EvictionRecord:
     """Describes a line pushed out by a fill."""
 
@@ -50,13 +56,38 @@ class EvictionRecord:
     way: int
 
 
-@dataclass
-class _CacheSet:
-    """Tags and replacement state for one set."""
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of :meth:`SetAssociativeCache.access`."""
 
-    tags: List[Optional[int]]
-    policy: ReplacementPolicy
-    lookup: Dict[int, int] = field(default_factory=dict)  # line_addr -> way
+    hit: bool
+    set_index: int
+    way: int
+    evicted: Optional[EvictionRecord]
+
+
+class _CacheSet:
+    """Tags and replacement state for one set.
+
+    The policy's three hot methods are re-bound as direct slots so the
+    per-access call is one attribute load instead of the
+    ``set.policy.touch`` chain.  For the default 2-bit SRRIP policy the
+    RRPV list itself is additionally exposed (``rrpv``), letting the cache
+    inline touch/fill/victim as plain list operations; the list object is
+    shared with the policy instance, never copied or rebound, so the two
+    views cannot diverge.
+    """
+
+    __slots__ = ("tags", "policy", "lookup", "touch", "policy_fill", "victim", "rrpv")
+
+    def __init__(self, tags: List[Optional[int]], policy: ReplacementPolicy):
+        self.tags = tags
+        self.policy = policy
+        self.lookup = {}  # line_addr -> way
+        self.touch = policy.touch
+        self.policy_fill = policy.fill
+        self.victim = policy.victim
+        self.rrpv = policy._rrpv if type(policy) is RRIPPolicy else None
 
 
 class SetAssociativeCache:
@@ -65,25 +96,47 @@ class SetAssociativeCache:
     def __init__(self, geometry: CacheGeometry, rng: Optional[np.random.Generator] = None):
         self.geometry = geometry
         self._rng = rng
-        self._sets: Dict[int, _CacheSet] = {}
         self.stats = CacheStats()
+        num_sets = geometry.num_sets
+        line_bytes = geometry.line_bytes
+        self._num_sets = num_sets
+        self._line_bytes = line_bytes
+        # num_sets is validated to be a power of two; line_bytes almost
+        # always is too, enabling pure shift/mask address decomposition.
+        self._pow2 = is_power_of_two(line_bytes)
+        self._line_mask = ~(line_bytes - 1)
+        self._line_shift = line_bytes.bit_length() - 1
+        self._set_mask = num_sets - 1
+        self._ways = geometry.ways
+        self._policy_cls = policy_class(geometry.policy)
+        # Subclasses that override _fill (e.g. the way-partitioned defense
+        # cache) must keep receiving misses through it; only the base class
+        # may take the inlined fill below.
+        self._inline_fill = type(self)._fill is SetAssociativeCache._fill
+        # Dense per-set table (lazily populated) — list indexing beats a
+        # dict keyed by set index on every access.
+        self._sets: List[Optional[_CacheSet]] = [None] * num_sets
 
     # -- geometry helpers -------------------------------------------------
 
     def line_of(self, addr: int) -> int:
         """Line-aligned address containing ``addr``."""
-        return addr - (addr % self.geometry.line_bytes)
+        if self._pow2:
+            return addr & self._line_mask
+        return addr - (addr % self._line_bytes)
 
     def set_index_of(self, addr: int) -> int:
         """Set index the line containing ``addr`` maps to."""
-        return (addr // self.geometry.line_bytes) % self.geometry.num_sets
+        if self._pow2:
+            return (addr >> self._line_shift) & self._set_mask
+        return (addr // self._line_bytes) % self._num_sets
 
     def _set_for(self, set_index: int) -> _CacheSet:
-        cache_set = self._sets.get(set_index)
+        cache_set = self._sets[set_index]
         if cache_set is None:
             cache_set = _CacheSet(
-                tags=[None] * self.geometry.ways,
-                policy=make_policy(self.geometry.policy, self.geometry.ways, rng=self._rng),
+                tags=[None] * self._ways,
+                policy=self._policy_cls(self._ways, rng=self._rng),
             )
             self._sets[set_index] = cache_set
         return cache_set
@@ -92,30 +145,105 @@ class SetAssociativeCache:
 
     def contains(self, addr: int) -> bool:
         """True when the line holding ``addr`` is cached (no state change)."""
-        line = self.line_of(addr)
-        cache_set = self._sets.get(self.set_index_of(addr))
+        if self._pow2:
+            line = addr & self._line_mask
+            cache_set = self._sets[(addr >> self._line_shift) & self._set_mask]
+        else:
+            line = self.line_of(addr)
+            cache_set = self._sets[self.set_index_of(addr)]
         return cache_set is not None and line in cache_set.lookup
 
-    def access(self, addr: int) -> "AccessResult":
+    def probe(self, addr: int) -> bool:
+        """Touch-if-present: count a hit and update replacement state when
+        the line holding ``addr`` is cached, do nothing on a miss.
+
+        This is the single-lookup replacement for the ``contains()`` +
+        ``access()`` double probe the hierarchy used to issue per level: a
+        miss leaves the cache (and its statistics) untouched so the caller
+        can try the next level, while a hit behaves exactly like
+        :meth:`access`.
+        """
+        if self._pow2:
+            line = addr & self._line_mask
+            cache_set = self._sets[(addr >> self._line_shift) & self._set_mask]
+        else:
+            line = self.line_of(addr)
+            cache_set = self._sets[self.set_index_of(addr)]
+        if cache_set is None:
+            return False
+        way = cache_set.lookup.get(line)
+        if way is None:
+            return False
+        rrpv = cache_set.rrpv
+        if rrpv is not None:
+            rrpv[way] = 0  # inline RRIPPolicy.touch
+        else:
+            cache_set.touch(way)
+        self.stats.hits += 1
+        return True
+
+    def access(self, addr: int) -> AccessResult:
         """Look up (and on miss, fill) the line containing ``addr``.
 
         Returns an :class:`AccessResult` with the hit flag and any eviction
         caused by the fill.
         """
-        line = self.line_of(addr)
-        set_index = self.set_index_of(addr)
-        cache_set = self._set_for(set_index)
+        if self._pow2:
+            line = addr & self._line_mask
+            set_index = (addr >> self._line_shift) & self._set_mask
+        else:
+            line = self.line_of(addr)
+            set_index = self.set_index_of(addr)
+        cache_set = self._sets[set_index]
+        if cache_set is None:
+            cache_set = self._set_for(set_index)
 
-        way = cache_set.lookup.get(line)
+        lookup = cache_set.lookup
+        way = lookup.get(line)
+        stats = self.stats
+        rrpv = cache_set.rrpv
         if way is not None:
-            cache_set.policy.touch(way)
-            self.stats.hits += 1
-            return AccessResult(hit=True, set_index=set_index, way=way, evicted=None)
+            if rrpv is not None:
+                rrpv[way] = 0  # inline RRIPPolicy.touch
+            else:
+                cache_set.touch(way)
+            stats.hits += 1
+            return AccessResult(True, set_index, way, None)
 
-        self.stats.misses += 1
-        evicted = self._fill(cache_set, set_index, line)
-        way = cache_set.lookup[line]
-        return AccessResult(hit=False, set_index=set_index, way=way, evicted=evicted)
+        # Miss: fill in place (same logic as _fill, inlined with the SRRIP
+        # policy unrolled — this is the single hottest path in the whole
+        # simulator).
+        stats.misses += 1
+        if not self._inline_fill:
+            evicted = self._fill(cache_set, set_index, line)
+            return AccessResult(False, set_index, lookup[line], evicted)
+        tags = cache_set.tags
+        evicted = None
+        if len(lookup) < self._ways:
+            target_way = tags.index(None)
+        else:
+            if rrpv is not None:
+                # inline RRIPPolicy.victim (index + one-shot in-place aging)
+                try:
+                    target_way = rrpv.index(3)
+                except ValueError:
+                    step = 3 - max(rrpv)
+                    for i in range(self._ways):
+                        rrpv[i] += step
+                    target_way = rrpv.index(3)
+            else:
+                target_way = cache_set.victim()
+            old = tags[target_way]
+            del lookup[old]
+            evicted = EvictionRecord(old, set_index, target_way)
+            stats.evictions += 1
+        tags[target_way] = line
+        lookup[line] = target_way
+        if rrpv is not None:
+            rrpv[target_way] = 2  # inline RRIPPolicy.fill
+        else:
+            cache_set.policy_fill(target_way)
+        return AccessResult(False, set_index, target_way, evicted)
 
     def fill(self, addr: int) -> Optional[EvictionRecord]:
         """Insert the line containing ``addr`` without counting an access.
@@ -124,37 +252,49 @@ class SetAssociativeCache:
         PD_Tag co-fetch).  No-op when the line is already present (the
         replacement state is still touched).
         """
-        line = self.line_of(addr)
-        set_index = self.set_index_of(addr)
-        cache_set = self._set_for(set_index)
+        if self._pow2:
+            line = addr & self._line_mask
+            set_index = (addr >> self._line_shift) & self._set_mask
+        else:
+            line = self.line_of(addr)
+            set_index = self.set_index_of(addr)
+        cache_set = self._sets[set_index]
+        if cache_set is None:
+            cache_set = self._set_for(set_index)
         way = cache_set.lookup.get(line)
         if way is not None:
-            cache_set.policy.touch(way)
+            cache_set.touch(way)
             return None
         return self._fill(cache_set, set_index, line)
 
     def _fill(self, cache_set: _CacheSet, set_index: int, line: int) -> Optional[EvictionRecord]:
         """Place ``line`` into ``cache_set``; return the evicted line if any."""
+        tags = cache_set.tags
+        lookup = cache_set.lookup
         evicted: Optional[EvictionRecord] = None
-        for way, tag in enumerate(cache_set.tags):
-            if tag is None:
-                target_way = way
-                break
+        # lookup and the non-None tags are kept in bijection, so a free way
+        # exists exactly when the set is not full.
+        if len(lookup) < len(tags):
+            target_way = tags.index(None)
         else:
-            target_way = cache_set.policy.victim()
-            old = cache_set.tags[target_way]
-            del cache_set.lookup[old]
-            evicted = EvictionRecord(line_addr=old, set_index=set_index, way=target_way)
+            target_way = cache_set.victim()
+            old = tags[target_way]
+            del lookup[old]
+            evicted = EvictionRecord(old, set_index, target_way)
             self.stats.evictions += 1
-        cache_set.tags[target_way] = line
-        cache_set.lookup[line] = target_way
-        cache_set.policy.fill(target_way)
+        tags[target_way] = line
+        lookup[line] = target_way
+        cache_set.policy_fill(target_way)
         return evicted
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line containing ``addr``; True if it was present."""
-        line = self.line_of(addr)
-        cache_set = self._sets.get(self.set_index_of(addr))
+        if self._pow2:
+            line = addr & self._line_mask
+            cache_set = self._sets[(addr >> self._line_shift) & self._set_mask]
+        else:
+            line = self.line_of(addr)
+            cache_set = self._sets[self.set_index_of(addr)]
         if cache_set is None:
             return False
         way = cache_set.lookup.pop(line, None)
@@ -166,32 +306,22 @@ class SetAssociativeCache:
 
     def occupancy(self, set_index: int) -> int:
         """Number of valid lines currently in ``set_index``."""
-        cache_set = self._sets.get(set_index)
+        cache_set = self._sets[set_index]
         if cache_set is None:
             return 0
         return len(cache_set.lookup)
 
     def resident_lines(self, set_index: int) -> List[int]:
         """Line addresses currently resident in ``set_index`` (any order)."""
-        cache_set = self._sets.get(set_index)
+        cache_set = self._sets[set_index]
         if cache_set is None:
             return []
         return list(cache_set.lookup.keys())
 
     def clear(self) -> None:
         """Empty the cache (power-on state); statistics are kept."""
-        self._sets.clear()
+        self._sets = [None] * self._num_sets
 
     def __len__(self) -> int:
         """Total valid lines across all sets."""
-        return sum(len(s.lookup) for s in self._sets.values())
-
-
-@dataclass(frozen=True)
-class AccessResult:
-    """Outcome of :meth:`SetAssociativeCache.access`."""
-
-    hit: bool
-    set_index: int
-    way: int
-    evicted: Optional[EvictionRecord]
+        return sum(len(s.lookup) for s in self._sets if s is not None)

@@ -5,12 +5,17 @@ of this hierarchy but — by construction — cannot touch the MEE cache, since
 integrity-tree nodes never live here.  LLC inclusivity is modeled: evicting
 a line from the LLC back-invalidates all private copies, the property LLC
 Prime+Probe attacks rely on (Section 2.1).
+
+Private copies are tracked per line: every private fill (both the initial
+LLC fill and later LLC-hit promotions) records the filling core, so
+back-invalidation and ``clflush`` walk only the cores that may actually
+hold the line — O(holders), never O(cores).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -47,63 +52,77 @@ class CacheHierarchy:
             SetAssociativeCache(config.l2, rng=rng) for _ in range(cores)
         ]
         self.llc = SetAssociativeCache(config.llc, rng=rng)
-        # line -> set of cores that may hold it privately (for inclusivity)
-        self._private_holders: Dict[int, set] = {}
+        # line -> set of cores that may hold it privately (for inclusivity).
+        # Maintained as a superset: cores are added on every private fill
+        # and the entry is dropped when the line leaves the LLC, so a line
+        # with no entry has no private copies anywhere.
+        self._private_holders: Dict[int, Set[int]] = {}
 
     def access(self, core: int, paddr: int) -> AccessLevel:
         """Perform a data access from ``core``; return the level that hit.
 
         On a miss the line is filled into LLC, L2 and L1 (inclusive fill).
-        LLC evictions back-invalidate private copies on every core.
+        LLC evictions back-invalidate private copies on every holding core.
         """
-        line = self.llc.line_of(paddr)
-        if self.l1[core].contains(paddr):
-            self.l1[core].access(paddr)
+        l1 = self.l1[core]
+        if l1.probe(paddr):
             return AccessLevel.L1
-        if self.l2[core].contains(paddr):
-            self.l2[core].access(paddr)
-            self._fill_private(self.l1[core], core, paddr)
+        l2 = self.l2[core]
+        if l2.probe(paddr):
+            l1.fill(paddr)
             return AccessLevel.L2
-        if self.llc.contains(paddr):
-            self.llc.access(paddr)
-            self._fill_private(self.l2[core], core, paddr)
-            self._fill_private(self.l1[core], core, paddr)
-            self._private_holders.setdefault(line, set()).add(core)
+        llc = self.llc
+        line = llc.line_of(paddr)
+        if llc.probe(paddr):
+            l2.fill(paddr)
+            l1.fill(paddr)
+            self._record_holder(line, core)
             return AccessLevel.LLC
 
         # Full miss: fill every level, honoring inclusivity.
-        result = self.llc.access(paddr)
+        result = llc.access(paddr)
         if result.evicted is not None:
             self._back_invalidate(result.evicted.line_addr)
-        self._fill_private(self.l2[core], core, paddr)
-        self._fill_private(self.l1[core], core, paddr)
-        self._private_holders.setdefault(line, set()).add(core)
+        l2.fill(paddr)
+        l1.fill(paddr)
+        self._record_holder(line, core)
         return AccessLevel.MEMORY
 
-    def _fill_private(self, cache: SetAssociativeCache, core: int, paddr: int) -> None:
-        """Fill a private cache; private evictions need no global action."""
-        cache.fill(paddr)
+    def _record_holder(self, line: int, core: int) -> None:
+        """Note that ``core`` just filled ``line`` into its private caches."""
+        holders = self._private_holders.get(line)
+        if holders is None:
+            self._private_holders[line] = {core}
+        else:
+            holders.add(core)
 
     def _back_invalidate(self, line_addr: int) -> None:
-        """Inclusive LLC eviction: purge the line from all private caches."""
+        """Inclusive LLC eviction: purge the line from its private holders.
+
+        Holder tracking covers every private fill, so a line without a
+        recorded holder has no private copies and nothing to do — the
+        all-core fallback scan this used to need is gone.
+        """
         holders = self._private_holders.pop(line_addr, None)
-        if not holders:
-            holders = range(self.cores)
-        for core in holders:
-            self.l1[core].invalidate(line_addr)
-            self.l2[core].invalidate(line_addr)
+        if holders:
+            l1 = self.l1
+            l2 = self.l2
+            for core in holders:
+                l1[core].invalidate(line_addr)
+                l2[core].invalidate(line_addr)
 
     def flush(self, paddr: int) -> bool:
-        """``clflush``: drop the line from every level on every core.
+        """``clflush``: drop the line from every level on every holding core.
 
         Returns True when the line was present anywhere.
         """
         line = self.llc.line_of(paddr)
         present = self.llc.invalidate(paddr)
-        for core in range(self.cores):
-            present |= self.l1[core].invalidate(paddr)
-            present |= self.l2[core].invalidate(paddr)
-        self._private_holders.pop(line, None)
+        holders = self._private_holders.pop(line, None)
+        if holders:
+            for core in holders:
+                present |= self.l1[core].invalidate(line)
+                present |= self.l2[core].invalidate(line)
         return present
 
     def latency_of(self, level: AccessLevel) -> int:

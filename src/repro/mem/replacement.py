@@ -157,13 +157,23 @@ class RRIPPolicy:
         self._rrpv[way] = self.INSERT_RRPV
 
     def victim(self) -> int:
-        """Lowest-indexed way at RRPV 3, aging the set as needed."""
-        while True:
+        """Lowest-indexed way at RRPV 3, aging the set as needed.
+
+        Aging one round at a time until a way qualifies is equivalent to
+        aging every way by ``MAX_RRPV - max(rrpv)`` in one shot, so the
+        search is two C-speed ``list`` operations instead of nested Python
+        loops (this runs once per eviction — the hottest policy call).
+        """
+        rrpv = self._rrpv
+        try:
+            return rrpv.index(self.MAX_RRPV)
+        except ValueError:
+            # Age in place: the list object is shared with _CacheSet's
+            # inlined fast path, so it must never be rebound.
+            step = self.MAX_RRPV - max(rrpv)
             for way in range(self.ways):
-                if self._rrpv[way] >= self.MAX_RRPV:
-                    return way
-            for way in range(self.ways):
-                self._rrpv[way] += 1
+                rrpv[way] += step
+            return rrpv.index(self.MAX_RRPV)
 
     def rrpv_values(self) -> list:
         """Current RRPVs (diagnostics and tests)."""
@@ -196,12 +206,20 @@ _POLICIES = {
 }
 
 
+def policy_class(name: str) -> type:
+    """Resolve a policy class by configuration name.
+
+    Callers that create many per-set policy instances (one per cache set)
+    resolve the class once instead of paying the lookup on every set.
+    """
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown replacement policy {name!r}") from None
+
+
 def make_policy(
     name: str, ways: int, rng: Optional[np.random.Generator] = None
 ) -> ReplacementPolicy:
     """Instantiate a replacement policy by configuration name."""
-    try:
-        cls = _POLICIES[name]
-    except KeyError:
-        raise ConfigurationError(f"unknown replacement policy {name!r}") from None
-    return cls(ways, rng=rng)
+    return policy_class(name)(ways, rng=rng)

@@ -58,6 +58,9 @@ class CoreClock:
         self.core_id = core_id
         self.skew = float(skew)
         self.interrupts = interrupts
+        # Interrupt-free clocks (rate 0, the common unit-test/bench setup)
+        # skip the stretch() call on every advance.
+        self._can_interrupt = interrupts.rate_per_cycle > 0.0
         self._rng = rng if rng is not None else np.random.default_rng(core_id)
         #: current position on the reference timeline, in reference cycles
         self.now = 0.0
@@ -73,7 +76,7 @@ class CoreClock:
                 (short atomic operations are modeled as uninterruptible).
         """
         elapsed = core_cycles / (1.0 + self.skew)
-        if interruptible:
+        if interruptible and self._can_interrupt:
             extra = self.interrupts.stretch(core_cycles, self._rng)
             if extra:
                 self.interrupt_cycles += extra

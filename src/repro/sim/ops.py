@@ -26,21 +26,22 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Access:
     """Load ``size`` bytes at virtual address ``vaddr``.
 
     The result's ``latency`` is the measured access time in cycles and its
     ``value`` carries the :class:`~repro.system.machine.AccessOutcome`
-    describing where the access hit (for tracing/diagnostics only — attack
-    code must infer behaviour from latency, like real attack code does).
+    describing where the access hit — populated only while the machine's
+    trace recorder is enabled (tracing/diagnostics only; attack code must
+    infer behaviour from latency, like real attack code does).
     """
 
     vaddr: int
     size: int = 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteOp:
     """Store ``size`` bytes at virtual address ``vaddr``."""
 
@@ -48,7 +49,7 @@ class WriteOp:
     size: int = 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flush:
     """``clflush`` the line containing ``vaddr`` from L1/L2/LLC.
 
@@ -60,19 +61,19 @@ class Flush:
     vaddr: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fence:
     """``mfence`` — order preceding memory operations."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Busy:
     """Spin for ``cycles`` core cycles (subject to interrupt stretching)."""
 
     cycles: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rdtsc:
     """Read the time-stamp counter.
 
@@ -89,7 +90,7 @@ class Rdtsc:
     via_ocall: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadTimer:
     """Read the shared counter maintained by a non-enclave helper thread.
 
@@ -98,7 +99,7 @@ class ReadTimer:
     """
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Label:
     """Zero-cost trace annotation (e.g. window boundaries)."""
 
@@ -109,14 +110,18 @@ class Label:
 Operation = Union[Access, WriteOp, Flush, Fence, Busy, Rdtsc, ReadTimer, Label]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class OpResult:
     """What the scheduler sends back into the generator after an operation.
+
+    One of these is allocated per simulated operation, so it is a plain
+    (mutable) slots dataclass — the cheapest object construction the
+    dataclass machinery offers.
 
     Attributes:
         latency: cycles the operation took on the issuing core.
         value: operation-specific payload (TSC value for timer reads,
-            an outcome record for accesses, ``None`` otherwise).
+            an outcome record for traced accesses, ``None`` otherwise).
     """
 
     latency: float

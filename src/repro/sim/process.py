@@ -30,6 +30,19 @@ class SimProcess:
     :attr:`result` when the process finishes.
     """
 
+    __slots__ = (
+        "name",
+        "body",
+        "clock",
+        "enclave",
+        "address_space",
+        "state",
+        "result",
+        "failure",
+        "op_count",
+        "pending_op",
+    )
+
     def __init__(
         self,
         name: str,
@@ -54,6 +67,11 @@ class SimProcess:
         self.failure: Optional[BaseException] = None
         #: number of operations executed (diagnostics)
         self.op_count = 0
+        #: one-slot scheduler lookahead: the operation this process yielded
+        #: but has not yet had executed.  Owned by the scheduler; keeping it
+        #: here (instead of an ``id(process)``-keyed dict) ties its lifetime
+        #: to the process itself.
+        self.pending_op: Optional[Operation] = None
 
     @property
     def core_id(self) -> int:

@@ -7,13 +7,19 @@ by the operation's latency, and feeds the result back into the generator.
 Shared hardware (caches, the MEE, DRAM) therefore observes operations in
 global-time order, which is exactly the property a cross-core covert
 channel depends on.
+
+When only one runnable process remains (the common tail of every trial:
+the spy draining its probe loop after the trojan finishes) the heap
+degenerates to push-pop-push of a single entry; :meth:`Scheduler.run`
+detects that case and steps the lone process in a tight loop instead.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Protocol
+import time
+from typing import List, Optional, Protocol
 
 from ..errors import EnclaveError, SimulationError
 from .ops import Busy, Label, Operation, OpResult
@@ -39,16 +45,22 @@ class Scheduler:
         self._counter = itertools.count()
         self._heap: List = []
         self._processes: List[SimProcess] = []
-        # One-slot lookahead: after resuming a generator we already hold its
-        # next operation; it is stashed here until the heap schedules the
-        # process again, so cores are interleaved in true global-time order.
-        self._pending: Dict[int, Operation] = {}
+        #: operations executed across all ``run()`` calls
         self.total_ops = 0
+        #: wall-clock seconds spent inside ``run()`` (perf accounting)
+        self.wall_seconds = 0.0
 
     @property
     def processes(self) -> List[SimProcess]:
         """All processes ever added to this scheduler."""
         return list(self._processes)
+
+    @property
+    def ops_per_second(self) -> float:
+        """Simulated operations per wall-clock second (0.0 before any run)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.total_ops / self.wall_seconds
 
     def add(self, process: SimProcess) -> None:
         """Register a process; it starts at its clock's current time."""
@@ -66,27 +78,102 @@ class Scheduler:
                 almost always means a process is spinning without advancing
                 simulated time.
         """
-        while self._heap:
-            now, _, process = heapq.heappop(self._heap)
+        started = time.perf_counter()
+        try:
+            self._run(until)
+        finally:
+            self.wall_seconds += time.perf_counter() - started
+
+    def _run(self, until: Optional[float]) -> None:
+        heap = self._heap
+        done = (ProcessState.FINISHED, ProcessState.FAILED)
+        while heap:
+            if len(heap) == 1 and until is None:
+                # Single-runnable fast path: no other core can interleave,
+                # so take the process off the heap and step it in a tight
+                # loop with no pop/push churn.  A stepped body may spawn
+                # new processes (heap grows from empty) — the loop notices,
+                # re-queues this process at its current time and rejoins
+                # the general path.
+                _, _, process = heap.pop()
+                if process.state in done:
+                    continue
+                self._run_single(process, heap)
+                continue
+            now, _, process = heapq.heappop(heap)
             if until is not None and now > until:
-                heapq.heappush(self._heap, (now, next(self._counter), process))
+                heapq.heappush(heap, (now, next(self._counter), process))
                 return
-            if process.state in (ProcessState.FINISHED, ProcessState.FAILED):
+            if process.state in done:
                 continue
             self._step(process)
-            if process.state not in (ProcessState.FINISHED, ProcessState.FAILED):
+            if process.state not in done:
                 heapq.heappush(
-                    self._heap, (process.clock.now, next(self._counter), process)
+                    heap, (process.clock.now, next(self._counter), process)
                 )
+
+    def _run_single(self, process: SimProcess, heap: List) -> None:
+        """Tight loop for a lone runnable process.
+
+        This is :meth:`_step` inlined with everything hoisted to locals —
+        one operation costs a generator send, an executor call and a clock
+        advance, with no heap traffic and no per-op attribute churn.  The
+        semantics must stay exactly those of ``_step``; the scheduler unit
+        tests exercise both paths against each other.
+        """
+        executor_execute = self._executor.execute
+        max_ops = self._max_ops
+        total_ops = self.total_ops
+        step = process.step
+        clock_advance = process.clock.advance
+        try:
+            while True:
+                operation = process.pending_op
+                if operation is None:
+                    # First scheduling of this process: prime the generator.
+                    operation = step(None)
+                    if operation is None:
+                        return
+                else:
+                    process.pending_op = None
+                total_ops += 1
+                if total_ops > max_ops:
+                    raise SimulationError(
+                        f"operation budget ({max_ops}) exhausted; "
+                        f"last process was {process!r}"
+                    )
+                try:
+                    result = executor_execute(process, operation)
+                except EnclaveError as exc:
+                    process.pending_op = next_op = process.throw(exc)
+                else:
+                    op_class = operation.__class__
+                    if op_class is not Label:
+                        clock_advance(result.latency, op_class is Busy)
+                    process.pending_op = next_op = step(result)
+                # step()/throw() return None exactly when the process
+                # finished, so the lookahead op doubles as the liveness
+                # check — no state attribute reads on the hot loop.
+                if next_op is None:
+                    return
+                if heap:
+                    heapq.heappush(
+                        heap, (process.clock.now, next(self._counter), process)
+                    )
+                    return
+        finally:
+            self.total_ops = total_ops
 
     def _step(self, process: SimProcess) -> None:
         """Execute exactly one operation of ``process``."""
-        operation = self._pending.pop(id(process), None)
+        operation = process.pending_op
         if operation is None:
             # First scheduling of this process: prime the generator.
             operation = process.step(None)
             if operation is None:
                 return
+        else:
+            process.pending_op = None
         self.total_ops += 1
         if self.total_ops > self._max_ops:
             raise SimulationError(
@@ -99,13 +186,8 @@ class Scheduler:
             # Deliver the fault into the generator, like hardware delivering
             # #UD/#GP to the faulting thread.  Uncaught, it propagates and
             # marks the process FAILED.
-            follow_up = process.throw(exc)
-            if follow_up is not None:
-                self._pending[id(process)] = follow_up
+            process.pending_op = process.throw(exc)
             return
         if not isinstance(operation, Label):
-            interruptible = isinstance(operation, Busy)
-            process.clock.advance(result.latency, interruptible=interruptible)
-        follow_up = process.step(result)
-        if follow_up is not None:
-            self._pending[id(process)] = follow_up
+            process.clock.advance(result.latency, interruptible=isinstance(operation, Busy))
+        process.pending_op = process.step(result)

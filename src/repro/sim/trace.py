@@ -1,19 +1,24 @@
 """Lightweight event tracing for debugging and figure generation.
 
-Tracing is off by default (zero overhead beyond one ``if``); experiments
-that need per-access records — e.g. the probe-time series of Figure 6 —
-enable it around the interesting region.
+Tracing is off by default.  Callers on the hot path are expected to hoist
+the ``enabled`` check — building a :class:`TraceEvent` (or the payload
+passed as ``detail``) costs an allocation per event, so the machine model
+skips both the construction *and* the :meth:`TraceRecorder.record` call
+entirely while tracing is disabled.  Experiments that need per-access
+records — e.g. the probe-time series of Figure 6 — enable it around the
+interesting region, most conveniently via :meth:`TraceRecorder.section`.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded simulation event."""
 
@@ -43,6 +48,35 @@ class TraceRecorder:
         if self.filter is not None and not self.filter(event):
             return
         self.events.append(event)
+
+    @contextlib.contextmanager
+    def section(
+        self,
+        filter: Optional[Callable[[TraceEvent], bool]] = None,
+        clear: bool = False,
+    ) -> Iterator["TraceRecorder"]:
+        """Enable tracing for the duration of a ``with`` block.
+
+        The recorder's previous ``enabled``/``filter`` state is restored on
+        exit (including on exceptions), so experiments can scope tracing to
+        the interesting region without manual flag flips.
+
+        Args:
+            filter: optional event predicate installed for the section.
+            clear: drop previously recorded events on entry.
+        """
+        saved_enabled = self.enabled
+        saved_filter = self.filter
+        if clear:
+            self.events.clear()
+        self.enabled = True
+        if filter is not None:
+            self.filter = filter
+        try:
+            yield self
+        finally:
+            self.enabled = saved_enabled
+            self.filter = saved_filter
 
     def clear(self) -> None:
         """Drop all recorded events."""

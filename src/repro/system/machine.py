@@ -49,13 +49,15 @@ from ..units import PAGE_SIZE
 __all__ = ["AccessOutcome", "Machine"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessOutcome:
     """Ground-truth description of where an access was satisfied.
 
-    Exposed as the ``value`` of an :class:`~repro.sim.ops.Access` result for
-    tracing and tests; attack code must not rely on it (on hardware only
-    the latency is observable).
+    Only constructed while the machine's trace recorder is enabled — the
+    disabled-tracing hot path allocates no outcome at all.  Exposed as the
+    ``value`` of an :class:`~repro.sim.ops.Access` result for tracing and
+    tests; attack code must not rely on it (on hardware only the latency is
+    observable).
     """
 
     level: AccessLevel
@@ -133,6 +135,30 @@ class Machine:
         self._enclaves: Dict[str, Enclave] = {}
         self._timer_rng = self.streams.stream("timer")
 
+        # Hot-path constants, hoisted so _execute_access does no config
+        # attribute chasing per simulated load.
+        hierarchy = config.hierarchy
+        self._hit_latency = {
+            AccessLevel.L1: float(hierarchy.l1.hit_cycles),
+            AccessLevel.L2: float(hierarchy.l2.hit_cycles),
+            AccessLevel.LLC: float(hierarchy.llc.hit_cycles),
+        }
+        self._uncore_cycles = float(config.mee_latency.uncore_cycles)
+        self._mfence_cycles = float(config.hierarchy.mfence_cycles)
+
+        # Type-keyed operation dispatch: one dict lookup per op instead of
+        # walking an isinstance chain (operation classes are final).
+        self._op_handlers = {
+            Access: self._execute_access,
+            WriteOp: self._execute_access,
+            Flush: self._execute_flush,
+            Fence: self._execute_fence,
+            Busy: self._execute_busy,
+            Rdtsc: self._execute_rdtsc,
+            ReadTimer: self._execute_read_timer,
+            Label: self._execute_label,
+        }
+
     # -- OS-level services ----------------------------------------------------
 
     def new_address_space(self, name: str) -> AddressSpace:
@@ -185,50 +211,53 @@ class Machine:
 
     def execute(self, process: SimProcess, operation: Operation) -> OpResult:
         """Price and apply one operation (scheduler callback)."""
-        if isinstance(operation, (Access, WriteOp)):
-            return self._execute_access(process, operation)
-        if isinstance(operation, Flush):
-            return self._execute_flush(process, operation)
-        if isinstance(operation, Fence):
-            return OpResult(latency=self.config.hierarchy.mfence_cycles)
-        if isinstance(operation, Busy):
-            return OpResult(latency=max(float(operation.cycles), 0.0))
-        if isinstance(operation, Rdtsc):
-            return self._execute_rdtsc(process, operation)
-        if isinstance(operation, ReadTimer):
-            return self._execute_read_timer(process)
-        if isinstance(operation, Label):
+        handler = self._op_handlers.get(operation.__class__)
+        if handler is None:
+            raise SimulationError(f"unknown operation {operation!r}")
+        return handler(process, operation)
+
+    def _execute_fence(self, process: SimProcess, operation: Fence) -> OpResult:
+        return OpResult(self._mfence_cycles)
+
+    def _execute_busy(self, process: SimProcess, operation: Busy) -> OpResult:
+        cycles = float(operation.cycles)
+        return OpResult(cycles if cycles > 0.0 else 0.0)
+
+    def _execute_label(self, process: SimProcess, operation: Label) -> OpResult:
+        if self.trace.enabled:
             self.trace.record(process.now, process.name, "label", operation.text)
-            return OpResult(latency=0.0)
-        raise SimulationError(f"unknown operation {operation!r}")
+        return OpResult(0.0)
 
     # -- memory path -------------------------------------------------------------
 
     def _execute_access(self, process: SimProcess, operation) -> OpResult:
         space: AddressSpace = process.address_space
         paddr = space.translate(operation.vaddr)
-        write = isinstance(operation, WriteOp)
-
-        if self.physical.is_protected(paddr):
+        protected = self.physical.is_protected(paddr)
+        if protected:
             self._check_enclave_access(process, operation.vaddr)
 
-        level = self.hierarchy.access(process.core_id, paddr)
+        trace = self.trace
+        level = self.hierarchy.access(process.clock.core_id, paddr)
         if level is not AccessLevel.MEMORY:
-            latency = float(self.hierarchy.latency_of(level))
-            outcome = AccessOutcome(level=level, paddr=paddr)
-            self.trace.record(process.now, process.name, "access", outcome)
-            return OpResult(latency=latency, value=outcome)
+            if trace.enabled:
+                outcome = AccessOutcome(level=level, paddr=paddr)
+                trace.record(process.now, process.name, "access", outcome)
+                return OpResult(self._hit_latency[level], outcome)
+            return OpResult(self._hit_latency[level])
 
-        latency = self.config.mee_latency.uncore_cycles + self.dram.sample()
+        latency = self._uncore_cycles + self.dram.sample()
         mee_result: Optional[MEEAccessResult] = None
-        if self.physical.is_protected(paddr):
+        if protected:
             if self.pager is not None:
                 latency += self._page_in(paddr)
-            mee_result = self.mee.access(paddr, write=write)
+            mee_result = self.mee.access(paddr, write=isinstance(operation, WriteOp))
             latency += mee_result.extra_cycles
-        outcome = AccessOutcome(level=AccessLevel.MEMORY, paddr=paddr, mee=mee_result)
-        self.trace.record(process.now, process.name, "access", outcome)
-        return OpResult(latency=latency, value=outcome)
+        if trace.enabled:
+            outcome = AccessOutcome(level=AccessLevel.MEMORY, paddr=paddr, mee=mee_result)
+            trace.record(process.now, process.name, "access", outcome)
+            return OpResult(latency, outcome)
+        return OpResult(latency)
 
     def _page_in(self, paddr: int) -> float:
         """EPC paging: fault the page in; scrub an evicted page's metadata.
@@ -264,7 +293,8 @@ class Machine:
         space: AddressSpace = process.address_space
         paddr = space.translate(operation.vaddr)
         self.hierarchy.flush(paddr)
-        self.trace.record(process.now, process.name, "flush", paddr)
+        if self.trace.enabled:
+            self.trace.record(process.now, process.name, "flush", paddr)
         return OpResult(latency=float(self.config.hierarchy.clflush_cycles))
 
     # -- timers ---------------------------------------------------------------------
@@ -278,7 +308,9 @@ class Machine:
         cost = self.config.timers.rdtsc_cycles
         return OpResult(latency=float(cost), value=process.clock.tsc())
 
-    def _execute_read_timer(self, process: SimProcess) -> OpResult:
+    def _execute_read_timer(
+        self, process: SimProcess, operation: Optional[ReadTimer] = None
+    ) -> OpResult:
         """Counter-thread timer read (Figure 2c): ~50 cycles, slightly stale."""
         timers = self.config.timers
         cost = timers.counter_thread_read_cycles + float(

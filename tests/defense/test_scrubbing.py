@@ -45,7 +45,8 @@ class TestCacheScrubber:
             results.append((first.value.mee_hit_level, second.value.mee_hit_level))
 
         machine.spawn("t", body(), core=0, space=space, enclave=enclave)
-        machine.run()
+        with machine.trace.section():
+            machine.run()
         first_level, second_level = results[0]
         assert first_level == 4  # cold walk
         assert second_level >= 1  # versions was scrubbed -> re-walk, no error

@@ -1,0 +1,90 @@
+"""Unit tests for the parallel trial runner."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import JOBS_ENV_VAR, derive_seeds, resolve_jobs, run_trials
+
+
+def _square(value: int) -> int:
+    """Module-level so worker processes can import it."""
+    return value * value
+
+
+def _identify(value: int):
+    return (os.getpid(), value)
+
+
+class TestDeriveSeeds:
+    def test_deterministic(self):
+        assert derive_seeds(42, 8) == derive_seeds(42, 8)
+
+    def test_distinct_within_a_sweep(self):
+        seeds = derive_seeds(42, 64)
+        assert len(set(seeds)) == 64
+
+    def test_root_seed_matters(self):
+        assert derive_seeds(1, 8) != derive_seeds(2, 8)
+
+    def test_prefix_stable(self):
+        # Growing a sweep keeps the already-run trials' seeds.
+        assert derive_seeds(7, 16)[:8] == derive_seeds(7, 8)
+
+    def test_count_validation(self):
+        assert derive_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            derive_seeds(0, -1)
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_serial_default(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestRunTrials:
+    def test_serial_matches_list_comprehension(self):
+        seeds = list(range(10))
+        assert run_trials(_square, seeds, jobs=1) == [s * s for s in seeds]
+
+    def test_parallel_matches_serial_in_order(self):
+        seeds = list(range(10))
+        assert run_trials(_square, seeds, jobs=4) == [s * s for s in seeds]
+
+    def test_parallel_uses_worker_processes(self):
+        results = run_trials(_identify, list(range(8)), jobs=4)
+        pids = {pid for pid, _ in results}
+        assert os.getpid() not in pids
+
+    def test_single_trial_runs_in_process(self):
+        [(pid, _)] = run_trials(_identify, [1], jobs=4)
+        assert pid == os.getpid()
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        results = run_trials(_identify, list(range(4)))
+        assert [value for _, value in results] == [0, 1, 2, 3]
+        assert os.getpid() not in {pid for pid, _ in results}
+
+    def test_empty_seed_list(self):
+        assert run_trials(_square, [], jobs=4) == []

@@ -1,0 +1,100 @@
+"""Determinism guarantees: same seed ⇒ bit-identical results.
+
+Three layers of protection:
+
+* **golden values** — a small seeded trial is pinned against numbers
+  captured from the pre-fast-path simulator (``golden_channel_seed123.json``),
+  so hot-path rewrites that silently change simulated behaviour fail here;
+* **run-to-run** — two serial runs in one process agree bit for bit;
+* **serial vs. parallel** — :func:`repro.experiments.runner.run_trials`
+  with ``jobs=4`` returns exactly what the serial loop returns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.experiments.common import build_ready_channel
+from repro.experiments.runner import run_trials
+
+GOLDEN_PATH = Path(__file__).parent / "golden_channel_seed123.json"
+
+GOLDEN_SEED = 123
+GOLDEN_BITS = [1, 0, 0] * 10 + [1, 0]
+
+
+def _run_golden_trial():
+    """The pinned trial: 32-bit '100100...' transmit at seed 123."""
+    machine, channel = build_ready_channel(seed=GOLDEN_SEED)
+    result = channel.transmit(list(GOLDEN_BITS))
+    return machine, result
+
+
+def _snapshot(machine, result) -> dict:
+    probe_hash = hashlib.sha256(json.dumps(result.probe_times).encode()).hexdigest()
+    return {
+        "seed": GOLDEN_SEED,
+        "sent": list(result.sent),
+        "received": list(result.received),
+        "probe_times_sha256": probe_hash,
+        "error_rate": result.metrics.error_rate,
+        "bit_rate": result.metrics.bit_rate,
+        "mee_accesses": machine.mee.stats.accesses,
+        "mee_hit_level_counts": list(machine.mee.stats.hit_level_counts),
+        "mee_cache_hits": machine.mee.cache.stats.hits,
+        "mee_cache_misses": machine.mee.cache.stats.misses,
+        "mee_cache_evictions": machine.mee.cache.stats.evictions,
+        "llc_hits": machine.hierarchy.llc.stats.hits,
+        "llc_misses": machine.hierarchy.llc.stats.misses,
+        "total_ops": machine.scheduler.total_ops,
+    }
+
+
+class TestGoldenValues:
+    """Pre- vs. post-fast-path: the refactor must not change behaviour."""
+
+    def test_seeded_trial_matches_golden(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        machine, result = _run_golden_trial()
+        snapshot = _snapshot(machine, result)
+        mismatches = {
+            key: (snapshot[key], golden[key])
+            for key in golden
+            if snapshot[key] != golden[key]
+        }
+        assert not mismatches, f"golden drift: {mismatches}"
+
+
+class TestRunToRun:
+    def test_two_serial_runs_bit_identical(self):
+        machine_a, result_a = _run_golden_trial()
+        machine_b, result_b = _run_golden_trial()
+        assert result_a.received == result_b.received
+        assert result_a.probe_times == result_b.probe_times
+        assert result_a.metrics == result_b.metrics
+        assert machine_a.mee.stats.hit_level_counts == machine_b.mee.stats.hit_level_counts
+        assert machine_a.mee.cache.stats == machine_b.mee.cache.stats
+        assert machine_a.scheduler.total_ops == machine_b.scheduler.total_ops
+
+
+def _transmit_trial(seed: int) -> dict:
+    """Module-level (picklable) trial for the parallel identity check."""
+    machine, channel = build_ready_channel(seed=seed)
+    result = channel.transmit([1, 0] * 8)
+    return {
+        "received": list(result.received),
+        "probe_times": list(result.probe_times),
+        "error_rate": result.metrics.error_rate,
+        "mee_cache_hits": machine.mee.cache.stats.hits,
+        "mee_cache_misses": machine.mee.cache.stats.misses,
+    }
+
+
+class TestSerialVsParallel:
+    def test_run_trials_jobs4_bit_identical_to_serial(self):
+        seeds = [201, 202]
+        serial = [_transmit_trial(seed) for seed in seeds]
+        parallel = run_trials(_transmit_trial, seeds, jobs=4)
+        assert serial == parallel

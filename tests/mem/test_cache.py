@@ -99,6 +99,48 @@ class TestBasicOperations:
         assert len(cache) == 2
 
 
+class TestProbe:
+    """probe(): the hierarchy's single-pass hit-check-and-touch."""
+
+    def test_probe_miss_leaves_cache_untouched(self):
+        cache = small_cache()
+        assert not cache.probe(0x1000)
+        assert cache.stats.accesses == 0
+        assert cache.stats.misses == 0
+        assert not cache.contains(0x1000)
+
+    def test_probe_hit_touches_and_counts(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.probe(0x1000)
+        assert cache.stats.hits == 1
+        assert cache.stats.accesses == 2
+
+    def test_probe_hit_refreshes_replacement_state(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        assert cache.probe(0 * 64)  # line 1 becomes LRU
+        result = cache.access(2 * 64)
+        assert result.evicted.line_addr == 64
+
+    def test_probe_matches_contains_then_access(self):
+        # probe(addr) must be observationally identical to the old
+        # contains(addr)+access(addr) double walk on the hit path.
+        probed, doubled = small_cache(), small_cache()
+        pattern = [0, 64, 0, 128, 64, 0, 9 * 64, 0]
+        for addr in pattern:
+            probed.access(addr)
+            doubled.access(addr)
+        for addr in pattern:
+            hit = probed.probe(addr)
+            if doubled.contains(addr):
+                assert doubled.access(addr).hit and hit
+            else:
+                assert not hit
+        assert probed.stats.hits == doubled.stats.hits
+
+
 class TestStats:
     def test_hit_rate(self):
         cache = small_cache()

@@ -79,6 +79,42 @@ class TestInclusivity:
         # victim must be gone from core 0's private caches too.
         assert hierarchy.access(0, victim) is AccessLevel.MEMORY
 
+    def test_back_invalidate_only_visits_holder_cores(self):
+        # The holder registry must track exactly the cores that pulled the
+        # line into their private caches, so back-invalidation is
+        # O(holders) rather than a sweep over every core.
+        hierarchy = tiny_hierarchy(cores=4)
+        llc_sets = hierarchy.llc.geometry.num_sets
+        victim = 0
+        hierarchy.access(0, victim)
+        hierarchy.access(1, victim)
+        before = [
+            (hierarchy.l1[core].stats.flushes, hierarchy.l2[core].stats.flushes)
+            for core in range(4)
+        ]
+        for i in range(1, 9):
+            hierarchy.access(2, i * llc_sets * 64)
+        # Holder cores 0 and 1 lost the line; cores 2 and 3 (never holders
+        # of the victim) saw no invalidation traffic for it.
+        assert hierarchy.access(0, victim) is AccessLevel.MEMORY
+        for core in (2, 3):
+            assert hierarchy.l1[core].stats.flushes == before[core][0]
+            assert hierarchy.l2[core].stats.flushes == before[core][1]
+
+    def test_holder_registry_survives_repeated_evictions(self):
+        # Stale holder entries must not accumulate: cycling many conflicting
+        # lines through the LLC keeps private caches consistent throughout.
+        hierarchy = tiny_hierarchy(cores=2)
+        llc_sets = hierarchy.llc.geometry.num_sets
+        for round_index in range(3):
+            for i in range(12):
+                hierarchy.access(i % 2, (round_index * 12 + i) * llc_sets * 64)
+        for core in range(2):
+            l1 = hierarchy.l1[core]
+            for set_index in range(l1.geometry.num_sets):
+                for line in l1.resident_lines(set_index):
+                    assert hierarchy.llc.contains(line)
+
     def test_private_eviction_keeps_llc_copy(self):
         hierarchy = tiny_hierarchy()
         l1_sets = hierarchy.l1[0].geometry.num_sets

@@ -147,3 +147,120 @@ class TestScheduler:
         process = SimProcess("a", busy_loop("a", 1, 1), make_clock())
         scheduler.add(process)
         assert scheduler.processes == [process]
+
+
+class TestPendingOperationSlot:
+    """Regression: the one-slot lookahead lives on the process itself.
+
+    The scheduler used to stash the looked-ahead operation in a dict keyed
+    by ``id(process)`` — ids are reused once an object is garbage
+    collected, so a stale entry could be delivered to an unrelated process
+    that happened to land on the same id.  Storing the operation in
+    ``SimProcess.pending_op`` ties its lifetime to the process.
+    """
+
+    def test_pending_op_held_on_process_between_steps(self):
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        a = SimProcess("a", busy_loop("a", 10, 3), make_clock(0))
+        b = SimProcess("b", busy_loop("b", 10, 3), make_clock(1))
+        scheduler.add(a)
+        scheduler.add(b)
+        scheduler.run(until=5)
+        # Both processes were stepped once and their next op is parked on
+        # the process object, not in any scheduler-side registry.
+        assert isinstance(a.pending_op, Busy)
+        assert isinstance(b.pending_op, Busy)
+        assert not hasattr(scheduler, "_pending")
+
+    def test_no_cross_talk_between_generations_of_processes(self):
+        # Run many short-lived processes while dropping every reference so
+        # ids can be reused; each generation must see only its own ops.
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        for generation in range(50):
+            process = SimProcess(f"g{generation}", busy_loop(f"g{generation}", 1, 2), make_clock())
+            scheduler.add(process)
+            scheduler.run()
+            assert process.state is ProcessState.FINISHED
+            assert process.result == f"g{generation}"
+            assert process.pending_op is None
+            del process
+        names = [entry[0] for entry in executor.log]
+        assert names == [f"g{g}" for g in range(50) for _ in range(2)]
+
+    def test_fresh_process_starts_with_empty_slot(self):
+        process = SimProcess("a", busy_loop("a", 1, 1), make_clock())
+        assert process.pending_op is None
+
+
+class TestSingleRunnableFastPath:
+    """The heap-free loop for the common one-process tail."""
+
+    def test_lone_process_completes(self):
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor)
+        process = SimProcess("solo", busy_loop("solo", 5, 100), make_clock())
+        scheduler.add(process)
+        scheduler.run()
+        assert process.state is ProcessState.FINISHED
+        assert len(executor.log) == 100
+        assert process.clock.now == pytest.approx(500.0)
+
+    def test_spawn_during_fast_loop_restores_interleaving(self):
+        # A process added mid-run (by the executor, like Machine.spawn)
+        # must not be lost, and global-time order must hold afterwards.
+        spawned = SimProcess("child", busy_loop("child", 10, 4), make_clock(1))
+
+        class SpawningExecutor(RecordingExecutor):
+            def __init__(self):
+                super().__init__()
+                self.spawned = False
+
+            def execute(self, process, operation):
+                result = super().execute(process, operation)
+                if not self.spawned and len(self.log) == 3:
+                    self.spawned = True
+                    scheduler.add(spawned)
+                return result
+
+        executor = SpawningExecutor()
+        scheduler = Scheduler(executor)
+        parent = SimProcess("parent", busy_loop("parent", 10, 8), make_clock(0))
+        scheduler.add(parent)
+        scheduler.run()
+        assert parent.state is ProcessState.FINISHED
+        assert spawned.state is ProcessState.FINISHED
+        # The child joins with its clock at 0 while the parent is at 30, so
+        # from the spawn point onwards the scheduler must merge by time.
+        times = [entry[2] for entry in executor.log]
+        assert times[3:] == sorted(times[3:])
+        names = [entry[0] for entry in executor.log]
+        assert names.count("parent") == 8 and names.count("child") == 4
+        assert names[3] == "child"  # child's clock (0) precedes parent's (30)
+
+    def test_budget_enforced_on_fast_path(self):
+        def spinner():
+            while True:
+                yield Busy(1)
+
+        scheduler = Scheduler(RecordingExecutor(), max_ops=100)
+        scheduler.add(SimProcess("spin", spinner(), make_clock()))
+        with pytest.raises(SimulationError):
+            scheduler.run()
+
+
+class TestPerfAccounting:
+    def test_ops_per_second_zero_before_running(self):
+        scheduler = Scheduler(RecordingExecutor())
+        assert scheduler.ops_per_second == 0.0
+        assert scheduler.wall_seconds == 0.0
+
+    def test_wall_clock_and_rate_after_run(self):
+        scheduler = Scheduler(RecordingExecutor())
+        scheduler.add(SimProcess("a", busy_loop("a", 1, 500), make_clock()))
+        scheduler.run()
+        assert scheduler.wall_seconds > 0.0
+        assert scheduler.ops_per_second == pytest.approx(
+            scheduler.total_ops / scheduler.wall_seconds
+        )

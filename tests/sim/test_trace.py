@@ -41,3 +41,53 @@ class TestTraceRecorder:
     def test_repr_of_event(self):
         event = TraceEvent(time=1.5, process="spy", kind="access", detail="x")
         assert "spy" in repr(event)
+
+
+class TestSection:
+    def test_enables_inside_and_restores_on_exit(self):
+        recorder = TraceRecorder(enabled=False)
+        with recorder.section():
+            assert recorder.enabled
+            recorder.record(1.0, "p", "access", None)
+        assert not recorder.enabled
+        recorder.record(2.0, "p", "access", None)  # dropped: disabled again
+        assert [event.time for event in recorder.events] == [1.0]
+
+    def test_restores_prior_enabled_state(self):
+        recorder = TraceRecorder(enabled=True)
+        with recorder.section():
+            pass
+        assert recorder.enabled
+
+    def test_restores_on_exception(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.filter = None
+        try:
+            with recorder.section(filter=lambda event: True):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not recorder.enabled
+        assert recorder.filter is None
+
+    def test_filter_installed_and_restored(self):
+        outer = lambda event: event.kind == "flush"  # noqa: E731
+        recorder = TraceRecorder(enabled=True)
+        recorder.filter = outer
+        with recorder.section(filter=lambda event: event.kind == "access"):
+            recorder.record(1.0, "p", "access", None)
+            recorder.record(2.0, "p", "flush", None)
+        assert [event.kind for event in recorder.events] == ["access"]
+        assert recorder.filter is outer
+
+    def test_clear_drops_prior_events(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(1.0, "p", "access", None)
+        with recorder.section(clear=True):
+            recorder.record(2.0, "p", "access", None)
+        assert [event.time for event in recorder.events] == [2.0]
+
+    def test_yields_recorder(self):
+        recorder = TraceRecorder(enabled=False)
+        with recorder.section() as inner:
+            assert inner is recorder

@@ -9,7 +9,11 @@ from repro.units import PAGE_SIZE
 
 
 def run_ops(machine, ops_and_sinks, space, enclave=None, core=0):
-    """Run a body yielding the given ops, collecting OpResults."""
+    """Run a body yielding the given ops, collecting OpResults.
+
+    Tracing is enabled for the run so each result carries its
+    ``AccessOutcome`` — the disabled-tracing fast path returns latency only.
+    """
     results = []
 
     def body():
@@ -18,7 +22,8 @@ def run_ops(machine, ops_and_sinks, space, enclave=None, core=0):
             results.append(result)
 
     machine.spawn("t", body(), core=core, space=space, enclave=enclave)
-    machine.run()
+    with machine.trace.section():
+        machine.run()
     return results
 
 
