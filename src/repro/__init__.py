@@ -31,6 +31,8 @@ from .config import (
     skylake_i7_6700k,
 )
 from .core import (
+    AdaptiveWindowConfig,
+    AdaptiveWindowController,
     CandidateAddressSet,
     ChannelConfig,
     ChannelMetrics,
@@ -39,6 +41,10 @@ from .core import (
     EvictionSetResult,
     LatencyCalibration,
     PrimeProbeResult,
+    RobustnessMetrics,
+    SelfHealingChannel,
+    SelfHealingConfig,
+    SelfHealingResult,
     ThresholdClassifier,
     allocate_candidate_pages,
     alternating_bits,
@@ -56,17 +62,30 @@ from .core import (
     text_to_bits,
 )
 from .errors import (
+    AddressError,
     ChannelError,
     ConfigurationError,
     EnclaveError,
+    EPCError,
+    FaultError,
+    InstructionNotAvailableError,
     IntegrityError,
+    PagingError,
+    ProcessError,
     ReproError,
+    SimulationError,
+    TrialError,
+    TrialTimeoutError,
 )
+from .faults import FaultEvent, FaultInjector, FaultPlan
 from .system import Machine
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveWindowConfig",
+    "AdaptiveWindowController",
+    "AddressError",
     "CacheGeometry",
     "CandidateAddressSet",
     "ChannelConfig",
@@ -76,9 +95,15 @@ __all__ = [
     "ConfigurationError",
     "CovertChannel",
     "DRAMConfig",
+    "EPCError",
     "EnclaveError",
     "EvictionSetResult",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "HierarchyConfig",
+    "InstructionNotAvailableError",
     "IntegrityError",
     "LatencyCalibration",
     "MEECacheConfig",
@@ -86,11 +111,20 @@ __all__ = [
     "Machine",
     "NoiseConfig",
     "PagingConfig",
+    "PagingError",
     "PrimeProbeResult",
+    "ProcessError",
     "ReproError",
+    "SimulationError",
+    "RobustnessMetrics",
+    "SelfHealingChannel",
+    "SelfHealingConfig",
+    "SelfHealingResult",
     "SystemConfig",
     "ThresholdClassifier",
     "TimerConfig",
+    "TrialError",
+    "TrialTimeoutError",
     "allocate_candidate_pages",
     "alternating_bits",
     "bit_error_rate",

@@ -6,18 +6,26 @@ utilities keep that rendering consistent and testable.
 
 from .histogram import Histogram, latency_histogram
 from .render import render_curve, render_histogram, render_series, render_table
+from .robustness import (
+    RobustnessCurvePoint,
+    aggregate_point,
+    render_robustness_table,
+)
 from .stats import SummaryStats, summarize
 from .timeline import ChannelTimeline, WindowActivity, build_timeline
 
 __all__ = [
     "ChannelTimeline",
     "Histogram",
+    "RobustnessCurvePoint",
     "SummaryStats",
     "WindowActivity",
+    "aggregate_point",
     "build_timeline",
     "latency_histogram",
     "render_curve",
     "render_histogram",
+    "render_robustness_table",
     "render_series",
     "render_table",
     "summarize",

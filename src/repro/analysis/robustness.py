@@ -1,0 +1,109 @@
+"""Robustness-curve rendering: channel degradation vs fault intensity.
+
+The fault sweep (:mod:`repro.experiments.fault_sweep`) produces, per fault
+intensity and per window policy, a set of
+:class:`~repro.core.metrics.RobustnessMetrics`.  This module aggregates
+those into rows of a degradation table and renders it — the robustness
+analogue of the Figure 7 trade-off table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .render import render_table
+
+__all__ = ["RobustnessCurvePoint", "aggregate_point", "render_robustness_table"]
+
+
+def _mean(values: Sequence[float]) -> float:
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return math.nan
+    return sum(finite) / len(finite)
+
+
+@dataclass(frozen=True)
+class RobustnessCurvePoint:
+    """One (policy, fault intensity) cell, averaged over trials."""
+
+    policy: str
+    intensity: float
+    trials: int
+    delivery_rate: float  # fraction of trials with the full message intact
+    goodput_kbps: float
+    frame_error_rate: float
+    resyncs: float  # mean per trial
+    retransmissions: float  # mean per trial
+    time_to_recover_ms: float  # mean over trials that had any failure
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "intensity": self.intensity,
+            "trials": self.trials,
+            "delivery_rate": self.delivery_rate,
+            "goodput_kbps": self.goodput_kbps,
+            "frame_error_rate": self.frame_error_rate,
+            "resyncs": self.resyncs,
+            "retransmissions": self.retransmissions,
+            "time_to_recover_ms": self.time_to_recover_ms,
+        }
+
+
+def aggregate_point(
+    policy: str, intensity: float, metrics_dicts: Sequence[Dict]
+) -> RobustnessCurvePoint:
+    """Collapse per-trial ``RobustnessMetrics.to_dict()`` records into one
+    curve point."""
+    if not metrics_dicts:
+        raise ValueError("cannot aggregate an empty trial set")
+    ttr_ms = [
+        m["time_to_recover_cycles"] / m["clock_hz"] * 1e3
+        for m in metrics_dicts
+        if not math.isnan(m["time_to_recover_cycles"])
+    ]
+    return RobustnessCurvePoint(
+        policy=policy,
+        intensity=intensity,
+        trials=len(metrics_dicts),
+        delivery_rate=_mean([1.0 if m["delivered"] else 0.0 for m in metrics_dicts]),
+        goodput_kbps=_mean([m["goodput_kbps"] for m in metrics_dicts]),
+        frame_error_rate=_mean([m["frame_error_rate"] for m in metrics_dicts]),
+        resyncs=_mean([float(m["resyncs"]) for m in metrics_dicts]),
+        retransmissions=_mean([float(m["retransmissions"]) for m in metrics_dicts]),
+        time_to_recover_ms=_mean(ttr_ms) if ttr_ms else math.nan,
+    )
+
+
+def render_robustness_table(points: Sequence[RobustnessCurvePoint]) -> str:
+    """Fixed-width degradation table, one row per (policy, intensity)."""
+    headers = [
+        "policy",
+        "intensity",
+        "trials",
+        "delivered",
+        "goodput KBps",
+        "FER",
+        "resyncs",
+        "retx",
+        "TTR ms",
+    ]
+    rows: List[List[object]] = []
+    for p in sorted(points, key=lambda p: (p.intensity, p.policy)):
+        rows.append(
+            [
+                p.policy,
+                f"{p.intensity:g}",
+                p.trials,
+                f"{p.delivery_rate:.2f}",
+                f"{p.goodput_kbps:.3f}",
+                f"{p.frame_error_rate:.3f}",
+                f"{p.resyncs:.1f}",
+                f"{p.retransmissions:.1f}",
+                "-" if math.isnan(p.time_to_recover_ms) else f"{p.time_to_recover_ms:.2f}",
+            ]
+        )
+    return render_table(headers, rows)

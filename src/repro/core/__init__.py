@@ -19,6 +19,7 @@ Modules map to the paper's sections:
 * :mod:`~repro.core.metrics` — bit-rate / error-rate accounting.
 """
 
+from .adaptive import AdaptiveWindowConfig, AdaptiveWindowController
 from .candidates import CandidateAddressSet, allocate_candidate_pages
 from .channel import (
     ChannelConfig,
@@ -43,11 +44,17 @@ from .ecc import (
     repetition_encode,
 )
 from .latency import LatencyCalibration, ThresholdClassifier, calibrate_classifier
-from .metrics import ChannelMetrics, bit_error_rate, bit_rate_kbps
+from .metrics import ChannelMetrics, RobustnessMetrics, bit_error_rate, bit_rate_kbps
 from .monitor import find_monitor_address
 from .multichannel import MultiChannel, MultiChannelResult, lane_window_cycles
-from .protocol import DecodedFrame, FrameCodec, crc16_ccitt
+from .protocol import SEQ_MODULUS, DecodedFrame, FrameCodec, crc16_ccitt
 from .primeprobe import PrimeProbeResult, run_prime_probe_channel
+from .selfheal import (
+    FrameAttempt,
+    SelfHealingChannel,
+    SelfHealingConfig,
+    SelfHealingResult,
+)
 from .reverse_engineering import (
     EvictionSetResult,
     capacity_experiment,
@@ -56,10 +63,13 @@ from .reverse_engineering import (
 )
 
 __all__ = [
+    "AdaptiveWindowConfig",
+    "AdaptiveWindowController",
     "CandidateAddressSet",
     "ChannelConfig",
     "ChannelMetrics",
     "DecodedFrame",
+    "FrameAttempt",
     "FrameCodec",
     "crc16_ccitt",
     "ChannelResult",
@@ -69,6 +79,11 @@ __all__ = [
     "MultiChannel",
     "MultiChannelResult",
     "PrimeProbeResult",
+    "RobustnessMetrics",
+    "SEQ_MODULUS",
+    "SelfHealingChannel",
+    "SelfHealingConfig",
+    "SelfHealingResult",
     "ThresholdClassifier",
     "lane_window_cycles",
     "allocate_candidate_pages",

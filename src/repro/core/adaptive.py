@@ -1,0 +1,128 @@
+"""Adaptive timing-window control: back off under faults, re-tighten after.
+
+``examples/window_tuning.py`` picks one static operating point on the
+Figure 7 trade-off.  That is the right call on a quiet machine, but under
+preemption storms or DVFS jitter the knee moves: a 15000-cycle window that
+absorbs the trojan's ~9000-cycle eviction with 4800 cycles to spare has no
+slack left for a 20000-cycle stolen time slice, while a 60000-cycle window
+shrugs it off.  This module promotes the tuning procedure into a run-time
+controller, AIMD-flavored like congestion control:
+
+* ``backoff_after`` *consecutive* failed frames (CRC reject / no preamble
+  lock) multiply the window by ``backoff_factor``.  The streak requirement
+  is the discriminator between noise regimes: ambient single-bit errors
+  (interrupt slips) are independent of the window size and usually clear
+  on a retry, while fault-induced failures persist at the same window —
+  only the latter should trigger the backoff's rate cost;
+* ``recover_after`` consecutive delivered frames multiply it by
+  ``recover_factor`` (< 1), creeping back toward ``base_window_cycles``;
+* the window is clamped to ``[base_window_cycles, max_window_cycles]`` and
+  quantized to ``quantum_cycles`` so both endpoints can compute the exact
+  same schedule from the shared delivery history — the trojan learns
+  delivery outcomes via the attack's feedback channel (in the paper's
+  setting, the spy's exfiltration backchannel; see
+  :mod:`~repro.core.selfheal`).
+
+The controller is a pure function of its delivery history: replaying the
+same ok/fail sequence reproduces the same window sequence bit-for-bit,
+which keeps fault-sweep trials deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import ConfigurationError
+
+__all__ = ["AdaptiveWindowConfig", "AdaptiveWindowController"]
+
+
+@dataclass(frozen=True)
+class AdaptiveWindowConfig:
+    """Knobs of the adaptive controller."""
+
+    #: the quiet-machine operating point (paper: 15000 cycles -> 35 KBps)
+    base_window_cycles: int = 15_000
+    #: never back off beyond this (goodput floor the attacker accepts)
+    max_window_cycles: int = 60_000
+    #: multiplicative backoff once a failure streak completes
+    backoff_factor: float = 1.6
+    #: consecutive failed frames before the window widens one step
+    backoff_after: int = 2
+    #: multiplicative recovery per ``recover_after`` clean frames
+    recover_factor: float = 0.85
+    #: consecutive delivered frames before the window tightens one step
+    recover_after: int = 2
+    #: windows are rounded to multiples of this (keeps schedules alignable)
+    quantum_cycles: int = 500
+
+    def __post_init__(self) -> None:
+        if self.base_window_cycles <= 0:
+            raise ConfigurationError("base window must be positive")
+        if self.max_window_cycles < self.base_window_cycles:
+            raise ConfigurationError("max window must be >= base window")
+        if self.backoff_factor <= 1.0:
+            raise ConfigurationError("backoff factor must exceed 1.0")
+        if self.backoff_after < 1:
+            raise ConfigurationError("backoff_after must be >= 1")
+        if not 0.0 < self.recover_factor < 1.0:
+            raise ConfigurationError("recover factor must be in (0, 1)")
+        if self.recover_after < 1:
+            raise ConfigurationError("recover_after must be >= 1")
+        if self.quantum_cycles < 1:
+            raise ConfigurationError("quantum must be >= 1")
+
+
+class AdaptiveWindowController:
+    """Tracks frame outcomes; yields the window for the next frame."""
+
+    def __init__(self, config: AdaptiveWindowConfig = AdaptiveWindowConfig()):
+        self.config = config
+        self._window = float(config.base_window_cycles)
+        self._clean_streak = 0
+        self._fail_streak = 0
+        #: (window_used, delivered) per recorded frame, oldest first
+        self.history: List[tuple] = []
+
+    @property
+    def window_cycles(self) -> int:
+        """The window the next frame should use."""
+        quantum = self.config.quantum_cycles
+        return int(round(self._window / quantum)) * quantum
+
+    @property
+    def backed_off(self) -> bool:
+        """True while the controller sits above the base operating point."""
+        return self.window_cycles > self.config.base_window_cycles
+
+    def record_frame(self, delivered: bool) -> int:
+        """Feed one frame outcome; return the window for the next frame."""
+        config = self.config
+        self.history.append((self.window_cycles, delivered))
+        if delivered:
+            self._fail_streak = 0
+            self._clean_streak += 1
+            if self._clean_streak >= config.recover_after:
+                self._clean_streak = 0
+                self._window = max(
+                    self._window * config.recover_factor,
+                    float(config.base_window_cycles),
+                )
+        else:
+            self._clean_streak = 0
+            self._fail_streak += 1
+            if self._fail_streak >= config.backoff_after:
+                self._fail_streak = 0
+                self._window = min(
+                    self._window * config.backoff_factor,
+                    float(config.max_window_cycles),
+                )
+        return self.window_cycles
+
+    def reset(self) -> None:
+        """Return to the base operating point (new transmission)."""
+        self._window = float(self.config.base_window_cycles)
+        self._clean_streak = 0
+        self._fail_streak = 0
+        self.history.clear()

@@ -159,6 +159,9 @@ class ChannelResult:
     probe_times: List[float]
     window_cycles: int
     clock_hz: float
+    #: bits the spy never probed before the run deadline (padded as 0s);
+    #: nonzero only for deadline-bounded transmissions under heavy faults
+    truncated: int = 0
     metrics: ChannelMetrics = field(init=False)
 
     def __post_init__(self) -> None:
@@ -258,6 +261,7 @@ class CovertChannel:
         bits: Sequence[int],
         window_cycles: Optional[int] = None,
         extra_processes: Sequence = (),
+        deadline_slack_windows: Optional[int] = None,
     ) -> ChannelResult:
         """Send ``bits`` trojan→spy; returns the decoded stream + metrics.
 
@@ -267,6 +271,13 @@ class CovertChannel:
             extra_processes: ``(name, body, core, space, enclave)`` tuples
                 spawned alongside the channel — the noise workloads of
                 Figure 8 plug in here.
+            deadline_slack_windows: when set, bound the run: the scheduler
+                stops ``deadline_slack_windows`` windows past the nominal
+                end of the transmission instead of draining every process.
+                Needed when long-lived event sources (fault injectors,
+                ambient noise) share the machine; a spy still stuck at the
+                deadline is cancelled and its missing bits are padded as
+                zeros (counted in :attr:`ChannelResult.truncated`).
         """
         if not self.is_ready:
             raise ChannelError("call setup() before transmit()")
@@ -277,7 +288,7 @@ class CovertChannel:
 
         probe_times: List[float] = []
         received: List[int] = []
-        self.machine.spawn(
+        trojan = self.machine.spawn(
             "trojan",
             trojan_body(
                 list(bits),
@@ -291,7 +302,7 @@ class CovertChannel:
             space=self.trojan_space,
             enclave=self.trojan_enclave,
         )
-        self.machine.spawn(
+        spy = self.machine.spawn(
             "spy",
             spy_body(
                 len(bits),
@@ -310,7 +321,18 @@ class CovertChannel:
         )
         for name, body, core, space, enclave in extra_processes:
             self.machine.spawn(name, body, core=core, space=space, enclave=enclave)
-        self.machine.run()
+
+        truncated = 0
+        if deadline_slack_windows is None:
+            self.machine.run()
+        else:
+            deadline = start_time + (len(bits) + deadline_slack_windows) * window
+            self.machine.run(until=deadline)
+            trojan.cancel()
+            spy.cancel()
+            if len(received) < len(bits):
+                truncated = len(bits) - len(received)
+                received.extend([0] * truncated)
 
         return ChannelResult(
             sent=list(bits),
@@ -318,4 +340,5 @@ class CovertChannel:
             probe_times=probe_times,
             window_cycles=window,
             clock_hz=self.machine.config.clock_hz,
+            truncated=truncated,
         )

@@ -12,7 +12,13 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["bit_rate_kbps", "bit_error_rate", "binary_entropy", "ChannelMetrics"]
+__all__ = [
+    "bit_rate_kbps",
+    "bit_error_rate",
+    "binary_entropy",
+    "ChannelMetrics",
+    "RobustnessMetrics",
+]
 
 
 def binary_entropy(p: float) -> float:
@@ -104,3 +110,72 @@ class ChannelMetrics:
             false_ones=false_ones,
             false_zeros=false_zeros,
         )
+
+
+@dataclass(frozen=True)
+class RobustnessMetrics:
+    """Degradation summary of one self-healing transmission under faults.
+
+    Where :class:`ChannelMetrics` describes raw bits,
+    :class:`RobustnessMetrics` describes *delivery*: how much payload
+    arrived intact per unit time once retransmissions, resynchronization
+    and window backoff are paid for.
+    """
+
+    #: payload bytes the message contained
+    payload_bytes: int
+    #: payload bytes delivered intact (== payload_bytes on full delivery)
+    delivered_bytes: int
+    #: frame transmissions attempted (including retransmissions)
+    frames_attempted: int
+    #: distinct frames delivered with a good CRC and the right sequence
+    frames_delivered: int
+    #: extra attempts beyond one per frame
+    retransmissions: int
+    #: times the receiver had to re-lock the preamble away from the
+    #: expected stream position (desync events survived)
+    resyncs: int
+    #: reference cycles the whole exchange took
+    elapsed_cycles: float
+    #: mean cycles from a failed frame to the next delivered one
+    #: (math.nan when no failure ever happened)
+    time_to_recover_cycles: float
+    clock_hz: float
+
+    @property
+    def delivered(self) -> bool:
+        """True when the complete message arrived intact."""
+        return self.delivered_bytes == self.payload_bytes
+
+    @property
+    def frame_error_rate(self) -> float:
+        """Fraction of attempted frames that failed."""
+        if self.frames_attempted == 0:
+            return 0.0
+        return 1.0 - self.frames_delivered / self.frames_attempted
+
+    @property
+    def goodput_kbps(self) -> float:
+        """Delivered payload in KBps of wall-clock time — the figure of
+        merit the fault sweep compares controllers on."""
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        seconds = self.elapsed_cycles / self.clock_hz
+        return self.delivered_bytes / seconds / 1000.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (sweep archives)."""
+        return {
+            "payload_bytes": self.payload_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "frames_attempted": self.frames_attempted,
+            "frames_delivered": self.frames_delivered,
+            "retransmissions": self.retransmissions,
+            "resyncs": self.resyncs,
+            "elapsed_cycles": self.elapsed_cycles,
+            "time_to_recover_cycles": self.time_to_recover_cycles,
+            "clock_hz": self.clock_hz,
+            "goodput_kbps": self.goodput_kbps,
+            "frame_error_rate": self.frame_error_rate,
+            "delivered": self.delivered,
+        }

@@ -5,14 +5,18 @@ exfiltration tool needs more: the spy must find where a message *starts*
 in its decoded bit stream, know how long it is, and tell intact messages
 from corrupted ones.  This module adds a minimal link layer:
 
-``[preamble 16b] [length 16b] [header CRC-8 8b] [payload 8*N b] [CRC-16 16b]``
+``[preamble 16b] [length 16b] [seq 8b]? [header CRC-8 8b] [payload 8*N b] [CRC-16 16b]``
 
 * the preamble (0xF0A5 — chosen for low self-similarity) is located by a
   sliding correlation that tolerates one bit error, so the spy needs no
   agreement on the message's position, only on the window grid;
 * the length field carries its own CRC-8 — a flipped length bit would
   otherwise send the parser off past the end of the stream;
-* CRC-16/CCITT over length+payload rejects corrupted frames;
+* an optional 8-bit sequence number (``FrameCodec(sequence_numbers=True)``)
+  lets a receiver that lost lock tell retransmissions from fresh frames and
+  reassemble a multi-frame message in order — the basis of the
+  self-healing protocol in :mod:`~repro.core.selfheal`;
+* CRC-16/CCITT over header+payload rejects corrupted frames;
 * optional whole-frame repetition (see :mod:`~repro.core.ecc`) makes
   delivery robust at aggressive window sizes.
 """
@@ -25,14 +29,17 @@ from typing import List, Optional, Sequence
 from ..errors import ChannelError
 from .encoding import bits_to_bytes, bytes_to_bits
 
-__all__ = ["crc16_ccitt", "crc8", "FrameCodec", "DecodedFrame"]
+__all__ = ["crc16_ccitt", "crc8", "FrameCodec", "DecodedFrame", "SEQ_MODULUS"]
 
 #: default preamble: 1111000010100101
 PREAMBLE = 0xF0A5
 _PREAMBLE_BITS = 16
 _LENGTH_BITS = 16
+_SEQ_BITS = 8
 _HEADER_CRC_BITS = 8
 _CRC_BITS = 16
+#: sequence numbers wrap at this modulus
+SEQ_MODULUS = 1 << _SEQ_BITS
 
 
 def crc16_ccitt(data: bytes, seed: int = 0xFFFF) -> int:
@@ -80,29 +87,60 @@ class DecodedFrame:
     crc_ok: bool
     start_index: int  # preamble position within the stream
     preamble_errors: int  # bit errors tolerated while locking
+    #: sequence number, for codecs with ``sequence_numbers=True``
+    seq: Optional[int] = None
 
 
 class FrameCodec:
-    """Encode payloads into frames; scan bit streams for frames."""
+    """Encode payloads into frames; scan bit streams for frames.
 
-    def __init__(self, preamble: int = PREAMBLE, max_payload_bytes: int = 4096):
+    With ``sequence_numbers=True`` every frame carries an 8-bit sequence
+    number (mod :data:`SEQ_MODULUS`), covered by both the header CRC-8 and
+    the frame CRC-16.  The wire format is otherwise unchanged, but the two
+    modes are incompatible — sender and receiver must agree, like they
+    already agree on the preamble and window grid.
+    """
+
+    def __init__(
+        self,
+        preamble: int = PREAMBLE,
+        max_payload_bytes: int = 4096,
+        sequence_numbers: bool = False,
+    ):
         self.preamble_bits = _int_to_bits(preamble, _PREAMBLE_BITS)
         self.max_payload_bytes = max_payload_bytes
+        self.sequence_numbers = sequence_numbers
 
     # -- encode -----------------------------------------------------------
 
-    def encode(self, payload: bytes) -> List[int]:
-        """Frame ``payload`` as preamble + length + payload + CRC bits."""
+    def _header_bytes(self, length: int, seq: Optional[int]) -> bytes:
+        length_bytes = length.to_bytes(2, "big")
+        if self.sequence_numbers:
+            return length_bytes + bytes([seq & (SEQ_MODULUS - 1)])
+        return length_bytes
+
+    def encode(self, payload: bytes, seq: Optional[int] = None) -> List[int]:
+        """Frame ``payload`` as preamble + header + payload + CRC bits.
+
+        Args:
+            payload: frame contents.
+            seq: sequence number (required iff the codec was built with
+                ``sequence_numbers=True``; wraps mod :data:`SEQ_MODULUS`).
+        """
         if len(payload) > self.max_payload_bytes:
             raise ChannelError(
                 f"payload of {len(payload)} bytes exceeds cap {self.max_payload_bytes}"
             )
-        length_bytes = len(payload).to_bytes(2, "big")
-        crc = crc16_ccitt(length_bytes + payload)
+        if self.sequence_numbers and seq is None:
+            raise ChannelError("this codec requires a sequence number")
+        if not self.sequence_numbers and seq is not None:
+            raise ChannelError("this codec does not carry sequence numbers")
+        header = self._header_bytes(len(payload), seq)
+        crc = crc16_ccitt(header + payload)
         bits: List[int] = []
         bits.extend(self.preamble_bits)
-        bits.extend(bytes_to_bits(length_bytes))
-        bits.extend(_int_to_bits(crc8(length_bytes), _HEADER_CRC_BITS))
+        bits.extend(bytes_to_bits(header))
+        bits.extend(_int_to_bits(crc8(header), _HEADER_CRC_BITS))
         bits.extend(bytes_to_bits(payload))
         bits.extend(_int_to_bits(crc, _CRC_BITS))
         return bits
@@ -112,6 +150,7 @@ class FrameCodec:
         return (
             _PREAMBLE_BITS
             + _LENGTH_BITS
+            + (_SEQ_BITS if self.sequence_numbers else 0)
             + _HEADER_CRC_BITS
             + 8 * payload_bytes
             + _CRC_BITS
@@ -154,14 +193,20 @@ class FrameCodec:
             index, errors = match
             header_start = index + _PREAMBLE_BITS
             length_end = header_start + _LENGTH_BITS
-            header_end = length_end + _HEADER_CRC_BITS
+            seq_end = length_end + (_SEQ_BITS if self.sequence_numbers else 0)
+            header_end = seq_end + _HEADER_CRC_BITS
             if header_end > len(stream):
                 return frames
             length = _bits_to_int(stream[header_start:length_end])
-            header_crc = _bits_to_int(stream[length_end:header_end])
+            seq = (
+                _bits_to_int(stream[length_end:seq_end])
+                if self.sequence_numbers
+                else None
+            )
+            header_crc = _bits_to_int(stream[seq_end:header_end])
             if (
                 length > self.max_payload_bytes
-                or header_crc != crc8(length.to_bytes(2, "big"))
+                or header_crc != crc8(self._header_bytes(length, seq))
             ):
                 # Corrupt header; resume the scan one bit later.
                 cursor = index + 1
@@ -174,13 +219,14 @@ class FrameCodec:
                 continue
             payload = bits_to_bytes(list(stream[header_end:payload_end]))
             received_crc = _bits_to_int(stream[payload_end:crc_end])
-            expected_crc = crc16_ccitt(length.to_bytes(2, "big") + payload)
+            expected_crc = crc16_ccitt(self._header_bytes(length, seq) + payload)
             frames.append(
                 DecodedFrame(
                     payload=payload,
                     crc_ok=received_crc == expected_crc,
                     start_index=index,
                     preamble_errors=errors,
+                    seq=seq,
                 )
             )
             cursor = crc_end

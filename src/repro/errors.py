@@ -52,3 +52,18 @@ class ProcessError(SimulationError):
 
 class ChannelError(ReproError):
     """Covert-channel setup failed (no eviction set, no monitor address...)."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed or a fault could not be injected (unknown
+    fault kind, core out of range, overlapping modifier on one core...)."""
+
+
+class TrialError(ReproError):
+    """An experiment trial failed; carries enough context (seed, cause) to
+    replay the trial in isolation."""
+
+
+class TrialTimeoutError(TrialError):
+    """An experiment trial exceeded its wall-clock budget and was abandoned
+    (the worker may have been killed mid-trial)."""

@@ -13,6 +13,7 @@ from . import (
     ablations,
     algorithm1,
     defenses,
+    fault_sweep,
     figure2,
     figure4,
     figure5,
@@ -22,13 +23,23 @@ from . import (
     headline,
 )
 from .common import build_machine, build_ready_channel
+from .runner import (
+    TrialFailure,
+    derive_seeds,
+    resolve_jobs,
+    run_trials,
+    run_trials_robust,
+)
 
 __all__ = [
+    "TrialFailure",
     "ablations",
     "algorithm1",
     "build_machine",
     "build_ready_channel",
     "defenses",
+    "derive_seeds",
+    "fault_sweep",
     "figure2",
     "figure4",
     "figure5",
@@ -36,4 +47,7 @@ __all__ = [
     "figure7",
     "figure8",
     "headline",
+    "resolve_jobs",
+    "run_trials",
+    "run_trials_robust",
 ]

@@ -1,0 +1,210 @@
+"""Robustness sweep: channel degradation vs fault intensity.
+
+The paper measures the channel on a quiet machine; this experiment asks
+what an operator should expect on a hostile one.  For each fault intensity
+(preemption storms on the *trojan's* core — the realistic direction, since
+the trojan lives inside the victim enclave and eats the OS-induced
+preemptions and AEX storms that CacheZoom-style monitoring inflicts, while
+the spy sits on an attacker-controlled quiet core) the sweep delivers the
+same message two ways:
+
+* ``fixed``    — the paper's 15000-cycle operating point, no adaptation;
+* ``adaptive`` — the AIMD window controller of :mod:`repro.core.adaptive`.
+
+Each (policy, intensity) cell runs the same derived seeds, so the
+comparison is paired.  Results aggregate into robustness curves — goodput,
+frame error rate, resyncs, time-to-recover vs intensity — rendered as a
+table and archived to ``results/fault_sweep.json``.
+
+The physics of why adaptation wins: at 15000 cycles the window has
+``15000 - probe_margin(1200) - eviction(~9000) ≈ 4800`` spare cycles, so
+any stolen 12000–24000-cycle time slice that lands on an active trojan
+window destroys that frame; backed off to 45000–60000 cycles the same
+slice fits in the slack and the frame survives.  On a quiet machine the
+controller never backs off and the two policies transmit identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.robustness import (
+    RobustnessCurvePoint,
+    aggregate_point,
+    render_robustness_table,
+)
+from ..core.selfheal import SelfHealingChannel, SelfHealingConfig
+from ..faults.plan import preemption_storm
+from .common import build_ready_channel
+from .runner import TrialFailure, derive_seeds, run_trials
+
+__all__ = ["FaultSweepResult", "run", "render", "main", "DEFAULT_INTENSITIES"]
+
+#: preemptions per million cycles; 0 is the quiet-machine control
+DEFAULT_INTENSITIES: Tuple[float, ...] = (0.0, 2.0, 5.0, 8.0)
+#: the ablation baseline: the paper's fixed operating point
+FIXED_WINDOW_CYCLES = 15_000
+#: storm coverage — long enough to span the slowest backed-off delivery
+STORM_CYCLES = 250_000_000.0
+DEFAULT_PAYLOAD = b"MEE covert channel fault sweep."
+
+
+def _cell_trial(
+    spec: Tuple[int, float, Optional[int]],
+    payload_hex: str,
+    storm_cycles: float,
+) -> Dict:
+    """One (seed, intensity, policy) trial; returns RobustnessMetrics.to_dict().
+
+    Module-level and bound with :func:`functools.partial` so it pickles
+    into pool workers.
+    """
+    seed, intensity, fixed_window = spec
+    machine, channel = build_ready_channel(seed=seed)
+    if intensity > 0.0:
+        plan = preemption_storm(
+            seed=seed,
+            core=channel.config.trojan_core,
+            start_cycle=machine.now,
+            duration_cycles=storm_cycles,
+            rate_per_cycle=intensity * 1e-6,
+        )
+        machine.inject_faults(plan)
+    healer = SelfHealingChannel(
+        channel, SelfHealingConfig(fixed_window_cycles=fixed_window)
+    )
+    result = healer.send(bytes.fromhex(payload_hex))
+    return result.metrics.to_dict()
+
+
+@dataclass
+class FaultSweepResult:
+    """Aggregated robustness curves plus the raw per-trial records."""
+
+    root_seed: int
+    trials: int
+    payload_bytes: int
+    intensities: List[float]
+    points: List[RobustnessCurvePoint]
+    #: "policy@intensity" -> per-trial metrics dicts (seed order)
+    per_trial: Dict[str, List[Dict]] = field(default_factory=dict)
+    #: "policy@intensity" -> TrialFailure records, if any trial crashed
+    failures: Dict[str, List[Dict]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "fault_sweep",
+            "root_seed": self.root_seed,
+            "trials": self.trials,
+            "payload_bytes": self.payload_bytes,
+            "intensities": self.intensities,
+            "points": [p.to_dict() for p in self.points],
+            "per_trial": self.per_trial,
+            "failures": self.failures,
+        }
+
+
+def run(
+    seed: int = 0,
+    trials: int = 3,
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    payload: bytes = DEFAULT_PAYLOAD,
+    jobs: Optional[int] = None,
+    storm_cycles: float = STORM_CYCLES,
+) -> FaultSweepResult:
+    """Run the sweep; deterministic for fixed arguments regardless of ``jobs``."""
+    seeds = derive_seeds(seed, trials)
+    policies: List[Tuple[str, Optional[int]]] = [
+        ("fixed", FIXED_WINDOW_CYCLES),
+        ("adaptive", None),
+    ]
+    # One flat trial list so a parallel run spans the whole sweep, not one
+    # cell at a time; run_trials preserves order, so cells unpack cleanly.
+    specs = [
+        (trial_seed, intensity, fixed_window)
+        for intensity in intensities
+        for _policy, fixed_window in policies
+        for trial_seed in seeds
+    ]
+    fn = partial(
+        _cell_trial, payload_hex=payload.hex(), storm_cycles=storm_cycles
+    )
+    outcomes = run_trials(fn, specs, jobs=jobs, on_error="record")
+
+    points: List[RobustnessCurvePoint] = []
+    per_trial: Dict[str, List[Dict]] = {}
+    failures: Dict[str, List[Dict]] = {}
+    cursor = 0
+    for intensity in intensities:
+        for policy, _fixed_window in policies:
+            cell = outcomes[cursor : cursor + trials]
+            cursor += trials
+            key = f"{policy}@{intensity:g}"
+            good = [o for o in cell if not isinstance(o, TrialFailure)]
+            bad = [o.to_dict() for o in cell if isinstance(o, TrialFailure)]
+            per_trial[key] = good
+            if bad:
+                failures[key] = bad
+            if good:
+                points.append(aggregate_point(policy, intensity, good))
+    return FaultSweepResult(
+        root_seed=seed,
+        trials=trials,
+        payload_bytes=len(payload),
+        intensities=list(intensities),
+        points=points,
+        per_trial=per_trial,
+        failures=failures,
+    )
+
+
+def render(result: FaultSweepResult) -> str:
+    """Degradation table plus the headline comparison."""
+    lines = [
+        "Fault sweep: self-healing channel vs trojan-core preemption storms",
+        f"(seed {result.root_seed}, {result.trials} trials/cell, "
+        f"{result.payload_bytes}-byte message; intensity = preemptions per "
+        "million cycles)",
+        "",
+        render_robustness_table(result.points),
+    ]
+    stormy = [p for p in result.points if p.intensity > 0]
+    if stormy:
+        # Headline the harshest storm either policy still survives; past
+        # that point the curve only shows saturation, not the contrast.
+        delivering = [p.intensity for p in stormy if p.delivery_rate > 0]
+        top = max(delivering) if delivering else max(p.intensity for p in stormy)
+        by_policy = {p.policy: p for p in stormy if p.intensity == top}
+        if {"adaptive", "fixed"} <= by_policy.keys():
+            a, f = by_policy["adaptive"], by_policy["fixed"]
+            lines.append("")
+            lines.append(
+                f"At intensity {top:g}: adaptive delivers "
+                f"{a.delivery_rate:.0%} of messages at {a.goodput_kbps:.3f} "
+                f"KBps vs fixed {f.delivery_rate:.0%} at "
+                f"{f.goodput_kbps:.3f} KBps."
+            )
+    if result.failures:
+        lines.append("")
+        lines.append(f"Crashed trials in {sorted(result.failures)} (see archive).")
+    return "\n".join(lines)
+
+
+def main(output_path: str = "results/fault_sweep.json") -> FaultSweepResult:
+    """Run the sweep with archive defaults and write the JSON artifact."""
+    result = run()
+    os.makedirs(os.path.dirname(output_path) or ".", exist_ok=True)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render(result))
+    print(f"\narchived to {output_path}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

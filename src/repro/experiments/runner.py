@@ -25,17 +25,39 @@ Job count resolution (first match wins):
 
 ``jobs <= 1`` (or a single trial) runs serially in-process, with no pool
 overhead and identical results.
+
+Long sweeps additionally need to survive individual trials going wrong:
+
+* ``run_trials(..., on_error="record")`` converts a raising trial into a
+  :class:`TrialFailure` record in its result slot instead of poisoning the
+  whole sweep (the historical behavior — and still the default,
+  ``on_error="raise"`` — loses every completed sibling trial when one
+  worker raises);
+* :func:`run_trials_robust` adds per-trial wall-clock budgets (hung
+  workers are killed with the pool, recorded as timed-out failures),
+  deterministic same-seed retries, and atomic JSON checkpointing so an
+  interrupted sweep resumes instead of restarting.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+import tempfile
+import traceback as traceback_module
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
-__all__ = ["derive_seeds", "resolve_jobs", "run_trials"]
+__all__ = [
+    "TrialFailure",
+    "derive_seeds",
+    "resolve_jobs",
+    "run_trials",
+    "run_trials_robust",
+]
 
 T = TypeVar("T")
 
@@ -80,12 +102,97 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+@dataclass(frozen=True)
+class TrialFailure:
+    """Typed record of one trial that raised or timed out.
+
+    Carries everything needed to replay the trial in isolation (the seed)
+    and to understand what went wrong without access to the dead worker
+    (exception type name, message, formatted traceback).  Instances are
+    picklable and JSON-round-trippable, so they flow through pools and
+    checkpoints like ordinary results.
+    """
+
+    seed: int
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    timed_out: bool = False
+
+    @classmethod
+    def from_exception(
+        cls, seed: int, exc: BaseException, attempts: int = 1
+    ) -> "TrialFailure":
+        """Capture a raised exception (call from inside the worker, where
+        the traceback is still attached)."""
+        return cls(
+            seed=seed,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempts=attempts,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "__trial_failure__": True,
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialFailure":
+        return cls(
+            seed=data["seed"],
+            error_type=data["error_type"],
+            message=data["message"],
+            traceback=data.get("traceback", ""),
+            attempts=data.get("attempts", 1),
+            timed_out=data.get("timed_out", False),
+        )
+
+
+class _CatchingTrial:
+    """Picklable wrapper turning worker exceptions into result records.
+
+    ``Pool.map`` re-raises the first worker exception in the parent and
+    discards every other trial's result; catching *inside* the worker is
+    the only way to keep the rest of the sweep.
+    """
+
+    def __init__(self, fn: Callable[[int], T]):
+        self.fn = fn
+
+    def __call__(self, seed: int):
+        try:
+            return ("ok", self.fn(seed))
+        except Exception as exc:  # noqa: BLE001 — the record carries the type
+            return ("err", TrialFailure.from_exception(seed, exc))
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        # Platform without fork (e.g. Windows): spawn still works because
+        # trial functions are importable module-level callables.
+        return multiprocessing.get_context("spawn")
+
+
 def run_trials(
     fn: Callable[[int], T],
     seeds: Sequence[int],
     jobs: Optional[int] = None,
     chunksize: int = 1,
-) -> List[T]:
+    on_error: str = "raise",
+) -> List[Union[T, TrialFailure]]:
     """Run ``fn(seed)`` for every seed, optionally across worker processes.
 
     Args:
@@ -97,21 +204,173 @@ def run_trials(
             to serial execution.
         chunksize: trials handed to a worker at a time; leave at 1 for
             long trials, raise it for many tiny ones.
+        on_error: ``"raise"`` propagates the first trial exception (and,
+            in parallel runs, abandons the sibling results — ``Pool.map``
+            semantics); ``"record"`` returns a :class:`TrialFailure` in
+            that trial's result slot and keeps the rest of the sweep.
 
     Returns:
         Trial results in seed order — identical to ``[fn(s) for s in
         seeds]`` regardless of ``jobs``.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     seeds = list(seeds)
     jobs = resolve_jobs(jobs)
+    call = _CatchingTrial(fn) if on_error == "record" else fn
     if jobs == 1 or len(seeds) <= 1:
-        return [fn(seed) for seed in seeds]
-    jobs = min(jobs, len(seeds))
+        raw = [call(seed) for seed in seeds]
+    else:
+        jobs = min(jobs, len(seeds))
+        with _pool_context().Pool(processes=jobs) as pool:
+            raw = pool.map(call, seeds, chunksize=chunksize)
+    if on_error == "raise":
+        return raw
+    return [value for _tag, value in raw]
+
+
+# -- robust execution: timeouts, retries, checkpoints ---------------------------
+
+
+def _load_checkpoint(path: str, seeds: List[int]) -> Dict[int, object]:
+    """Completed results from a previous run, or {} when absent/stale."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("seeds") != list(seeds):
+        # Different sweep (seed list changed) — ignore the stale file.
+        return {}
+    results: Dict[int, object] = {}
+    for key, value in data.get("results", {}).items():
+        if isinstance(value, dict) and value.get("__trial_failure__"):
+            value = TrialFailure.from_dict(value)
+        results[int(key)] = value
+    return results
+
+
+def _save_checkpoint(path: str, seeds: List[int], results: Dict[int, object]) -> None:
+    """Atomically persist completed results (tmp file + rename)."""
+    payload = {
+        "seeds": list(seeds),
+        "results": {
+            str(index): (
+                value.to_dict() if isinstance(value, TrialFailure) else value
+            )
+            for index, value in results.items()
+        },
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
-        # Platform without fork (e.g. Windows): spawn still works because
-        # trial functions are importable module-level callables.
-        context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=jobs) as pool:
-        return pool.map(fn, seeds, chunksize=chunksize)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def run_trials_robust(
+    fn: Callable[[int], T],
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+    timeout_seconds: Optional[float] = None,
+    max_attempts: int = 2,
+    checkpoint_path: Optional[str] = None,
+) -> List[Union[T, TrialFailure]]:
+    """:func:`run_trials` for sweeps that must survive crashing or hanging
+    trials.
+
+    Semantics:
+
+    * a raising trial is retried with the *same seed* (trials are pure
+      functions of their seed, so a retry reproduces the failure unless it
+      came from the environment — exactly the distinction worth knowing);
+      after ``max_attempts`` total attempts its slot holds a
+      :class:`TrialFailure`;
+    * with ``timeout_seconds``, each trial's result is awaited with that
+      budget; a trial that exceeds it is recorded as timed out
+      (``timed_out=True``) and retried like a crash.  Hung workers are
+      killed when their round's pool is torn down, and the next round gets
+      a fresh pool.  Timeouts require pool execution, so ``jobs=1`` with a
+      timeout still runs in a single-worker pool (same results, but
+      killable);
+    * with ``checkpoint_path``, every completed slot is persisted (atomic
+      write) after each round, and a rerun with the same seed list resumes
+      from the file instead of recomputing.  Trial results must be
+      JSON-serializable to use checkpointing.
+
+    Returns:
+        Result-or-:class:`TrialFailure` per seed, in seed order.
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    seeds = list(seeds)
+    jobs = resolve_jobs(jobs)
+    results: Dict[int, object] = (
+        _load_checkpoint(checkpoint_path, seeds) if checkpoint_path else {}
+    )
+    pending = [
+        (index, seed, 1) for index, seed in enumerate(seeds) if index not in results
+    ]
+    call = _CatchingTrial(fn)
+
+    while pending:
+        outcomes: List[tuple] = []  # (index, seed, attempt, tag, value)
+        if jobs == 1 and timeout_seconds is None:
+            for index, seed, attempt in pending:
+                tag, value = call(seed)
+                outcomes.append((index, seed, attempt, tag, value))
+        else:
+            workers = min(jobs, len(pending))
+            with _pool_context().Pool(processes=workers) as pool:
+                handles = [
+                    (index, seed, attempt, pool.apply_async(call, (seed,)))
+                    for index, seed, attempt in pending
+                ]
+                for index, seed, attempt, handle in handles:
+                    try:
+                        tag, value = handle.get(timeout_seconds)
+                    except multiprocessing.TimeoutError:
+                        tag, value = (
+                            "err",
+                            TrialFailure(
+                                seed=seed,
+                                error_type="TrialTimeoutError",
+                                message=(
+                                    f"trial with seed {seed} exceeded its "
+                                    f"{timeout_seconds}s budget"
+                                ),
+                                attempts=attempt,
+                                timed_out=True,
+                            ),
+                        )
+                    outcomes.append((index, seed, attempt, tag, value))
+                # Leaving the with-block terminates the pool, killing any
+                # worker still stuck on a timed-out trial.
+
+        retry: List[tuple] = []
+        for index, seed, attempt, tag, value in outcomes:
+            if tag == "ok":
+                results[index] = value
+            elif attempt < max_attempts:
+                retry.append((index, seed, attempt + 1))
+            else:
+                if isinstance(value, TrialFailure):
+                    value = TrialFailure(
+                        seed=value.seed,
+                        error_type=value.error_type,
+                        message=value.message,
+                        traceback=value.traceback,
+                        attempts=attempt,
+                        timed_out=value.timed_out,
+                    )
+                results[index] = value
+        if checkpoint_path:
+            _save_checkpoint(checkpoint_path, seeds, results)
+        pending = retry
+
+    return [results[index] for index in range(len(seeds))]

@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the simulated machine.
+
+The paper evaluates the channel on a quiet machine and under memory
+stressors (Figure 8); real SGX attacks additionally fight OS preemption,
+AEX storms (CacheZoom), EPC paging and clock-rate changes.  This package
+drives those adversities into the simulation as data:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`, a seeded, replayable
+  schedule of :class:`FaultEvent` s (preemption, core migration, AEX,
+  EPC-eviction bursts, DRAM latency spikes, DVFS jitter, trojan stalls);
+* :mod:`~repro.faults.injector` — the injector process that the scheduler
+  runs like any other event source, applying each event at its simulated
+  time and logging what it did.
+
+Plans are pure functions of their parameters, so a trial with a plan is
+exactly as reproducible as one without: same seed, same bits.
+"""
+
+from .plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    aex_storm,
+    dram_spike_train,
+    dvfs_jitter,
+    epc_pressure,
+    migration_shuffle,
+    preemption_storm,
+    trojan_stalls,
+)
+from .injector import FaultInjector, FaultLogEntry
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLogEntry",
+    "FaultPlan",
+    "aex_storm",
+    "dram_spike_train",
+    "dvfs_jitter",
+    "epc_pressure",
+    "migration_shuffle",
+    "preemption_storm",
+    "trojan_stalls",
+]

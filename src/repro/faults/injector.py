@@ -1,0 +1,228 @@
+"""The fault injector: a scheduler-driven process that applies a plan.
+
+The injector is an ordinary :class:`~repro.sim.process.SimProcess` whose
+body busy-waits (on its own virtual clock, outside the core set) to each
+event's timestamp and then mutates machine state: stealing cycles from a
+core's clock, re-pinning processes, scrubbing MEE metadata, registering
+DRAM stressors, re-clocking cores.  Because the scheduler interleaves it
+in global-time order with every other process, faults land at their
+scheduled simulated time regardless of how many processes run or how the
+trial is parallelized — the property the replay tests pin down.
+
+Durative faults (``dram_spike``, ``dvfs``) compile to a start and an end
+action; overlapping episodes on the same resource are applied in timestamp
+order (a later ``dvfs`` start overrides an active one, and the earliest
+end restores nominal — real governors are no kinder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..errors import FaultError
+from ..sim.ops import Busy, Operation, OpResult
+from ..sim.process import ProcessState
+from ..units import PAGE_SIZE
+from .plan import FaultEvent, FaultPlan
+
+__all__ = ["FaultLogEntry", "FaultInjector"]
+
+#: cycles a migrated thread loses to the scheduler + cold-start penalty
+MIGRATION_COST_CYCLES = 5_000.0
+
+
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """One applied fault: when it actually fired and what it did."""
+
+    at_cycle: float
+    kind: str
+    detail: str
+
+
+@dataclass
+class _Action:
+    """One compiled timeline step (start or end of an event)."""
+
+    at_cycle: float
+    order: int
+    event: FaultEvent
+    phase: str  # "start" | "end"
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a machine from inside the scheduler.
+
+    Built via :meth:`repro.system.machine.Machine.inject_faults`; not
+    usually constructed directly.  After the run, :attr:`log` holds every
+    applied fault and :meth:`stolen_cycles` / :attr:`counts` summarize the
+    damage for degradation metrics.
+    """
+
+    def __init__(self, machine, plan: FaultPlan):
+        plan.validate_for(machine.config.cores)
+        self.machine = machine
+        self.plan = plan
+        self.log: List[FaultLogEntry] = []
+        #: applied events per fault kind
+        self.counts: Dict[str, int] = {}
+        self._stolen = 0.0
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [0xFA17, int(machine.config.seed), int(plan.seed or 0)]
+            )
+        )
+        self._actions = self._compile(plan)
+
+    @staticmethod
+    def _compile(plan: FaultPlan) -> List[_Action]:
+        actions: List[_Action] = []
+        for order, event in enumerate(plan.events):
+            if event.kind in ("dram_spike", "dvfs"):
+                actions.append(_Action(event.at_cycle, order, event, "start"))
+                actions.append(
+                    _Action(event.at_cycle + event.duration_cycles, order, event, "end")
+                )
+            else:
+                actions.append(_Action(event.at_cycle, order, event, "start"))
+        actions.sort(key=lambda a: (a.at_cycle, a.order, a.phase))
+        return actions
+
+    # -- summary ----------------------------------------------------------
+
+    def stolen_cycles(self) -> float:
+        """Total core cycles consumed by preempt/stall/aex faults."""
+        return self._stolen
+
+    def _record(self, at: float, kind: str, detail: str) -> None:
+        self.log.append(FaultLogEntry(at_cycle=at, kind=kind, detail=detail))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    # -- the event source -------------------------------------------------
+
+    def body(self, start_cycle: float = 0.0) -> Generator[Operation, OpResult, int]:
+        """Process body: wait to each action's time, apply it.
+
+        Args:
+            start_cycle: the injector clock's position when spawned; event
+                times at or before it fire immediately.
+
+        Returns:
+            Number of applied actions.
+        """
+        now = float(start_cycle)
+        applied = 0
+        for action in self._actions:
+            delay = action.at_cycle - now
+            if delay > 0:
+                result = yield Busy(delay)
+                now += result.latency
+                # The scheduler executes an op and resumes the generator in
+                # the same step, so without a barrier this body would apply
+                # the action while the global timeline still sits at the
+                # *previous* action's pop time.  A zero-length op re-enters
+                # the heap at the action's own timestamp, so the apply below
+                # runs only once every other process has caught up to it.
+                yield Busy(0.0)
+            self._apply(action)
+            applied += 1
+        return applied
+
+    # -- application ------------------------------------------------------
+
+    def _apply(self, action: _Action) -> None:
+        event = action.event
+        handler = getattr(self, f"_apply_{event.kind}", None)
+        if handler is None:
+            raise FaultError(f"no handler for fault kind {event.kind!r}")
+        handler(event, action.phase)
+
+    def _steal(self, event: FaultEvent, label: str) -> None:
+        clock = self.machine.clocks[event.core]
+        clock.now += event.duration_cycles
+        clock.interrupt_cycles += event.duration_cycles
+        self._stolen += event.duration_cycles
+        self._record(
+            clock.now, label, f"core {event.core} lost {event.duration_cycles:.0f} cycles"
+        )
+
+    def _apply_preempt(self, event: FaultEvent, phase: str) -> None:
+        self._steal(event, "preempt")
+
+    def _apply_stall(self, event: FaultEvent, phase: str) -> None:
+        self._steal(event, "stall")
+
+    def _apply_aex(self, event: FaultEvent, phase: str) -> None:
+        # Exit + SSA writeback + resume: time stolen like a preemption,
+        # plus the core's private L1 is polluted by the handler.
+        self.machine.hierarchy.flush_core(event.core)
+        self._steal(event, "aex")
+
+    def _apply_migrate(self, event: FaultEvent, phase: str) -> None:
+        machine = self.machine
+        source = machine.clocks[event.core]
+        target = machine.clocks[event.target_core]
+        moved = 0
+        for process in machine.scheduler.processes:
+            if process.clock is not source:
+                continue
+            if process.state in (
+                ProcessState.FINISHED,
+                ProcessState.FAILED,
+                ProcessState.CANCELLED,
+            ):
+                continue
+            # The thread resumes on the target core no earlier than where it
+            # was, pays the migration penalty, and finds cold private caches.
+            target.now = max(target.now, source.now) + MIGRATION_COST_CYCLES
+            process.clock = target
+            moved += 1
+        self._record(
+            source.now,
+            "migrate",
+            f"{moved} process(es) core {event.core} -> {event.target_core}",
+        )
+
+    def _apply_epc_evict(self, event: FaultEvent, phase: str) -> None:
+        machine = self.machine
+        frames: List[int] = []
+        if machine.pager is not None:
+            frames = machine.pager.evict_burst(event.pages)
+        if not frames:
+            # No pager (or empty resident set): model *other* enclaves'
+            # pages being evicted — random protected frames lose their
+            # cached integrity metadata, scrubbing shared MEE-cache sets.
+            base = machine.physical.protected_base
+            frame_count = machine.config.mee_region_bytes // PAGE_SIZE
+            picks = self._rng.integers(0, frame_count, size=event.pages)
+            frames = [base + int(index) * PAGE_SIZE for index in picks]
+        for frame in frames:
+            machine.scrub_page_metadata(frame)
+        self._record(
+            machine.now, "epc_evict", f"evicted {len(frames)} page(s) of metadata"
+        )
+
+    def _apply_dram_spike(self, event: FaultEvent, phase: str) -> None:
+        dram = self.machine.dram
+        if phase == "start":
+            for _ in range(event.magnitude):
+                dram.register_stressor()
+            self._record(
+                self.machine.now, "dram_spike", f"+{event.magnitude} bus stressors"
+            )
+        else:
+            for _ in range(event.magnitude):
+                dram.unregister_stressor()
+
+    def _apply_dvfs(self, event: FaultEvent, phase: str) -> None:
+        clock = self.machine.clocks[event.core]
+        if phase == "start":
+            clock.set_rate_scale(event.scale)
+            self._record(
+                clock.now, "dvfs", f"core {event.core} re-clocked x{event.scale:.3f}"
+            )
+        else:
+            clock.set_rate_scale(1.0)

@@ -1,0 +1,366 @@
+"""Fault plans: seeded, replayable schedules of machine adversity.
+
+A :class:`FaultPlan` is an ordered tuple of :class:`FaultEvent` s plus the
+seed that generated it.  Plans are plain data — they can be serialized to
+JSON (archived next to sweep results), diffed, and replayed bit-for-bit;
+the :mod:`~repro.faults.injector` turns them into scheduler activity.
+
+Fault kinds
+-----------
+
+``preempt``
+    The OS steals ``duration_cycles`` from ``core`` (timer tick, RCU,
+    another runqueue task).  Whatever process is pinned there loses the
+    time; with absolute-deadline busy-waits this slips one-or-few protocol
+    windows, the paper's own interrupt error mechanism, but at storm rates.
+``stall``
+    Same mechanics as ``preempt`` but long (tens of windows) and isolated:
+    the trojan's host thread is descheduled outright.  Kept as its own
+    kind so degradation metrics can attribute it separately.
+``aex``
+    Asynchronous Enclave Exit on ``core`` (CacheZoom's weapon): the
+    enclave thread is kicked out, its SSA frame written back, and the
+    core's private L1 polluted; re-entry costs ``duration_cycles``.
+``migrate``
+    The scheduler moves every process pinned to ``core`` onto
+    ``target_core`` (cold private caches, one-off migration penalty).
+``epc_evict``
+    Kernel EPC pressure: ``pages`` protected pages are evicted (EWB).
+    Their integrity-tree metadata leaves the MEE cache — other tenants'
+    paging traffic scrubbing the channel's working set.
+``dram_spike``
+    ``magnitude`` extra bus stressors' worth of DRAM contention for
+    ``duration_cycles`` (membw burst, refresh storm, thermal throttle of
+    the memory controller).
+``dvfs``
+    The governor re-clocks ``core`` by ``scale`` (e.g. 0.8 = 20% slower)
+    for ``duration_cycles``; trojan and spy windows drift apart at rates
+    far above the ppm crystal skew the protocol was tuned for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import FaultError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "preemption_storm",
+    "trojan_stalls",
+    "aex_storm",
+    "migration_shuffle",
+    "epc_pressure",
+    "dram_spike_train",
+    "dvfs_jitter",
+]
+
+#: every fault kind the injector knows how to apply
+FAULT_KINDS = (
+    "preempt",
+    "stall",
+    "aex",
+    "migrate",
+    "epc_evict",
+    "dram_spike",
+    "dvfs",
+)
+
+#: kinds that need a duration
+_DURATIVE = {"preempt", "stall", "aex", "dram_spike", "dvfs"}
+#: kinds that act on a specific core
+_CORE_TARGETED = {"preempt", "stall", "aex", "migrate", "dvfs"}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled adversity.
+
+    Attributes:
+        at_cycle: reference-timeline cycle the fault fires at.
+        kind: one of :data:`FAULT_KINDS`.
+        core: targeted core for core-targeted kinds (ignored otherwise).
+        duration_cycles: how long the fault lasts (stolen cycles for
+            ``preempt``/``stall``/``aex``, modifier lifetime for
+            ``dram_spike``/``dvfs``).
+        target_core: destination core for ``migrate``.
+        pages: pages evicted by ``epc_evict``.
+        magnitude: stressor count for ``dram_spike``.
+        scale: clock-rate multiplier for ``dvfs``.
+    """
+
+    at_cycle: float
+    kind: str
+    core: int = 0
+    duration_cycles: float = 0.0
+    target_core: Optional[int] = None
+    pages: int = 0
+    magnitude: int = 1
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(f"unknown fault kind {self.kind!r}")
+        if self.at_cycle < 0:
+            raise FaultError(f"fault time must be non-negative, got {self.at_cycle}")
+        if self.kind in _DURATIVE and self.duration_cycles <= 0:
+            raise FaultError(f"{self.kind} fault needs a positive duration")
+        if self.kind == "migrate" and self.target_core is None:
+            raise FaultError("migrate fault needs a target_core")
+        if self.kind == "epc_evict" and self.pages < 1:
+            raise FaultError("epc_evict fault needs pages >= 1")
+        if self.kind == "dvfs" and self.scale <= 0:
+            raise FaultError("dvfs scale must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used when archiving sweep results)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, replayable fault schedule.
+
+    Build one from the storm helpers below, combine plans with
+    :meth:`merged`, and hand the result to
+    :meth:`repro.system.machine.Machine.inject_faults`.  Equality is
+    structural, so two plans built from the same parameters compare equal —
+    the property the serial-vs-parallel determinism tests rely on.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    #: seed the plan was generated from (bookkeeping; None for hand-built)
+    seed: Optional[int] = None
+    #: human-readable description for logs and archives
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: (e.at_cycle, e.kind, e.core)))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def validate_for(self, cores: int) -> None:
+        """Raise :class:`FaultError` if any event targets a missing core."""
+        for event in self.events:
+            if event.kind in _CORE_TARGETED and not 0 <= event.core < cores:
+                raise FaultError(
+                    f"{event.kind} fault targets core {event.core}, "
+                    f"machine has {cores}"
+                )
+            if event.kind == "migrate" and not 0 <= event.target_core < cores:
+                raise FaultError(
+                    f"migrate fault targets core {event.target_core}, "
+                    f"machine has {cores}"
+                )
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans (events re-sorted by time)."""
+        label = " + ".join(part for part in (self.label, other.label) if part)
+        return FaultPlan(events=self.events + other.events, seed=self.seed, label=label)
+
+    def shifted(self, offset_cycles: float) -> "FaultPlan":
+        """The same plan, ``offset_cycles`` later (e.g. past channel setup)."""
+        moved = tuple(
+            FaultEvent(**{**event.to_dict(), "at_cycle": event.at_cycle + offset_cycles})
+            for event in self.events
+        )
+        return FaultPlan(events=moved, seed=self.seed, label=self.label)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "seed": self.seed,
+            "label": self.label,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        events = tuple(FaultEvent(**event) for event in data.get("events", ()))
+        return cls(events=events, seed=data.get("seed"), label=data.get("label", ""))
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([0xFA017, int(seed)]))
+
+
+def _poisson_times(
+    rng: np.random.Generator, start: float, duration: float, rate_per_cycle: float
+) -> List[float]:
+    """Poisson arrival times in [start, start+duration)."""
+    if rate_per_cycle <= 0 or duration <= 0:
+        return []
+    times: List[float] = []
+    t = start
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_cycle))
+        if t >= start + duration:
+            return times
+        times.append(t)
+
+
+def preemption_storm(
+    seed: int,
+    core: int,
+    start_cycle: float,
+    duration_cycles: float,
+    rate_per_cycle: float,
+    stall_min_cycles: float = 12_000.0,
+    stall_max_cycles: float = 24_000.0,
+) -> FaultPlan:
+    """Poisson preemptions of ``core``, stall lengths uniform in a band.
+
+    The band (rather than an exponential) models OS scheduling slices,
+    which cluster around the tick length instead of spreading over decades.
+    """
+    rng = _rng(seed)
+    events = tuple(
+        FaultEvent(
+            at_cycle=t,
+            kind="preempt",
+            core=core,
+            duration_cycles=float(rng.uniform(stall_min_cycles, stall_max_cycles)),
+        )
+        for t in _poisson_times(rng, start_cycle, duration_cycles, rate_per_cycle)
+    )
+    return FaultPlan(events=events, seed=seed, label=f"preempt-storm(core={core})")
+
+
+def trojan_stalls(
+    seed: int,
+    core: int,
+    start_cycle: float,
+    duration_cycles: float,
+    count: int,
+    stall_cycles: float = 400_000.0,
+) -> FaultPlan:
+    """``count`` long stalls of the trojan's core, evenly spread with jitter."""
+    if count < 1:
+        return FaultPlan(seed=seed, label="stalls(none)")
+    rng = _rng(seed)
+    spacing = duration_cycles / count
+    events = tuple(
+        FaultEvent(
+            at_cycle=start_cycle + (i + 0.5) * spacing + float(rng.uniform(-0.2, 0.2) * spacing),
+            kind="stall",
+            core=core,
+            duration_cycles=stall_cycles,
+        )
+        for i in range(count)
+    )
+    return FaultPlan(events=events, seed=seed, label=f"stalls(core={core}, n={count})")
+
+
+def aex_storm(
+    seed: int,
+    core: int,
+    start_cycle: float,
+    duration_cycles: float,
+    rate_per_cycle: float,
+    exit_cycles: float = 8_000.0,
+) -> FaultPlan:
+    """CacheZoom-style AEX train against the enclave thread on ``core``."""
+    rng = _rng(seed)
+    events = tuple(
+        FaultEvent(at_cycle=t, kind="aex", core=core, duration_cycles=exit_cycles)
+        for t in _poisson_times(rng, start_cycle, duration_cycles, rate_per_cycle)
+    )
+    return FaultPlan(events=events, seed=seed, label=f"aex-storm(core={core})")
+
+
+def migration_shuffle(
+    seed: int,
+    cores: Iterable[Tuple[int, int]],
+    start_cycle: float,
+    duration_cycles: float,
+    count: int,
+) -> FaultPlan:
+    """``count`` migrations drawn from the (from, to) pairs in ``cores``."""
+    pairs = list(cores)
+    if not pairs or count < 1:
+        return FaultPlan(seed=seed, label="migrations(none)")
+    rng = _rng(seed)
+    events = tuple(
+        FaultEvent(
+            at_cycle=start_cycle + float(rng.uniform(0.0, duration_cycles)),
+            kind="migrate",
+            core=pairs[int(rng.integers(len(pairs)))][0],
+            target_core=pairs[int(rng.integers(len(pairs)))][1],
+        )
+        for _ in range(count)
+    )
+    return FaultPlan(events=events, seed=seed, label="migrations")
+
+
+def epc_pressure(
+    seed: int,
+    start_cycle: float,
+    duration_cycles: float,
+    burst_rate_per_cycle: float,
+    pages_per_burst: int = 32,
+) -> FaultPlan:
+    """Bursts of kernel EPC paging scrubbing MEE-cache metadata."""
+    rng = _rng(seed)
+    events = tuple(
+        FaultEvent(at_cycle=t, kind="epc_evict", pages=pages_per_burst)
+        for t in _poisson_times(rng, start_cycle, duration_cycles, burst_rate_per_cycle)
+    )
+    return FaultPlan(events=events, seed=seed, label="epc-pressure")
+
+
+def dram_spike_train(
+    seed: int,
+    start_cycle: float,
+    duration_cycles: float,
+    rate_per_cycle: float,
+    spike_cycles: float = 300_000.0,
+    magnitude: int = 4,
+) -> FaultPlan:
+    """Poisson DRAM-contention spikes (bus bursts from other tenants)."""
+    rng = _rng(seed)
+    events = tuple(
+        FaultEvent(
+            at_cycle=t,
+            kind="dram_spike",
+            duration_cycles=spike_cycles,
+            magnitude=magnitude,
+        )
+        for t in _poisson_times(rng, start_cycle, duration_cycles, rate_per_cycle)
+    )
+    return FaultPlan(events=events, seed=seed, label="dram-spikes")
+
+
+def dvfs_jitter(
+    seed: int,
+    core: int,
+    start_cycle: float,
+    duration_cycles: float,
+    rate_per_cycle: float,
+    scale_low: float = 0.85,
+    scale_high: float = 1.1,
+    episode_cycles: float = 500_000.0,
+) -> FaultPlan:
+    """Governor re-clocks ``core`` to a random scale for short episodes."""
+    rng = _rng(seed)
+    events = tuple(
+        FaultEvent(
+            at_cycle=t,
+            kind="dvfs",
+            core=core,
+            duration_cycles=episode_cycles,
+            scale=float(rng.uniform(scale_low, scale_high)),
+        )
+        for t in _poisson_times(rng, start_cycle, duration_cycles, rate_per_cycle)
+    )
+    return FaultPlan(events=events, seed=seed, label=f"dvfs(core={core})")

@@ -125,6 +125,18 @@ class CacheHierarchy:
                 present |= self.l2[core].invalidate(line)
         return present
 
+    def flush_core(self, core: int, include_l2: bool = False) -> None:
+        """Drop every line from ``core``'s private L1 (and optionally L2).
+
+        Models context-switch/AEX pollution: the SSA writeback and the
+        incoming context evict the previous occupant's private working set.
+        Holder bookkeeping stays a superset (documented above), so the
+        inclusive-LLC invariants are untouched.
+        """
+        self.l1[core].clear()
+        if include_l2:
+            self.l2[core].clear()
+
     def latency_of(self, level: AccessLevel) -> int:
         """Hit latency in cycles for a level satisfied on-chip.
 

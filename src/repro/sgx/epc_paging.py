@@ -87,6 +87,24 @@ class EPCPager:
         self.stats.resident_peak = max(self.stats.resident_peak, len(self._resident))
         return extra, evicted
 
+    def evict_burst(self, count: int) -> list:
+        """Forcibly EWB the ``count`` least-recently-used resident pages.
+
+        Models kernel EPC pressure from *other* enclaves: the victim pages
+        leave the EPC (they will fault back in on next touch) and their
+        integrity-tree metadata must be scrubbed by the caller, exactly as
+        on the demand-paging path.
+
+        Returns:
+            The evicted frame addresses, oldest first.
+        """
+        evicted = []
+        for _ in range(min(count, len(self._resident))):
+            frame, _ = self._resident.popitem(last=False)
+            evicted.append(frame)
+            self.stats.writebacks += 1
+        return evicted
+
     def drop(self, paddr: int) -> bool:
         """Remove a page from the resident set (enclave teardown)."""
         frame = self._frame_of(paddr)

@@ -62,10 +62,24 @@ class CoreClock:
         # skip the stretch() call on every advance.
         self._can_interrupt = interrupts.rate_per_cycle > 0.0
         self._rng = rng if rng is not None else np.random.default_rng(core_id)
+        #: DVFS multiplier on the oscillator rate (1.0 = nominal); set via
+        #: :meth:`set_rate_scale` so the cached divisor stays consistent
+        self.rate_scale = 1.0
+        self._rate = 1.0 + self.skew
         #: current position on the reference timeline, in reference cycles
         self.now = 0.0
         #: total interrupt cycles suffered so far (diagnostics)
         self.interrupt_cycles = 0.0
+
+    def set_rate_scale(self, scale: float) -> None:
+        """Re-clock the core (DVFS): the oscillator now runs at ``scale``
+        times its nominal rate, so local cycles stretch or shrink on the
+        reference timeline.  ``scale`` must be positive; 1.0 restores
+        nominal frequency."""
+        if scale <= 0.0:
+            raise ValueError(f"rate scale must be positive, got {scale}")
+        self.rate_scale = float(scale)
+        self._rate = (1.0 + self.skew) * self.rate_scale
 
     def advance(self, core_cycles: float, interruptible: bool = True) -> float:
         """Advance by ``core_cycles`` local cycles; return elapsed reference cycles.
@@ -75,7 +89,7 @@ class CoreClock:
             interruptible: whether OS interrupts may stretch this interval
                 (short atomic operations are modeled as uninterruptible).
         """
-        elapsed = core_cycles / (1.0 + self.skew)
+        elapsed = core_cycles / self._rate
         if interruptible and self._can_interrupt:
             extra = self.interrupts.stretch(core_cycles, self._rng)
             if extra:

@@ -19,6 +19,7 @@ class ProcessState(enum.Enum):
     RUNNING = "running"
     FINISHED = "finished"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 class SimProcess:
@@ -126,6 +127,28 @@ class SimProcess:
             self.state = ProcessState.FAILED
             self.failure = err
             raise
+
+    def cancel(self) -> bool:
+        """Stop the process without running it further (kill -9 analogue).
+
+        Closes the generator (its ``finally`` blocks run, so paired
+        resources like DRAM stressor registrations are released) and marks
+        the process CANCELLED; the scheduler skips it from then on.
+        Already-finished processes are left untouched.
+
+        Returns:
+            True when the process was actually cancelled by this call.
+        """
+        if self.state in (
+            ProcessState.FINISHED,
+            ProcessState.FAILED,
+            ProcessState.CANCELLED,
+        ):
+            return False
+        self.body.close()
+        self.state = ProcessState.CANCELLED
+        self.pending_op = None
+        return True
 
     def __repr__(self) -> str:
         return (

@@ -86,7 +86,7 @@ class Scheduler:
 
     def _run(self, until: Optional[float]) -> None:
         heap = self._heap
-        done = (ProcessState.FINISHED, ProcessState.FAILED)
+        done = (ProcessState.FINISHED, ProcessState.FAILED, ProcessState.CANCELLED)
         while heap:
             if len(heap) == 1 and until is None:
                 # Single-runnable fast path: no other core can interleave,

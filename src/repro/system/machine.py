@@ -198,6 +198,30 @@ class Machine:
         self.scheduler.add(process)
         return process
 
+    def inject_faults(self, plan):
+        """Schedule a :class:`~repro.faults.plan.FaultPlan` for execution.
+
+        Spawns the fault injector as a scheduler process on its own virtual
+        clock (outside the core set, so injector waits never advance
+        ``machine.now``).  Multiple plans may be active at once.
+
+        Returns:
+            The :class:`~repro.faults.injector.FaultInjector`, whose log
+            and counters describe what was applied after the run.
+        """
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(self, plan)
+        clock = CoreClock(
+            core_id=self.config.cores,  # virtual id, outside the core range
+            skew=0.0,
+            interrupts=InterruptModel(rate_per_cycle=0.0),
+        )
+        clock.now = self.now
+        process = SimProcess("fault-injector", injector.body(start_cycle=clock.now), clock)
+        self.scheduler.add(process)
+        return injector
+
     def run(self, until: Optional[float] = None) -> None:
         """Run the scheduler (see :meth:`Scheduler.run`)."""
         self.scheduler.run(until=until)
@@ -267,13 +291,21 @@ class Machine:
         """
         extra, evicted_frame = self.pager.touch(paddr)
         if evicted_frame is not None:
-            layout = self.layout
-            self.mee.cache.invalidate(layout.l0_line(evicted_frame))
-            for unit in range(PAGE_SIZE // 512):
-                chunk_addr = evicted_frame + unit * 512
-                self.mee.cache.invalidate(layout.versions_line(chunk_addr))
-                self.mee.cache.invalidate(layout.pd_tag_line(chunk_addr))
+            self.scrub_page_metadata(evicted_frame)
         return extra
+
+    def scrub_page_metadata(self, frame: int) -> None:
+        """Drop a protected page's integrity-tree lines from the MEE cache.
+
+        The EWB path and EPC-pressure fault injection both need this: once
+        a page leaves the EPC its cached versions/PD-tag/L0 lines are stale.
+        """
+        layout = self.layout
+        self.mee.cache.invalidate(layout.l0_line(frame))
+        for unit in range(PAGE_SIZE // 512):
+            chunk_addr = frame + unit * 512
+            self.mee.cache.invalidate(layout.versions_line(chunk_addr))
+            self.mee.cache.invalidate(layout.pd_tag_line(chunk_addr))
 
     def _check_enclave_access(self, process: SimProcess, vaddr: int) -> None:
         """Protected memory is only reachable from its owning enclave."""

@@ -1,0 +1,135 @@
+"""Unit tests for the adaptive timing-window controller."""
+
+import pytest
+
+from repro.core import AdaptiveWindowConfig, AdaptiveWindowController
+from repro.errors import ConfigurationError
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = AdaptiveWindowConfig()
+        assert config.base_window_cycles == 15_000
+        assert config.max_window_cycles == 60_000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_window_cycles=0),
+            dict(max_window_cycles=10_000),  # below base
+            dict(backoff_factor=1.0),
+            dict(backoff_after=0),
+            dict(recover_factor=1.0),
+            dict(recover_factor=0.0),
+            dict(recover_after=0),
+            dict(quantum_cycles=0),
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptiveWindowConfig(**kwargs)
+
+
+class TestBackoff:
+    def test_starts_at_base(self):
+        controller = AdaptiveWindowController()
+        assert controller.window_cycles == 15_000
+        assert not controller.backed_off
+
+    def test_single_failure_does_not_back_off(self):
+        # One ambient bit-noise failure clears on retry; the streak
+        # requirement keeps it from costing goodput.
+        controller = AdaptiveWindowController(AdaptiveWindowConfig(backoff_after=2))
+        controller.record_frame(False)
+        assert controller.window_cycles == 15_000
+        controller.record_frame(True)
+        controller.record_frame(False)
+        assert controller.window_cycles == 15_000
+
+    def test_failure_streak_backs_off(self):
+        controller = AdaptiveWindowController(
+            AdaptiveWindowConfig(backoff_after=2, backoff_factor=1.6)
+        )
+        controller.record_frame(False)
+        controller.record_frame(False)
+        # 15000 * 1.6 = 24000, already a quantum multiple.
+        assert controller.window_cycles == 24_000
+        assert controller.backed_off
+
+    def test_window_clamped_at_max(self):
+        config = AdaptiveWindowConfig(backoff_after=1, max_window_cycles=60_000)
+        controller = AdaptiveWindowController(config)
+        for _ in range(20):
+            controller.record_frame(False)
+        assert controller.window_cycles == 60_000
+
+    def test_window_quantized(self):
+        config = AdaptiveWindowConfig(backoff_after=1, backoff_factor=1.13)
+        controller = AdaptiveWindowController(config)
+        controller.record_frame(False)
+        assert controller.window_cycles % config.quantum_cycles == 0
+
+
+class TestRecovery:
+    def _backed_off_controller(self):
+        controller = AdaptiveWindowController(
+            AdaptiveWindowConfig(backoff_after=1, recover_after=2)
+        )
+        for _ in range(4):
+            controller.record_frame(False)
+        return controller
+
+    def test_clean_streak_tightens(self):
+        controller = self._backed_off_controller()
+        widened = controller.window_cycles
+        controller.record_frame(True)
+        assert controller.window_cycles == widened  # streak not complete
+        controller.record_frame(True)
+        assert controller.window_cycles < widened
+
+    def test_failure_resets_clean_streak(self):
+        controller = self._backed_off_controller()
+        widened = controller.window_cycles
+        controller.record_frame(True)
+        controller.record_frame(False)
+        controller.record_frame(True)
+        assert controller.window_cycles == widened
+
+    def test_recovery_floors_at_base(self):
+        controller = self._backed_off_controller()
+        for _ in range(100):
+            controller.record_frame(True)
+        assert controller.window_cycles == 15_000
+        assert not controller.backed_off
+
+
+class TestDeterminism:
+    def test_same_history_same_schedule(self):
+        outcomes = [True, False, False, True, True, False, True] * 10
+
+        def schedule():
+            controller = AdaptiveWindowController()
+            return [controller.record_frame(ok) for ok in outcomes]
+
+        assert schedule() == schedule()
+
+    def test_history_records_window_and_outcome(self):
+        controller = AdaptiveWindowController()
+        controller.record_frame(True)
+        controller.record_frame(False)
+        assert controller.history == [(15_000, True), (15_000, False)]
+
+    def test_reset_returns_to_base(self):
+        controller = AdaptiveWindowController(AdaptiveWindowConfig(backoff_after=1))
+        controller.record_frame(False)
+        assert controller.backed_off
+        controller.reset()
+        assert controller.window_cycles == 15_000
+        assert controller.history == []
+        # Streaks cleared too: a single post-reset failure must not back off
+        # with the default two-failure streak.
+        controller2 = AdaptiveWindowController(AdaptiveWindowConfig(backoff_after=2))
+        controller2.record_frame(False)
+        controller2.reset()
+        controller2.record_frame(False)
+        assert not controller2.backed_off

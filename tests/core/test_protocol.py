@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.protocol import PREAMBLE, DecodedFrame, FrameCodec, crc8, crc16_ccitt
+from repro.core.protocol import (
+    PREAMBLE,
+    SEQ_MODULUS,
+    DecodedFrame,
+    FrameCodec,
+    crc8,
+    crc16_ccitt,
+)
 from repro.errors import ChannelError
 
 
@@ -121,6 +128,112 @@ class TestFrameCodec:
         stream = [0] * prefix_len + codec.encode(payload)
         frames = codec.decode_stream(stream)
         assert any(f.payload == payload and f.crc_ok for f in frames)
+
+
+class TestSequenceNumbers:
+    def test_seq_roundtrip(self):
+        codec = FrameCodec(sequence_numbers=True)
+        frames = codec.decode_stream(codec.encode(b"chunk", seq=7))
+        assert len(frames) == 1
+        assert frames[0].seq == 7
+        assert frames[0].payload == b"chunk"
+        assert frames[0].crc_ok
+
+    def test_seq_wraps_at_modulus(self):
+        codec = FrameCodec(sequence_numbers=True)
+        frames = codec.decode_stream(codec.encode(b"x", seq=SEQ_MODULUS + 3))
+        assert frames[0].seq == 3
+
+    def test_seq_required_iff_enabled(self):
+        with pytest.raises(ChannelError):
+            FrameCodec(sequence_numbers=True).encode(b"x")
+        with pytest.raises(ChannelError):
+            FrameCodec(sequence_numbers=False).encode(b"x", seq=1)
+
+    def test_seq_adds_eight_bits_on_the_wire(self):
+        plain = FrameCodec()
+        seqd = FrameCodec(sequence_numbers=True)
+        assert seqd.frame_length_bits(4) == plain.frame_length_bits(4) + 8
+        assert len(seqd.encode(b"abcd", seq=0)) == seqd.frame_length_bits(4)
+
+    def test_modes_are_incompatible_on_the_wire(self):
+        # A seq-mode receiver must not accept a plain frame as intact.
+        plain = FrameCodec()
+        seqd = FrameCodec(sequence_numbers=True)
+        frames = seqd.decode_stream(plain.encode(b"abcd"))
+        assert not any(f.crc_ok for f in frames)
+
+
+class TestResync:
+    """The receiver-side behaviors the self-healing layer relies on."""
+
+    def test_preamble_burst_error_skips_to_next_frame(self):
+        # A burst wipes out frame one's preamble beyond the 1-bit lock
+        # tolerance; the scan must re-lock on frame two's preamble instead
+        # of returning garbage for frame one.
+        codec = FrameCodec()
+        first = codec.encode(b"lost")
+        for i in range(4, 9):  # 5-bit burst inside the preamble
+            first[i] ^= 1
+        second = codec.encode(b"kept")
+        frames = codec.decode_stream(first + [0] * 7 + second)
+        assert [f.payload for f in frames if f.crc_ok] == [b"kept"]
+
+    def test_burst_error_mid_frame_does_not_eat_next_frame(self):
+        codec = FrameCodec()
+        first = codec.encode(b"damaged!")
+        for i in range(45, 55):  # burst inside payload: CRC-16 flags it
+            first[i] ^= 1
+        second = codec.encode(b"clean")
+        frames = codec.decode_stream(first + second)
+        assert [f.payload for f in frames if f.crc_ok] == [b"clean"]
+        assert any(not f.crc_ok for f in frames)
+
+    def test_corrupted_length_with_valid_header_crc_rejected_by_crc16(self):
+        # Adversarial case: the length field is corrupted *and* the header
+        # CRC-8 recomputed to match, pointing the parser at a bogus payload
+        # extent.  The frame CRC-16 still covers the true header bytes, so
+        # the mislabeled frame cannot pass as intact.
+        codec = FrameCodec(max_payload_bytes=64)
+        bits = codec.encode(b"abcdef")
+        forged_header = (4).to_bytes(2, "big")  # claim 4 bytes, actually 6
+        forged_length_bits = [(4 >> s) & 1 for s in range(15, -1, -1)]
+        forged_crc8_bits = [(crc8(forged_header) >> s) & 1 for s in range(7, -1, -1)]
+        bits[16:32] = forged_length_bits
+        bits[32:40] = forged_crc8_bits
+        frames = codec.decode_stream(bits)
+        assert frames, "the forged header parses as a frame"
+        assert not any(f.crc_ok for f in frames)
+
+    def test_back_to_back_seq_frames_with_flipped_seq(self):
+        # Two frames tight against each other; the first one's sequence
+        # number takes a bit flip.  The header CRC rejects the first frame
+        # at its nominal position and the scan must still deliver the
+        # second frame intact.
+        codec = FrameCodec(sequence_numbers=True)
+        first = codec.encode(b"aaaa", seq=5)
+        first[24] ^= 1  # inside the seq field (bits 24..31)
+        second = codec.encode(b"bbbb", seq=6)
+        frames = codec.decode_stream(first + second)
+        intact = [f for f in frames if f.crc_ok]
+        assert [(f.payload, f.seq) for f in intact] == [(b"bbbb", 6)]
+
+    def test_interleaved_retransmissions_reordered_by_seq(self):
+        # Duplicate + out-of-order delivery: seq numbers let the receiver
+        # reassemble without trusting arrival order.
+        codec = FrameCodec(sequence_numbers=True)
+        stream = (
+            codec.encode(b"BBBB", seq=1)
+            + [0] * 3
+            + codec.encode(b"AAAA", seq=0)
+            + [0] * 3
+            + codec.encode(b"BBBB", seq=1)
+        )
+        frames = [f for f in codec.decode_stream(stream) if f.crc_ok]
+        by_seq = {}
+        for frame in frames:
+            by_seq.setdefault(frame.seq, frame.payload)
+        assert b"".join(by_seq[s] for s in sorted(by_seq)) == b"AAAABBBB"
 
 
 class TestProtocolOverChannel:

@@ -1,0 +1,66 @@
+"""Unit tests for the self-healing delivery layer."""
+
+import math
+
+import pytest
+
+from repro.config import skylake_i7_6700k
+from repro.core import SelfHealingChannel, SelfHealingConfig
+from repro.core.channel import CovertChannel
+from repro.errors import ChannelError
+from repro.system.machine import Machine
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(frame_payload_bytes=0),
+            dict(max_attempts_per_frame=0),
+            dict(guard_windows=-1),
+            dict(deadline_slack_windows=0),
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ChannelError):
+            SelfHealingConfig(**kwargs)
+
+
+class TestConstruction:
+    def test_requires_ready_channel(self):
+        machine = Machine(skylake_i7_6700k(seed=2))
+        channel = CovertChannel(machine)  # no setup()
+        with pytest.raises(ChannelError):
+            SelfHealingChannel(channel)
+
+
+class TestQuietDelivery:
+    def test_payload_recovered_on_quiet_machine(self, ready_channel):
+        machine, channel = ready_channel
+        healer = SelfHealingChannel(channel)
+        payload = b"mee cache covert channel"
+        result = healer.send(payload)
+        assert result.recovered == payload
+        assert result.delivered
+        metrics = result.metrics
+        assert metrics.delivered_bytes == len(payload)
+        assert metrics.frames_delivered == 3  # 24 bytes / 8-byte frames
+        assert metrics.goodput_kbps > 0.0
+        # Every attempt record is internally consistent.
+        for attempt in result.attempts:
+            assert attempt.end_cycle >= attempt.start_cycle
+            assert attempt.window_cycles > 0
+
+    def test_empty_payload_is_trivially_delivered(self, ready_channel):
+        _, channel = ready_channel
+        result = SelfHealingChannel(channel).send(b"")
+        assert result.delivered
+        assert result.attempts == []
+        assert math.isnan(result.metrics.time_to_recover_cycles)
+
+    def test_fixed_window_skips_controller(self, ready_channel):
+        _, channel = ready_channel
+        config = SelfHealingConfig(fixed_window_cycles=15_000, max_attempts_per_frame=3)
+        result = SelfHealingChannel(channel, config).send(b"pinned!!")
+        assert result.window_history == []
+        assert all(a.window_cycles == 15_000 for a in result.attempts)

@@ -1,0 +1,184 @@
+"""Tests for the fault sweep: aggregation, rendering, determinism, archive.
+
+The full sweep takes minutes, so the end-to-end runs carry the ``slow``
+marker (excluded by default; CI's fault-injection job runs them).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.robustness import (
+    RobustnessCurvePoint,
+    aggregate_point,
+    render_robustness_table,
+)
+from repro.experiments import fault_sweep
+
+
+def _metrics_dict(
+    delivered_bytes=31,
+    payload_bytes=31,
+    frames_attempted=4,
+    frames_delivered=4,
+    retransmissions=0,
+    resyncs=0,
+    ttr=math.nan,
+):
+    return {
+        "payload_bytes": payload_bytes,
+        "delivered_bytes": delivered_bytes,
+        "frames_attempted": frames_attempted,
+        "frames_delivered": frames_delivered,
+        "retransmissions": retransmissions,
+        "resyncs": resyncs,
+        "elapsed_cycles": 1e6,
+        "time_to_recover_cycles": ttr,
+        "clock_hz": 4e9,
+        "goodput_kbps": delivered_bytes / (1e6 / 4e9) / 1000.0,
+        "frame_error_rate": 1.0 - frames_delivered / frames_attempted,
+        "delivered": delivered_bytes == payload_bytes,
+    }
+
+
+class TestAggregation:
+    def test_empty_cell_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_point("fixed", 0.0, [])
+
+    def test_delivery_rate_counts_full_messages(self):
+        point = aggregate_point(
+            "adaptive",
+            2.0,
+            [_metrics_dict(), _metrics_dict(delivered_bytes=16), _metrics_dict()],
+        )
+        assert point.delivery_rate == pytest.approx(2 / 3)
+        assert point.trials == 3
+
+    def test_nan_ttr_excluded_from_mean(self):
+        point = aggregate_point(
+            "fixed",
+            5.0,
+            [_metrics_dict(ttr=4e6), _metrics_dict(ttr=math.nan)],
+        )
+        # 4e6 cycles at 4 GHz = 1 ms; the nan trial must not drag it down.
+        assert point.time_to_recover_ms == pytest.approx(1.0)
+
+    def test_all_nan_ttr_stays_nan(self):
+        point = aggregate_point("fixed", 0.0, [_metrics_dict(), _metrics_dict()])
+        assert math.isnan(point.time_to_recover_ms)
+
+    def test_point_roundtrips_to_dict(self):
+        point = aggregate_point("adaptive", 8.0, [_metrics_dict()])
+        data = point.to_dict()
+        assert data["policy"] == "adaptive"
+        assert data["intensity"] == 8.0
+        assert RobustnessCurvePoint(**data) == point
+
+
+class TestRendering:
+    def _points(self):
+        return [
+            aggregate_point("adaptive", 2.0, [_metrics_dict()]),
+            aggregate_point("fixed", 2.0, [_metrics_dict(delivered_bytes=0)]),
+            aggregate_point("adaptive", 0.0, [_metrics_dict()]),
+            aggregate_point("fixed", 0.0, [_metrics_dict()]),
+        ]
+
+    def test_table_sorted_by_intensity_then_policy(self):
+        table = render_robustness_table(self._points())
+        rows = [line.split()[0] for line in table.splitlines()[2:]]
+        assert rows == ["adaptive", "fixed", "adaptive", "fixed"]
+
+    def test_nan_ttr_rendered_as_dash(self):
+        table = render_robustness_table([aggregate_point("fixed", 0.0, [_metrics_dict()])])
+        assert table.splitlines()[-1].split()[-1] == "-"
+
+    def test_render_headlines_last_delivering_intensity(self):
+        # Saturated rows (nobody delivers) must not steal the headline.
+        result = fault_sweep.FaultSweepResult(
+            root_seed=0,
+            trials=1,
+            payload_bytes=31,
+            intensities=[0.0, 2.0, 8.0],
+            points=[
+                aggregate_point("adaptive", 0.0, [_metrics_dict()]),
+                aggregate_point("fixed", 0.0, [_metrics_dict()]),
+                aggregate_point("adaptive", 2.0, [_metrics_dict()]),
+                aggregate_point("fixed", 2.0, [_metrics_dict(delivered_bytes=0)]),
+                aggregate_point("adaptive", 8.0, [_metrics_dict(delivered_bytes=0)]),
+                aggregate_point("fixed", 8.0, [_metrics_dict(delivered_bytes=0)]),
+            ],
+        )
+        text = fault_sweep.render(result)
+        assert "At intensity 2:" in text
+        assert "adaptive delivers 100%" in text
+
+
+class TestArchivedResults:
+    def test_archive_matches_current_schema(self):
+        with open("results/fault_sweep.json", "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["experiment"] == "fault_sweep"
+        assert data["intensities"] == list(fault_sweep.DEFAULT_INTENSITIES)
+        points = [RobustnessCurvePoint(**p) for p in data["points"]]
+        assert {p.policy for p in points} == {"adaptive", "fixed"}
+        # The claim the sweep exists to back: under every non-zero storm
+        # the adaptive controller sustains at least the fixed window's
+        # delivery rate, and beats it outright somewhere.
+        by_cell = {(p.policy, p.intensity): p for p in points}
+        stormy = sorted({p.intensity for p in points if p.intensity > 0})
+        assert stormy, "archive has no storm rows"
+        wins = 0
+        for intensity in stormy:
+            adaptive = by_cell[("adaptive", intensity)]
+            fixed = by_cell[("fixed", intensity)]
+            assert adaptive.delivery_rate >= fixed.delivery_rate
+            if adaptive.delivery_rate > fixed.delivery_rate:
+                wins += 1
+        assert wins >= 1
+        # ... while matching the fixed window on a quiet machine.
+        assert by_cell[("adaptive", 0.0)].delivery_rate == pytest.approx(
+            by_cell[("fixed", 0.0)].delivery_rate
+        )
+
+
+@pytest.mark.slow
+class TestSweepEndToEnd:
+    def test_small_sweep_parallel_matches_serial(self, monkeypatch):
+        kwargs = dict(
+            seed=11,
+            trials=2,
+            intensities=(0.0, 5.0),
+            payload=b"smoke",
+            storm_cycles=40_000_000.0,
+        )
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        serial = fault_sweep.run(jobs=1, **kwargs)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = fault_sweep.run(jobs=None, **kwargs)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+
+    def test_channel_survives_preemption_storm(self):
+        from repro.core.selfheal import SelfHealingChannel
+        from repro.experiments.common import build_ready_channel
+        from repro.faults.plan import preemption_storm
+
+        machine, channel = build_ready_channel(seed=3)
+        plan = preemption_storm(
+            seed=3,
+            core=channel.config.trojan_core,
+            start_cycle=machine.now,
+            duration_cycles=60_000_000.0,
+            rate_per_cycle=3e-6,
+        )
+        machine.inject_faults(plan)
+        payload = b"under fire"
+        result = SelfHealingChannel(channel).send(payload)
+        assert result.recovered == payload
+        assert result.metrics.retransmissions > 0  # the storm actually bit

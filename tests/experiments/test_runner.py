@@ -3,10 +3,18 @@
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
-from repro.experiments.runner import JOBS_ENV_VAR, derive_seeds, resolve_jobs, run_trials
+from repro.experiments.runner import (
+    JOBS_ENV_VAR,
+    TrialFailure,
+    derive_seeds,
+    resolve_jobs,
+    run_trials,
+    run_trials_robust,
+)
 
 
 def _square(value: int) -> int:
@@ -16,6 +24,19 @@ def _square(value: int) -> int:
 
 def _identify(value: int):
     return (os.getpid(), value)
+
+
+def _explode_on_odd(seed: int) -> int:
+    """Module-level crashing trial for error-handling tests."""
+    if seed % 2:
+        raise RuntimeError(f"seed {seed} is odd")
+    return seed * 10
+
+
+def _sleep_on_odd(seed: int) -> int:
+    if seed % 2:
+        time.sleep(60.0)
+    return seed * 10
 
 
 class TestDeriveSeeds:
@@ -88,3 +109,97 @@ class TestRunTrials:
 
     def test_empty_seed_list(self):
         assert run_trials(_square, [], jobs=4) == []
+
+
+class TestErrorRecording:
+    def test_raise_is_the_default(self):
+        with pytest.raises(RuntimeError):
+            run_trials(_explode_on_odd, [0, 1, 2], jobs=1)
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(_square, [1], on_error="ignore")
+
+    def test_record_keeps_the_rest_of_the_sweep_serial(self):
+        results = run_trials(_explode_on_odd, [0, 1, 2, 3], jobs=1, on_error="record")
+        assert results[0] == 0
+        assert results[2] == 20
+        for slot, seed in ((1, 1), (3, 3)):
+            failure = results[slot]
+            assert isinstance(failure, TrialFailure)
+            assert failure.seed == seed
+            assert failure.error_type == "RuntimeError"
+            assert f"seed {seed} is odd" in failure.message
+            assert "_explode_on_odd" in failure.traceback
+
+    def test_record_keeps_the_rest_of_the_sweep_parallel(self):
+        # The regression this feature exists for: Pool.map re-raising one
+        # worker's exception used to lose every completed sibling trial.
+        results = run_trials(
+            _explode_on_odd, [0, 1, 2, 3, 4, 5], jobs=3, on_error="record"
+        )
+        assert [r for r in results if not isinstance(r, TrialFailure)] == [0, 20, 40]
+        assert [r.seed for r in results if isinstance(r, TrialFailure)] == [1, 3, 5]
+
+    def test_failure_record_roundtrips_through_json(self):
+        [failure] = run_trials(_explode_on_odd, [7], jobs=1, on_error="record")
+        restored = TrialFailure.from_dict(failure.to_dict())
+        assert restored == failure
+        assert failure.to_dict()["__trial_failure__"] is True
+
+
+class TestRunTrialsRobust:
+    def test_matches_run_trials_when_nothing_fails(self):
+        seeds = list(range(6))
+        assert run_trials_robust(_square, seeds, jobs=1) == [s * s for s in seeds]
+
+    def test_retries_exhaust_to_failure_record(self):
+        results = run_trials_robust(_explode_on_odd, [1, 2], jobs=1, max_attempts=3)
+        failure, ok = results
+        assert isinstance(failure, TrialFailure)
+        assert failure.attempts == 3
+        assert ok == 20
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            run_trials_robust(_square, [1], max_attempts=0)
+
+    def test_timeout_records_timed_out_failure(self):
+        results = run_trials_robust(
+            _sleep_on_odd, [1, 2], jobs=2, timeout_seconds=2.0, max_attempts=1
+        )
+        failure, ok = results
+        assert isinstance(failure, TrialFailure)
+        assert failure.timed_out
+        assert failure.error_type == "TrialTimeoutError"
+        assert ok == 20
+
+    def test_checkpoint_resume_skips_completed_trials(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        seeds = [0, 2, 4]
+        first = run_trials_robust(_square, seeds, jobs=1, checkpoint_path=path)
+        assert first == [0, 4, 16]
+        # Re-running with a function that would produce *different* values
+        # proves the results came from the checkpoint, not a recompute.
+        resumed = run_trials_robust(
+            _explode_on_odd, seeds, jobs=1, checkpoint_path=path
+        )
+        assert resumed == first
+
+    def test_checkpoint_persists_failures(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        first = run_trials_robust(
+            _explode_on_odd, [1], jobs=1, max_attempts=1, checkpoint_path=path
+        )
+        resumed = run_trials_robust(
+            _square, [1], jobs=1, checkpoint_path=path
+        )
+        assert isinstance(resumed[0], TrialFailure)
+        assert resumed == first
+
+    def test_stale_checkpoint_ignored(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        run_trials_robust(_square, [0, 1], jobs=1, checkpoint_path=path)
+        # Different seed list: the file must not poison the new sweep.
+        results = run_trials_robust(_square, [0, 1, 2], jobs=1, checkpoint_path=path)
+        assert results == [0, 1, 4]

@@ -1,0 +1,202 @@
+"""Unit tests for the fault injector's machine-state effects."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.sim.ops import Busy
+from repro.units import PAGE_SIZE
+
+
+def busy_body(chunks: int, chunk_cycles: float):
+    """A worker burning time in scheduler-visible slices."""
+
+    def body():
+        for _ in range(chunks):
+            yield Busy(chunk_cycles)
+
+    return body()
+
+
+def spawn_worker(machine, core: int, chunks: int = 100, chunk_cycles: float = 1000.0):
+    space = machine.new_address_space(f"worker-{core}")
+    return machine.spawn(f"worker-{core}", busy_body(chunks, chunk_cycles), core=core, space=space)
+
+
+def plan_of(*events) -> FaultPlan:
+    return FaultPlan(events=tuple(events))
+
+
+class TestInjectorSetup:
+    def test_plan_validated_against_machine(self, machine):
+        plan = plan_of(
+            FaultEvent(at_cycle=0.0, kind="preempt", core=99, duration_cycles=10.0)
+        )
+        with pytest.raises(FaultError):
+            machine.inject_faults(plan)
+
+    def test_empty_plan_is_a_no_op(self, machine):
+        injector = machine.inject_faults(FaultPlan())
+        spawn_worker(machine, core=0)
+        machine.run()
+        assert injector.log == []
+        assert injector.stolen_cycles() == 0.0
+
+
+class TestTimeTheft:
+    def test_preempt_steals_cycles_from_target_core(self, machine):
+        injector = machine.inject_faults(
+            plan_of(
+                FaultEvent(
+                    at_cycle=20_000.0, kind="preempt", core=0, duration_cycles=7_500.0
+                )
+            )
+        )
+        spawn_worker(machine, core=0, chunks=100, chunk_cycles=1000.0)
+        machine.run()
+        assert injector.stolen_cycles() == 7_500.0
+        assert injector.counts == {"preempt": 1}
+        # ~100k cycles of work (crystal skew shifts reference time by ppm)
+        # plus the stolen 7.5k slice.
+        assert machine.clocks[0].now >= 107_000.0
+
+    def test_untouched_core_unaffected(self, machine):
+        machine.inject_faults(
+            plan_of(
+                FaultEvent(
+                    at_cycle=20_000.0, kind="preempt", core=0, duration_cycles=50_000.0
+                )
+            )
+        )
+        spawn_worker(machine, core=0)
+        victim_free = spawn_worker(machine, core=1)
+        machine.run()
+        assert victim_free.state.value == "finished"
+        assert machine.clocks[1].now < machine.clocks[0].now
+
+    def test_aex_flushes_private_l1(self, machine):
+        space = machine.new_address_space("p")
+        region = space.mmap(PAGE_SIZE)
+
+        def body():
+            yield from (Busy(10_000.0) for _ in range(10))
+
+        machine.spawn("t", body(), core=2, space=space)
+        # Warm a line into core 2's L1, then fire the AEX.
+        machine.hierarchy.access(2, 0x1000)
+        assert machine.hierarchy.l1[2].probe(0x1000)
+        injector = machine.inject_faults(
+            plan_of(FaultEvent(at_cycle=30_000.0, kind="aex", core=2, duration_cycles=8_000.0))
+        )
+        machine.run()
+        assert injector.counts == {"aex": 1}
+        assert not machine.hierarchy.l1[2].probe(0x1000)
+
+
+class TestMigration:
+    def test_processes_repinned_with_penalty(self, machine):
+        injector = machine.inject_faults(
+            plan_of(
+                FaultEvent(at_cycle=25_000.0, kind="migrate", core=0, target_core=3)
+            )
+        )
+        worker = spawn_worker(machine, core=0, chunks=200, chunk_cycles=1000.0)
+        machine.run()
+        assert worker.clock is machine.clocks[3]
+        assert injector.counts == {"migrate": 1}
+        # The target clock carried the worker past the migration point.
+        assert machine.clocks[3].now > 25_000.0
+
+
+class TestDurativeFaults:
+    def test_dram_spike_reverts_stressors(self, machine):
+        baseline = machine.dram.active_stressors
+        injector = machine.inject_faults(
+            plan_of(
+                FaultEvent(
+                    at_cycle=10_000.0,
+                    kind="dram_spike",
+                    duration_cycles=30_000.0,
+                    magnitude=3,
+                )
+            )
+        )
+        spawn_worker(machine, core=0)
+        machine.run()
+        assert injector.counts == {"dram_spike": 1}
+        assert machine.dram.active_stressors == baseline
+
+    def test_dvfs_scale_applied_and_reverted(self, machine):
+        injector = machine.inject_faults(
+            plan_of(
+                FaultEvent(
+                    at_cycle=10_000.0,
+                    kind="dvfs",
+                    core=1,
+                    duration_cycles=40_000.0,
+                    scale=0.8,
+                )
+            )
+        )
+        spawn_worker(machine, core=1, chunks=200, chunk_cycles=1000.0)
+        machine.run()
+        assert injector.counts == {"dvfs": 1}
+        assert machine.clocks[1].rate_scale == 1.0
+
+    def test_dvfs_slows_the_core(self, machine):
+        # Same workload on two cores; core 1 spends most of it re-clocked
+        # slower, so its reference-time position ends later.
+        machine.inject_faults(
+            plan_of(
+                FaultEvent(
+                    at_cycle=1_000.0,
+                    kind="dvfs",
+                    core=1,
+                    duration_cycles=1e9,
+                    scale=0.5,
+                )
+            )
+        )
+        spawn_worker(machine, core=0, chunks=50, chunk_cycles=1000.0)
+        spawn_worker(machine, core=1, chunks=50, chunk_cycles=1000.0)
+        machine.run()
+        assert machine.clocks[1].now > machine.clocks[0].now * 1.5
+
+
+class TestEPCEviction:
+    def test_scrubs_metadata_without_pager(self, machine):
+        # Paging is off by default: the fault models *other* tenants'
+        # paging traffic by scrubbing random protected frames.
+        injector = machine.inject_faults(
+            plan_of(FaultEvent(at_cycle=5_000.0, kind="epc_evict", pages=16))
+        )
+        spawn_worker(machine, core=0)
+        machine.run()
+        assert injector.counts == {"epc_evict": 1}
+        assert "16 page(s)" in injector.log[0].detail
+
+
+class TestDeterminism:
+    def test_replay_is_bit_identical(self):
+        from repro.config import skylake_i7_6700k
+        from repro.system.machine import Machine
+
+        def one_run():
+            machine = Machine(skylake_i7_6700k(seed=77))
+            injector = machine.inject_faults(
+                plan_of(
+                    FaultEvent(at_cycle=9_000.0, kind="preempt", core=0, duration_cycles=4_000.0),
+                    FaultEvent(at_cycle=22_000.0, kind="dvfs", core=1, duration_cycles=30_000.0, scale=0.9),
+                    FaultEvent(at_cycle=40_000.0, kind="epc_evict", pages=4),
+                )
+            )
+            space = machine.new_address_space("w")
+            machine.spawn("w0", busy_body(80, 1000.0), core=0, space=space)
+            machine.spawn("w1", busy_body(80, 1000.0), core=1, space=space)
+            machine.run()
+            return (
+                [clock.now for clock in machine.clocks],
+                [(entry.at_cycle, entry.kind, entry.detail) for entry in injector.log],
+            )
+
+        assert one_run() == one_run()

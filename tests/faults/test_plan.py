@@ -1,0 +1,172 @@
+"""Unit tests for fault plans: validation, determinism, serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    aex_storm,
+    dram_spike_train,
+    dvfs_jitter,
+    epc_pressure,
+    migration_shuffle,
+    preemption_storm,
+    trojan_stalls,
+)
+
+
+class TestFaultEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(at_cycle=0.0, kind="meteor_strike")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(at_cycle=-1.0, kind="preempt", duration_cycles=100.0)
+
+    def test_durative_kinds_need_duration(self):
+        for kind in ("preempt", "stall", "aex", "dram_spike", "dvfs"):
+            with pytest.raises(FaultError):
+                FaultEvent(at_cycle=0.0, kind=kind)
+
+    def test_migrate_needs_target(self):
+        with pytest.raises(FaultError):
+            FaultEvent(at_cycle=0.0, kind="migrate")
+        FaultEvent(at_cycle=0.0, kind="migrate", core=0, target_core=1)
+
+    def test_epc_evict_needs_pages(self):
+        with pytest.raises(FaultError):
+            FaultEvent(at_cycle=0.0, kind="epc_evict", pages=0)
+
+    def test_dvfs_scale_positive(self):
+        with pytest.raises(FaultError):
+            FaultEvent(at_cycle=0.0, kind="dvfs", duration_cycles=10.0, scale=0.0)
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultEvent(
+                at_cycle=1.0,
+                kind=kind,
+                duration_cycles=10.0,
+                target_core=1,
+                pages=1,
+            )
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        late = FaultEvent(at_cycle=500.0, kind="preempt", duration_cycles=1.0)
+        early = FaultEvent(at_cycle=10.0, kind="preempt", duration_cycles=1.0)
+        plan = FaultPlan(events=(late, early))
+        assert [e.at_cycle for e in plan] == [10.0, 500.0]
+
+    def test_len(self):
+        assert len(FaultPlan()) == 0
+        plan = preemption_storm(
+            seed=1, core=0, start_cycle=0.0, duration_cycles=1e6, rate_per_cycle=1e-5
+        )
+        assert len(plan) == len(plan.events)
+
+    def test_validate_for_rejects_missing_core(self):
+        plan = FaultPlan(
+            events=(FaultEvent(at_cycle=0.0, kind="preempt", core=7, duration_cycles=1.0),)
+        )
+        with pytest.raises(FaultError):
+            plan.validate_for(cores=4)
+        plan.validate_for(cores=8)
+
+    def test_validate_for_rejects_missing_migration_target(self):
+        plan = FaultPlan(
+            events=(FaultEvent(at_cycle=0.0, kind="migrate", core=0, target_core=9),)
+        )
+        with pytest.raises(FaultError):
+            plan.validate_for(cores=4)
+
+    def test_merged_interleaves(self):
+        a = FaultPlan(
+            events=(FaultEvent(at_cycle=5.0, kind="preempt", duration_cycles=1.0),),
+            label="a",
+        )
+        b = FaultPlan(
+            events=(FaultEvent(at_cycle=2.0, kind="epc_evict", pages=1),), label="b"
+        )
+        merged = a.merged(b)
+        assert [e.at_cycle for e in merged] == [2.0, 5.0]
+        assert merged.label == "a + b"
+
+    def test_shifted_moves_every_event(self):
+        plan = preemption_storm(
+            seed=2, core=1, start_cycle=0.0, duration_cycles=1e6, rate_per_cycle=1e-5
+        )
+        shifted = plan.shifted(1000.0)
+        assert [e.at_cycle for e in shifted] == [e.at_cycle + 1000.0 for e in plan]
+
+    def test_json_roundtrip(self):
+        plan = preemption_storm(
+            seed=3, core=0, start_cycle=100.0, duration_cycles=1e6, rate_per_cycle=1e-5
+        ).merged(dvfs_jitter(seed=3, core=1, start_cycle=0.0, duration_cycles=1e6,
+                             rate_per_cycle=1e-6))
+        restored = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert restored == plan
+
+
+class TestStormBuilders:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(core=0, start_cycle=0.0, duration_cycles=5e6, rate_per_cycle=1e-5)
+        assert preemption_storm(seed=9, **kwargs) == preemption_storm(seed=9, **kwargs)
+
+    def test_different_seed_different_plan(self):
+        kwargs = dict(core=0, start_cycle=0.0, duration_cycles=5e6, rate_per_cycle=1e-5)
+        assert preemption_storm(seed=1, **kwargs) != preemption_storm(seed=2, **kwargs)
+
+    def test_storm_respects_time_bounds(self):
+        plan = preemption_storm(
+            seed=4, core=0, start_cycle=1000.0, duration_cycles=1e6, rate_per_cycle=1e-4
+        )
+        assert plan.events, "expected a dense storm"
+        assert all(1000.0 <= e.at_cycle < 1000.0 + 1e6 for e in plan)
+
+    def test_stall_band_respected(self):
+        plan = preemption_storm(
+            seed=4,
+            core=0,
+            start_cycle=0.0,
+            duration_cycles=1e7,
+            rate_per_cycle=1e-5,
+            stall_min_cycles=5000.0,
+            stall_max_cycles=6000.0,
+        )
+        assert all(5000.0 <= e.duration_cycles <= 6000.0 for e in plan)
+
+    def test_trojan_stalls_count(self):
+        plan = trojan_stalls(
+            seed=5, core=0, start_cycle=0.0, duration_cycles=1e7, count=4
+        )
+        assert len(plan) == 4
+        assert all(e.kind == "stall" for e in plan)
+
+    def test_every_builder_yields_valid_plans(self):
+        common = dict(start_cycle=0.0, duration_cycles=1e7)
+        plans = [
+            preemption_storm(seed=1, core=0, rate_per_cycle=1e-6, **common),
+            trojan_stalls(seed=1, core=0, count=2, **common),
+            aex_storm(seed=1, core=1, rate_per_cycle=1e-6, **common),
+            migration_shuffle(seed=1, cores=[(0, 1), (1, 0)], count=3, **common),
+            epc_pressure(seed=1, burst_rate_per_cycle=1e-6, **common),
+            dram_spike_train(seed=1, rate_per_cycle=1e-6, **common),
+            dvfs_jitter(seed=1, core=2, rate_per_cycle=1e-6, **common),
+        ]
+        for plan in plans:
+            plan.validate_for(cores=4)  # must not raise
+            restored = FaultPlan.from_dict(plan.to_dict())
+            assert restored == plan
+
+    def test_zero_rate_means_empty_plan(self):
+        plan = aex_storm(
+            seed=1, core=0, start_cycle=0.0, duration_cycles=1e7, rate_per_cycle=0.0
+        )
+        assert len(plan) == 0

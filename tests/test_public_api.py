@@ -51,6 +51,37 @@ class TestErrorHierarchy:
         with pytest.raises(errors.ReproError):
             raise errors.ChannelError("x")
 
+    def _public_exceptions(self):
+        return [
+            obj
+            for name in dir(errors)
+            if not name.startswith("_")
+            for obj in [getattr(errors, name)]
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        ]
+
+    def test_every_public_exception_exported_from_package_root(self):
+        # A caller handling fault-injection or sweep errors should never
+        # need to import from repro.errors directly.
+        exceptions = self._public_exceptions()
+        assert exceptions, "no exceptions found in repro.errors"
+        for exc in exceptions:
+            assert exc.__name__ in repro.__all__, exc.__name__
+            assert getattr(repro, exc.__name__) is exc
+
+    def test_every_public_exception_documented(self):
+        for exc in self._public_exceptions():
+            doc = (exc.__doc__ or "").strip()
+            assert doc, f"{exc.__name__} has no docstring"
+            # Inherited docstrings don't count as documentation.
+            for base in exc.__mro__[1:]:
+                assert doc != (base.__doc__ or "").strip(), exc.__name__
+
+    def test_fault_taxonomy_parentage(self):
+        assert issubclass(errors.FaultError, errors.ReproError)
+        assert issubclass(errors.TrialError, errors.ReproError)
+        assert issubclass(errors.TrialTimeoutError, errors.TrialError)
+
 
 class TestCommonBuilders:
     def test_build_machine_default(self):
