@@ -70,14 +70,18 @@ from .errors import (
     FaultError,
     InstructionNotAvailableError,
     IntegrityError,
+    InvariantViolation,
+    OracleDivergence,
     PagingError,
     ProcessError,
     ReproError,
     SimulationError,
+    SnapshotError,
     TrialError,
     TrialTimeoutError,
 )
 from .faults import FaultEvent, FaultInjector, FaultPlan
+from .sanitizer import MachineSnapshot, Sanitizer, SanitizerConfig
 from .system import Machine
 
 __version__ = "1.0.0"
@@ -105,17 +109,23 @@ __all__ = [
     "HierarchyConfig",
     "InstructionNotAvailableError",
     "IntegrityError",
+    "InvariantViolation",
     "LatencyCalibration",
     "MEECacheConfig",
     "MEELatencyConfig",
     "Machine",
+    "MachineSnapshot",
     "NoiseConfig",
+    "OracleDivergence",
     "PagingConfig",
     "PagingError",
     "PrimeProbeResult",
     "ProcessError",
     "ReproError",
+    "Sanitizer",
+    "SanitizerConfig",
     "SimulationError",
+    "SnapshotError",
     "RobustnessMetrics",
     "SelfHealingChannel",
     "SelfHealingConfig",

@@ -46,6 +46,34 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class InvariantViolation(SimulationError):
+    """A runtime invariant checker caught the simulated machine in an
+    inconsistent state (duplicate cache tags, stale holder maps, a
+    non-monotonic clock, ...).
+
+    Attributes:
+        checker: name of the checker that fired (``"cache"``, ``"mee"``...).
+        dump: minimized state dump — only the offending structures, keyed
+            by a short description, so the failure is debuggable without
+            the live machine.
+    """
+
+    def __init__(self, checker: str, message: str, dump: dict = None):
+        super().__init__(f"[{checker}] {message}")
+        self.checker = checker
+        self.dump = dict(dump) if dump else {}
+
+
+class OracleDivergence(InvariantViolation):
+    """The fast-path cache and the slow reference model disagreed on the
+    outcome of an operation (differential-oracle mode)."""
+
+
+class SnapshotError(SimulationError):
+    """A machine snapshot could not be restored: unsupported version,
+    malformed payload, or a post-restore fingerprint mismatch (corruption)."""
+
+
 class ProcessError(SimulationError):
     """A simulated process yielded an operation the scheduler cannot run."""
 

@@ -41,18 +41,24 @@ Long sweeps additionally need to survive individual trials going wrong:
 
 from __future__ import annotations
 
+import hashlib
+import inspect
 import json
 import multiprocessing
 import os
 import tempfile
 import traceback as traceback_module
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
+from ..errors import InvariantViolation
+
 __all__ = [
     "TrialFailure",
+    "TrialSnapshotSlot",
     "derive_seeds",
     "resolve_jobs",
     "run_trials",
@@ -170,9 +176,11 @@ class _CatchingTrial:
     def __init__(self, fn: Callable[[int], T]):
         self.fn = fn
 
-    def __call__(self, seed: int):
+    def __call__(self, seed: int, snapshot: Optional["TrialSnapshotSlot"] = None):
         try:
-            return ("ok", self.fn(seed))
+            if snapshot is None:
+                return ("ok", self.fn(seed))
+            return ("ok", self.fn(seed, snapshot=snapshot))
         except Exception as exc:  # noqa: BLE001 — the record carries the type
             return ("err", TrialFailure.from_exception(seed, exc))
 
@@ -186,12 +194,28 @@ def _pool_context():
         return multiprocessing.get_context("spawn")
 
 
+def _result_fingerprint(value):
+    """The comparable fingerprint of one trial result.
+
+    Dict results expose it under a ``"fingerprint"`` key, objects as a
+    ``fingerprint`` attribute; anything else is compared whole (a trial
+    that returns plain numbers is its own fingerprint).
+    """
+    if isinstance(value, dict) and "fingerprint" in value:
+        return value["fingerprint"]
+    fingerprint = getattr(value, "fingerprint", None)
+    if fingerprint is not None:
+        return fingerprint
+    return value
+
+
 def run_trials(
     fn: Callable[[int], T],
     seeds: Sequence[int],
     jobs: Optional[int] = None,
     chunksize: int = 1,
     on_error: str = "raise",
+    verify_fingerprints: bool = False,
 ) -> List[Union[T, TrialFailure]]:
     """Run ``fn(seed)`` for every seed, optionally across worker processes.
 
@@ -208,6 +232,12 @@ def run_trials(
             in parallel runs, abandons the sibling results — ``Pool.map``
             semantics); ``"record"`` returns a :class:`TrialFailure` in
             that trial's result slot and keeps the rest of the sweep.
+        verify_fingerprints: after a *parallel* run, rerun every trial
+            serially in-process and require each trial's fingerprint (a
+            ``"fingerprint"`` dict key, a ``fingerprint`` attribute, or
+            the whole result) to match bit for bit; raises
+            :class:`~repro.errors.InvariantViolation` on divergence.
+            Doubles the work — a validation mode, not a production one.
 
     Returns:
         Trial results in seed order — identical to ``[fn(s) for s in
@@ -218,48 +248,133 @@ def run_trials(
     seeds = list(seeds)
     jobs = resolve_jobs(jobs)
     call = _CatchingTrial(fn) if on_error == "record" else fn
+    parallel_ran = False
     if jobs == 1 or len(seeds) <= 1:
         raw = [call(seed) for seed in seeds]
     else:
+        parallel_ran = True
         jobs = min(jobs, len(seeds))
         with _pool_context().Pool(processes=jobs) as pool:
             raw = pool.map(call, seeds, chunksize=chunksize)
-    if on_error == "raise":
-        return raw
-    return [value for _tag, value in raw]
+    results = raw if on_error == "raise" else [value for _tag, value in raw]
+    if verify_fingerprints and parallel_ran:
+        serial_raw = [call(seed) for seed in seeds]
+        serial = (
+            serial_raw
+            if on_error == "raise"
+            else [value for _tag, value in serial_raw]
+        )
+        for index, (parallel_value, serial_value) in enumerate(zip(results, serial)):
+            failed = (
+                isinstance(parallel_value, TrialFailure),
+                isinstance(serial_value, TrialFailure),
+            )
+            if failed[0] != failed[1]:
+                raise InvariantViolation(
+                    "fingerprint",
+                    f"trial {index} (seed {seeds[index]}) "
+                    f"{'failed' if failed[0] else 'succeeded'} in parallel but "
+                    f"{'failed' if failed[1] else 'succeeded'} serially",
+                    dump={"index": index, "seed": seeds[index]},
+                )
+            if failed[0]:
+                continue
+            parallel_fp = _result_fingerprint(parallel_value)
+            serial_fp = _result_fingerprint(serial_value)
+            if parallel_fp != serial_fp:
+                raise InvariantViolation(
+                    "fingerprint",
+                    f"trial {index} (seed {seeds[index]}) diverged between "
+                    f"parallel and serial execution: {parallel_fp!r} != "
+                    f"{serial_fp!r}",
+                    dump={
+                        "index": index,
+                        "seed": seeds[index],
+                        "parallel": repr(parallel_fp),
+                        "serial": repr(serial_fp),
+                    },
+                )
+    return results
 
 
 # -- robust execution: timeouts, retries, checkpoints ---------------------------
 
+#: bump on any change to the checkpoint file layout
+CHECKPOINT_VERSION = 1
+
+
+def _checkpoint_checksum(seeds: List[int], results_payload: dict) -> str:
+    """Content checksum over the canonical JSON of a checkpoint's data."""
+    blob = json.dumps(
+        {"seeds": seeds, "results": results_payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _discard_checkpoint(path: str, reason: str) -> Dict[int, object]:
+    warnings.warn(
+        f"ignoring checkpoint {path!r}: {reason}; starting a fresh sweep",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+    return {}
+
 
 def _load_checkpoint(path: str, seeds: List[int]) -> Dict[int, object]:
-    """Completed results from a previous run, or {} when absent/stale."""
+    """Completed results from a previous run, or {} when absent/stale.
+
+    A checkpoint that cannot be trusted — unreadable or truncated JSON,
+    unknown version, checksum mismatch, malformed trial records — is
+    *discarded with a warning* rather than crashing the sweep or, worse,
+    silently resuming from garbage.  A checkpoint whose seed list differs
+    belongs to a different sweep and is ignored without comment (the
+    historical behavior).
+    """
     if not os.path.exists(path):
         return {}
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
-    if data.get("seeds") != list(seeds):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, UnicodeDecodeError, ValueError) as exc:
+        return _discard_checkpoint(path, f"unreadable or truncated ({exc!r})")
+    if (
+        not isinstance(data, dict)
+        or not isinstance(data.get("seeds"), list)
+        or not isinstance(data.get("results"), dict)
+    ):
+        return _discard_checkpoint(path, "unrecognized layout")
+    version = data.get("version", CHECKPOINT_VERSION)
+    if version != CHECKPOINT_VERSION:
+        return _discard_checkpoint(
+            path,
+            f"version {version!r} (this build reads version {CHECKPOINT_VERSION})",
+        )
+    checksum = data.get("checksum")
+    if checksum is not None and checksum != _checkpoint_checksum(
+        data["seeds"], data["results"]
+    ):
+        return _discard_checkpoint(path, "checksum mismatch (corrupt contents)")
+    if data["seeds"] != list(seeds):
         # Different sweep (seed list changed) — ignore the stale file.
         return {}
     results: Dict[int, object] = {}
-    for key, value in data.get("results", {}).items():
-        if isinstance(value, dict) and value.get("__trial_failure__"):
-            value = TrialFailure.from_dict(value)
-        results[int(key)] = value
+    try:
+        for key, value in data["results"].items():
+            if isinstance(value, dict) and value.get("__trial_failure__"):
+                value = TrialFailure.from_dict(value)
+            index = int(key)
+            if index < 0 or index >= len(seeds):
+                raise ValueError(f"result index {index} out of range")
+            results[index] = value
+    except (KeyError, TypeError, ValueError) as exc:
+        return _discard_checkpoint(path, f"malformed trial records ({exc!r})")
     return results
 
 
-def _save_checkpoint(path: str, seeds: List[int], results: Dict[int, object]) -> None:
-    """Atomically persist completed results (tmp file + rename)."""
-    payload = {
-        "seeds": list(seeds),
-        "results": {
-            str(index): (
-                value.to_dict() if isinstance(value, TrialFailure) else value
-            )
-            for index, value in results.items()
-        },
-    }
+def _atomic_write_json(path: str, payload: dict) -> None:
+    """Write ``payload`` as JSON via tmp file + rename (atomic on POSIX)."""
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -273,6 +388,103 @@ def _save_checkpoint(path: str, seeds: List[int], results: Dict[int, object]) ->
         raise
 
 
+def _save_checkpoint(path: str, seeds: List[int], results: Dict[int, object]) -> None:
+    """Atomically persist completed results (tmp file + rename)."""
+    results_payload = {
+        str(index): (value.to_dict() if isinstance(value, TrialFailure) else value)
+        for index, value in results.items()
+    }
+    _atomic_write_json(
+        path,
+        {
+            "version": CHECKPOINT_VERSION,
+            "seeds": list(seeds),
+            "results": results_payload,
+            "checksum": _checkpoint_checksum(list(seeds), results_payload),
+        },
+    )
+
+
+class TrialSnapshotSlot:
+    """One trial's persistent snapshot file for mid-trial crash resume.
+
+    :func:`run_trials_robust` hands each trial a slot when built with
+    ``snapshot_dir``; the trial periodically ``save``s a machine snapshot
+    (plus its own progress record), and — after a crash, timeout, or kill
+    — the retry ``load``s it, rebuilds the machine deterministically from
+    the seed, ``Machine.load_state``s the snapshot, and finishes only the
+    remaining work.  Instances carry just a path, so they pickle cleanly
+    into pool workers.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def load(self) -> Optional[dict]:
+        """The saved snapshot payload, or None when absent or unreadable.
+
+        An unreadable or obviously-wrong file is warned about and treated
+        as absent (the trial restarts from scratch); subtler corruption is
+        caught downstream by the snapshot's own fingerprint check in
+        :func:`repro.sanitizer.snapshot.load_state`.
+        """
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, UnicodeDecodeError, ValueError) as exc:
+            warnings.warn(
+                f"ignoring trial snapshot {self.path!r}: unreadable or "
+                f"truncated ({exc!r}); restarting the trial from scratch",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        if not isinstance(data, dict) or not data.get("__machine_snapshot__"):
+            warnings.warn(
+                f"ignoring trial snapshot {self.path!r}: not a machine "
+                "snapshot; restarting the trial from scratch",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return data
+
+    def save(self, snapshot, progress: Optional[dict] = None) -> None:
+        """Atomically persist ``snapshot`` (a
+        :class:`~repro.sanitizer.snapshot.MachineSnapshot` or its dict
+        form), with an optional trial-defined ``progress`` record stored
+        alongside under the ``"progress"`` key."""
+        payload = (
+            snapshot.to_dict() if hasattr(snapshot, "to_dict") else dict(snapshot)
+        )
+        if progress is not None:
+            payload["progress"] = progress
+        _atomic_write_json(self.path, payload)
+
+    def clear(self) -> None:
+        """Delete the slot file (no-op when absent) — call on completion."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def _accepts_snapshot(fn: Callable) -> bool:
+    """Whether ``fn`` can receive a ``snapshot=`` keyword argument."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return True  # not introspectable (builtin/C callable) — trust it
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if param.name == "snapshot":
+            return True
+    return False
+
+
 def run_trials_robust(
     fn: Callable[[int], T],
     seeds: Sequence[int],
@@ -280,6 +492,7 @@ def run_trials_robust(
     timeout_seconds: Optional[float] = None,
     max_attempts: int = 2,
     checkpoint_path: Optional[str] = None,
+    snapshot_dir: Optional[str] = None,
 ) -> List[Union[T, TrialFailure]]:
     """:func:`run_trials` for sweeps that must survive crashing or hanging
     trials.
@@ -300,8 +513,16 @@ def run_trials_robust(
       killable);
     * with ``checkpoint_path``, every completed slot is persisted (atomic
       write) after each round, and a rerun with the same seed list resumes
-      from the file instead of recomputing.  Trial results must be
-      JSON-serializable to use checkpointing.
+      from the file instead of recomputing.  A corrupt, truncated, or
+      differently-versioned checkpoint is discarded with a warning and
+      the sweep starts fresh.  Trial results must be JSON-serializable to
+      use checkpointing;
+    * with ``snapshot_dir``, each trial receives a
+      :class:`TrialSnapshotSlot` as a ``snapshot=`` keyword argument (the
+      trial function must accept it), letting a *retry of a killed trial
+      resume mid-trial* from the machine snapshot the previous attempt
+      saved, instead of restarting the trial from scratch.  Slots are
+      cleared when their trial completes.
 
     Returns:
         Result-or-:class:`TrialFailure` per seed, in seed order.
@@ -310,6 +531,20 @@ def run_trials_robust(
         raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
     seeds = list(seeds)
     jobs = resolve_jobs(jobs)
+    slots: Dict[int, TrialSnapshotSlot] = {}
+    if snapshot_dir is not None:
+        if not _accepts_snapshot(fn):
+            raise ValueError(
+                "snapshot_dir requires a trial function that accepts a "
+                "'snapshot' keyword argument (the TrialSnapshotSlot)"
+            )
+        os.makedirs(snapshot_dir, exist_ok=True)
+        slots = {
+            index: TrialSnapshotSlot(
+                os.path.join(snapshot_dir, f"trial-{index:04d}-{seed}.json")
+            )
+            for index, seed in enumerate(seeds)
+        }
     results: Dict[int, object] = (
         _load_checkpoint(checkpoint_path, seeds) if checkpoint_path else {}
     )
@@ -322,13 +557,18 @@ def run_trials_robust(
         outcomes: List[tuple] = []  # (index, seed, attempt, tag, value)
         if jobs == 1 and timeout_seconds is None:
             for index, seed, attempt in pending:
-                tag, value = call(seed)
+                tag, value = call(seed, slots.get(index))
                 outcomes.append((index, seed, attempt, tag, value))
         else:
             workers = min(jobs, len(pending))
             with _pool_context().Pool(processes=workers) as pool:
                 handles = [
-                    (index, seed, attempt, pool.apply_async(call, (seed,)))
+                    (
+                        index,
+                        seed,
+                        attempt,
+                        pool.apply_async(call, (seed, slots.get(index))),
+                    )
                     for index, seed, attempt in pending
                 ]
                 for index, seed, attempt, handle in handles:
@@ -356,6 +596,9 @@ def run_trials_robust(
         for index, seed, attempt, tag, value in outcomes:
             if tag == "ok":
                 results[index] = value
+                slot = slots.get(index)
+                if slot is not None:
+                    slot.clear()
             elif attempt < max_attempts:
                 retry.append((index, seed, attempt + 1))
             else:

@@ -62,13 +62,17 @@ class FaultInjector:
     damage for degradation metrics.
     """
 
-    def __init__(self, machine, plan: FaultPlan):
+    def __init__(self, machine, plan: FaultPlan, strict: bool = False):
         plan.validate_for(machine.config.cores)
         self.machine = machine
         self.plan = plan
+        self.strict = strict
         self.log: List[FaultLogEntry] = []
         #: applied events per fault kind
         self.counts: Dict[str, int] = {}
+        #: faults that could not take effect (see :meth:`_fault_error`);
+        #: empty after a clean run — check it, or pass ``strict=True``
+        self.errors: List[FaultError] = []
         self._stolen = 0.0
         self._rng = np.random.default_rng(
             np.random.SeedSequence(
@@ -100,6 +104,22 @@ class FaultInjector:
     def _record(self, at: float, kind: str, detail: str) -> None:
         self.log.append(FaultLogEntry(at_cycle=at, kind=kind, detail=detail))
         self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def _fault_error(self, at: float, kind: str, detail: str) -> None:
+        """A scheduled fault that had nothing to act on.
+
+        Historically this was a silent no-op, which made fault plans lie:
+        a sweep could report "N faults injected" while some of them hit
+        nothing (every target process already finished or cancelled).  Now
+        it is always visible — a typed :class:`FaultError` raised under
+        ``strict=True``, otherwise collected in :attr:`errors` and logged
+        as a ``<kind>_noop`` entry.
+        """
+        error = FaultError(f"{kind} fault at cycle {at:.0f} had no effect: {detail}")
+        if self.strict:
+            raise error
+        self.errors.append(error)
+        self._record(at, f"{kind}_noop", detail)
 
     # -- the event source -------------------------------------------------
 
@@ -180,6 +200,15 @@ class FaultInjector:
             target.now = max(target.now, source.now) + MIGRATION_COST_CYCLES
             process.clock = target
             moved += 1
+        if moved == 0:
+            self._fault_error(
+                source.now,
+                "migrate",
+                f"no live process on core {event.core} (all finished, failed, "
+                "or cancelled — nothing to move to "
+                f"core {event.target_core})",
+            )
+            return
         self._record(
             source.now,
             "migrate",

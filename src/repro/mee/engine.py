@@ -150,6 +150,29 @@ class MemoryEncryptionEngine:
             extra += self._rng.normal(0.0, self.NODE_JITTER_SIGMA)
         return max(extra, self.latency.mee_base_cycles * 0.5)
 
+    # -- snapshot -------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of the MEE cache, tree and counters."""
+        return {
+            "cache": self.cache.export_state(),
+            "tree": self.tree.export_state(),
+            "stats": {
+                "accesses": self.stats.accesses,
+                "hit_level_counts": list(self.stats.hit_level_counts),
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        self.cache.restore_state(state["cache"])
+        self.tree.restore_state(state["tree"])
+        stats = state["stats"]
+        self.stats = _EngineStats(
+            accesses=int(stats["accesses"]),
+            hit_level_counts=[int(c) for c in stats["hit_level_counts"]],
+        )
+
     # -- oracles for tests and ground-truth validation ------------------------
 
     def versions_cached(self, paddr: int) -> bool:

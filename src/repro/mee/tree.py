@@ -102,3 +102,43 @@ class IntegrityTree:
     def node_counter(self, line_addr: int) -> int:
         """Current counter of a node (tests/diagnostics)."""
         return self._node_counters.get(line_addr, 0)
+
+    def recorded_counters(self) -> Dict[int, int]:
+        """child line -> counter its parent recorded (checkers, tests).
+
+        Each node has exactly one parent in the tree, so the flattened view
+        loses nothing; nodes never written have no entry (counter 0).
+        """
+        return {
+            child: counter
+            for (_parent, child), counter in self._parent_records.items()
+        }
+
+    # -- snapshot ----------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of all counters and parent records."""
+        return {
+            "node_counters": {
+                str(line): counter for line, counter in self._node_counters.items()
+            },
+            "parent_records": {
+                f"{parent}:{child}": counter
+                for (parent, child), counter in self._parent_records.items()
+            },
+            "verifications": self.verifications,
+            "updates": self.updates,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        self._node_counters = {
+            int(line): int(counter)
+            for line, counter in state["node_counters"].items()
+        }
+        self._parent_records = {}
+        for key, counter in state["parent_records"].items():
+            parent, _, child = key.partition(":")
+            self._parent_records[(int(parent), int(child))] = int(counter)
+        self.verifications = int(state["verifications"])
+        self.updates = int(state["updates"])

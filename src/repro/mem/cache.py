@@ -322,6 +322,56 @@ class SetAssociativeCache:
         """Empty the cache (power-on state); statistics are kept."""
         self._sets = [None] * self._num_sets
 
+    # -- introspection and snapshot ----------------------------------------
+
+    def iter_set_states(self):
+        """Yield ``(set_index, tags, lookup, policy)`` for populated sets.
+
+        Read-only view for invariant checkers and fingerprinting; callers
+        must not mutate the yielded structures.
+        """
+        for set_index, cache_set in enumerate(self._sets):
+            if cache_set is not None:
+                yield set_index, cache_set.tags, cache_set.lookup, cache_set.policy
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of tags, replacement state and statistics."""
+        return {
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "flushes": self.stats.flushes,
+            },
+            "sets": {
+                str(set_index): {
+                    "tags": list(tags),
+                    "policy": policy.export_state(),
+                }
+                for set_index, tags, _lookup, policy in self.iter_set_states()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state` (same geometry)."""
+        stats = state["stats"]
+        self.stats = CacheStats(
+            hits=int(stats["hits"]),
+            misses=int(stats["misses"]),
+            evictions=int(stats["evictions"]),
+            flushes=int(stats["flushes"]),
+        )
+        self._sets = [None] * self._num_sets
+        for key, payload in state["sets"].items():
+            policy = self._policy_cls(self._ways, rng=self._rng)
+            policy.restore_state(payload["policy"])
+            tags = [None if tag is None else int(tag) for tag in payload["tags"]]
+            cache_set = _CacheSet(tags=tags, policy=policy)
+            for way, tag in enumerate(tags):
+                if tag is not None:
+                    cache_set.lookup[tag] = way
+            self._sets[int(key)] = cache_set
+
     def __len__(self) -> int:
         """Total valid lines across all sets."""
         return sum(len(s.lookup) for s in self._sets if s is not None)

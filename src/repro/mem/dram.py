@@ -55,6 +55,15 @@ class DRAMModel:
         floor = 0.6 * self.config.access_cycles
         return float(max(latency, floor))
 
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of contention and accounting state."""
+        return {"active_stressors": self.active_stressors, "fetches": self.fetches}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        self.active_stressors = int(state["active_stressors"])
+        self.fetches = int(state["fetches"])
+
     def sample_many(self, count: int) -> np.ndarray:
         """Vectorized sampling for workload generators."""
         base = self.mean_latency + self._rng.normal(

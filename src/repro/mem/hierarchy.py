@@ -137,6 +137,39 @@ class CacheHierarchy:
         if include_l2:
             self.l2[core].clear()
 
+    def holder_map(self) -> Dict[int, Set[int]]:
+        """Copy of the line -> private-holder-cores map (checkers, tests).
+
+        The map is a documented *superset*: a listed core may have since
+        lost its copy, but a line absent from the map has no private copies
+        anywhere.
+        """
+        return {line: set(cores) for line, cores in self._private_holders.items()}
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of every cache level plus the holder map."""
+        return {
+            "l1": [cache.export_state() for cache in self.l1],
+            "l2": [cache.export_state() for cache in self.l2],
+            "llc": self.llc.export_state(),
+            "holders": {
+                str(line): sorted(cores)
+                for line, cores in self._private_holders.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state` (same config)."""
+        for cache, payload in zip(self.l1, state["l1"]):
+            cache.restore_state(payload)
+        for cache, payload in zip(self.l2, state["l2"]):
+            cache.restore_state(payload)
+        self.llc.restore_state(state["llc"])
+        self._private_holders = {
+            int(line): {int(core) for core in cores}
+            for line, cores in state["holders"].items()
+        }
+
     def latency_of(self, level: AccessLevel) -> int:
         """Hit latency in cycles for a level satisfied on-chip.
 

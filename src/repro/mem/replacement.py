@@ -48,6 +48,12 @@ class ReplacementPolicy(Protocol):
     def victim(self) -> int:
         ...
 
+    def export_state(self) -> dict:
+        ...
+
+    def restore_state(self, state: dict) -> None:
+        ...
+
 
 class LRUPolicy:
     """Exact least-recently-used ordering."""
@@ -73,6 +79,14 @@ class LRUPolicy:
     def recency_order(self) -> list:
         """MRU-to-LRU way order (diagnostics and tests)."""
         return list(self._order)
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of the recency order."""
+        return {"order": list(self._order)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        self._order = [int(way) for way in state["order"]]
 
 
 class TreePLRUPolicy:
@@ -131,6 +145,14 @@ class TreePLRUPolicy:
         """Current PLRU bit vector (diagnostics and tests)."""
         return list(self._bits)
 
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of the PLRU bit vector."""
+        return {"bits": list(self._bits)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        self._bits = [int(bit) for bit in state["bits"]]
+
 
 class RRIPPolicy:
     """2-bit Static RRIP (Jaleel et al.), the MEE-cache default.
@@ -179,6 +201,23 @@ class RRIPPolicy:
         """Current RRPVs (diagnostics and tests)."""
         return list(self._rrpv)
 
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of the RRPVs."""
+        return {"rrpv": list(self._rrpv)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`.
+
+        Mutates the RRPV list in place — the list object is shared with
+        the cache's inlined fast path and must never be rebound.
+        """
+        values = [int(v) for v in state["rrpv"]]
+        if len(values) != self.ways:
+            raise ConfigurationError(
+                f"RRIP snapshot has {len(values)} ways, policy has {self.ways}"
+            )
+        self._rrpv[:] = values
+
 
 class RandomPolicy:
     """Uniform random victim selection (mitigation ablation)."""
@@ -196,6 +235,14 @@ class RandomPolicy:
     def victim(self) -> int:
         """A uniformly random way."""
         return int(self._rng.integers(0, self.ways))
+
+    def export_state(self) -> dict:
+        """Random replacement has no per-set state (the RNG stream is
+        snapshotted at machine level)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Nothing to restore (see :meth:`export_state`)."""
 
 
 _POLICIES = {

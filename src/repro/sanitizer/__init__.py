@@ -1,0 +1,68 @@
+"""repro.sanitizer — the simulation's correctness backstop.
+
+Opt-in runtime validation for the discrete-event simulator: an invariant
+engine over live machine state (:mod:`~repro.sanitizer.invariants`),
+deterministic state fingerprinting (:mod:`~repro.sanitizer.fingerprint`),
+crash-resumable snapshot/restore (:mod:`~repro.sanitizer.snapshot`), and
+a differential oracle that diffs the fast-path caches against a slow
+reference model (:mod:`~repro.sanitizer.oracle`).
+
+Enable everywhere with ``REPRO_SANITIZE=1`` (phase-boundary checks),
+``REPRO_SANITIZE=<N>`` (additionally check every N operations) and
+``REPRO_ORACLE=1`` (shadow caches with the reference model), or
+programmatically::
+
+    machine = Machine(skylake_i7_6700k(seed=7))
+    machine.install_sanitizer(SanitizerConfig(every_n_events=10_000))
+    ...
+    machine.sanitize()                  # on-demand sweep
+    print(machine.fingerprint())        # stable state hash
+    snapshot = machine.save_state()     # crash-resume checkpoint
+"""
+
+from .fingerprint import fingerprint_state, machine_fingerprint
+from .invariants import (
+    DEFAULT_CHECKERS,
+    Sanitizer,
+    SanitizerConfig,
+    check_cache,
+    check_clocks,
+    check_hierarchy,
+    check_mee,
+    check_scheduler,
+)
+from .oracle import (
+    DifferentialCache,
+    ReferenceCache,
+    attach_differential_oracle,
+    replay_trace,
+)
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    MachineSnapshot,
+    capture_state,
+    load_state,
+    save_state,
+)
+
+__all__ = [
+    "DEFAULT_CHECKERS",
+    "DifferentialCache",
+    "MachineSnapshot",
+    "ReferenceCache",
+    "SNAPSHOT_VERSION",
+    "Sanitizer",
+    "SanitizerConfig",
+    "attach_differential_oracle",
+    "capture_state",
+    "check_cache",
+    "check_clocks",
+    "check_hierarchy",
+    "check_mee",
+    "check_scheduler",
+    "fingerprint_state",
+    "load_state",
+    "machine_fingerprint",
+    "replay_trace",
+    "save_state",
+]

@@ -1,0 +1,65 @@
+"""Deterministic fingerprinting of architectural machine state.
+
+A fingerprint is a SHA-256 hash over a canonical JSON encoding of the
+machine's architectural state: every cache's tags and replacement
+metadata, the integrity tree's counters, per-core clock positions, DRAM
+and pager accounting, and the positions of all named RNG streams.  Two
+machines with equal fingerprints will produce bit-identical simulated
+futures from that point on (process/generator state aside, which lives in
+the trial code, not the machine).
+
+Uses:
+
+* parallel/serial equivalence — ``run_trials`` compares per-trial
+  fingerprints, not just final results, when asked to verify;
+* snapshot integrity — :mod:`repro.sanitizer.snapshot` stamps each
+  snapshot with the fingerprint at save time and refuses to restore a
+  payload whose post-restore fingerprint disagrees (truncation, bit rot,
+  hand edits).
+
+Stability contract: the hash is a pure function of the state dict
+produced by :func:`repro.sanitizer.snapshot.capture_state` — keys are
+sorted, floats round-trip exactly through ``repr``-faithful JSON, and
+iteration order never leaks in.  It is stable across processes and runs
+of the same code version, *not* across snapshot format versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+__all__ = ["fingerprint_state", "machine_fingerprint"]
+
+
+def _jsonify(value):
+    """Coerce numpy scalars that may hide in RNG states to plain Python."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot fingerprint value of type {type(value)!r}: {value!r}")
+
+
+def fingerprint_state(state: dict) -> str:
+    """SHA-256 hex digest of a canonical encoding of ``state``."""
+    blob = json.dumps(
+        state, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def machine_fingerprint(machine) -> str:
+    """Stable hash of one machine's architectural state.
+
+    Equal fingerprints mean equal caches (tags, replacement metadata and
+    statistics), integrity tree, clocks, DRAM/pager/EPC accounting and
+    RNG stream positions — everything :func:`capture_state` covers.
+    """
+    from .snapshot import capture_state
+
+    return fingerprint_state(capture_state(machine))

@@ -1,0 +1,447 @@
+"""The runtime invariant engine: checkers over the live machine.
+
+Every headline number rests on the discrete-event simulator keeping its
+microarchitectural state consistent while fast-path rewrites and fault
+injectors mutate caches, clocks and the integrity tree from many code
+paths.  The :class:`Sanitizer` registers checkers over a live
+:class:`~repro.system.machine.Machine` and fires them at configurable
+cadences:
+
+* **every N events** — the machine's operation executor is wrapped so a
+  full check runs every ``every_n_events`` executed operations;
+* **phase boundaries** — every :class:`~repro.sim.ops.Label` operation
+  (experiments label their phases) triggers a check;
+* **on demand** — ``machine.sanitize()`` / :meth:`Sanitizer.check`.
+
+A failing checker raises a typed
+:class:`~repro.errors.InvariantViolation` carrying a minimized dump of
+only the offending structures.  Checkers are read-only: running them any
+number of times never perturbs simulation results (the determinism tests
+pin this down).
+
+Checkers (names accepted by :class:`SanitizerConfig` and ``check``):
+
+``cache``
+    Per-set consistency of every :class:`SetAssociativeCache` (all
+    hierarchy levels plus the MEE cache): tags and the lookup index stay
+    in bijection, no duplicate tags, tags line-aligned and in the set
+    they map to, SRRIP metadata in range and the inlined RRPV view still
+    shared with the policy.
+``hierarchy``
+    Inclusive-LLC bookkeeping: every private L1/L2 line is present in
+    the LLC and recorded in the holder map, and the holder map only
+    names LLC-resident lines.
+``mee``
+    Cached-node freshness: a tree node resident in the MEE cache is by
+    definition verified, so its embedded counter must match its parent's
+    record (version/MAC consistency of cached vs. authoritative state).
+``clock``
+    Per-core clocks are finite, non-negative and monotonic between
+    checks; the DVFS rate scale stays within configured bounds and the
+    cached rate divisor matches ``(1 + skew) * rate_scale``.
+``scheduler``
+    No orphaned pending operations on finished/failed/cancelled
+    processes; heap entries are finite and reference known processes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import InvariantViolation
+from ..mem.cache import SetAssociativeCache
+from ..sim.process import ProcessState
+
+__all__ = [
+    "DEFAULT_CHECKERS",
+    "SanitizerConfig",
+    "Sanitizer",
+    "check_cache",
+    "check_hierarchy",
+    "check_mee",
+    "check_clocks",
+    "check_scheduler",
+]
+
+#: every checker the engine knows, in the order ``check()`` runs them
+DEFAULT_CHECKERS: Tuple[str, ...] = ("cache", "hierarchy", "mee", "clock", "scheduler")
+
+#: environment variable enabling the sanitizer on every new Machine;
+#: ``1`` enables phase-boundary checks, an integer > 1 is additionally
+#: used as the every-N-events cadence
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+_DONE_STATES = (ProcessState.FINISHED, ProcessState.FAILED, ProcessState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class SanitizerConfig:
+    """How often the invariant engine fires and what it checks.
+
+    Attributes:
+        every_n_events: run a full check every N executed operations
+            (``None`` disables the event cadence — phase-boundary and
+            on-demand checks still run).
+        phase_boundaries: check at every ``Label`` operation.
+        checkers: subset of :data:`DEFAULT_CHECKERS` to run.
+        rate_scale_bounds: legal DVFS range for ``CoreClock.rate_scale``.
+        differential_oracle: shadow every cache with the slow reference
+            model and diff each operation (see :mod:`repro.sanitizer.oracle`).
+    """
+
+    every_n_events: Optional[int] = None
+    phase_boundaries: bool = True
+    checkers: Tuple[str, ...] = DEFAULT_CHECKERS
+    rate_scale_bounds: Tuple[float, float] = (0.01, 100.0)
+    differential_oracle: bool = False
+
+    @classmethod
+    def from_environment(cls) -> Optional["SanitizerConfig"]:
+        """Config implied by ``REPRO_SANITIZE`` / ``REPRO_ORACLE``, or None.
+
+        ``REPRO_SANITIZE=1`` enables phase-boundary checking; an integer
+        value > 1 is also used as the every-N-events cadence.
+        ``REPRO_ORACLE=1`` additionally shadows every cache with the
+        reference model.
+        """
+        raw = os.environ.get(SANITIZE_ENV_VAR, "")
+        oracle = os.environ.get("REPRO_ORACLE", "") not in ("", "0")
+        if raw in ("", "0") and not oracle:
+            return None
+        every: Optional[int] = None
+        if raw.isdigit() and int(raw) > 1:
+            every = int(raw)
+        return cls(every_n_events=every, differential_oracle=oracle)
+
+
+# -- individual checkers ----------------------------------------------------
+
+
+def check_cache(cache: SetAssociativeCache, name: str = "cache") -> None:
+    """Structural consistency of one set-associative cache.
+
+    Raises:
+        InvariantViolation: on duplicate tags, tag/lookup desync,
+            misplaced or unaligned tags, or SRRIP metadata out of range.
+    """
+    ways = cache.geometry.ways
+    for set_index, tags, lookup, policy in cache.iter_set_states():
+        if len(tags) != ways:
+            raise InvariantViolation(
+                "cache",
+                f"{name} set {set_index} has {len(tags)} ways, geometry says {ways}",
+                dump={"set": set_index, "tags": list(tags)},
+            )
+        from_tags: Dict[int, int] = {}
+        for way, tag in enumerate(tags):
+            if tag is None:
+                continue
+            if tag in from_tags:
+                raise InvariantViolation(
+                    "cache",
+                    f"{name} set {set_index} holds line {tag:#x} in ways "
+                    f"{from_tags[tag]} and {way} (duplicate tag)",
+                    dump={"set": set_index, "tags": list(tags)},
+                )
+            from_tags[tag] = way
+            if cache.line_of(tag) != tag:
+                raise InvariantViolation(
+                    "cache",
+                    f"{name} set {set_index} way {way} tag {tag:#x} is not "
+                    "line-aligned",
+                    dump={"set": set_index, "way": way, "tag": tag},
+                )
+            if cache.set_index_of(tag) != set_index:
+                raise InvariantViolation(
+                    "cache",
+                    f"{name} line {tag:#x} stored in set {set_index} but maps "
+                    f"to set {cache.set_index_of(tag)}",
+                    dump={"set": set_index, "way": way, "tag": tag},
+                )
+        if lookup != from_tags:
+            raise InvariantViolation(
+                "cache",
+                f"{name} set {set_index} lookup index desynced from tags",
+                dump={
+                    "set": set_index,
+                    "tags": list(tags),
+                    "lookup": dict(lookup),
+                },
+            )
+        rrpv = getattr(policy, "_rrpv", None)
+        if rrpv is not None:
+            shared = cache._sets[set_index].rrpv
+            if shared is not None and shared is not rrpv:
+                raise InvariantViolation(
+                    "cache",
+                    f"{name} set {set_index} inlined RRPV view was rebound "
+                    "away from its policy",
+                    dump={"set": set_index},
+                )
+            for way, value in enumerate(rrpv):
+                if not 0 <= value <= 3:
+                    raise InvariantViolation(
+                        "cache",
+                        f"{name} set {set_index} way {way} RRPV {value} out of "
+                        "range [0, 3]",
+                        dump={"set": set_index, "rrpv": list(rrpv)},
+                    )
+
+
+def _resident_lines(cache: SetAssociativeCache) -> Iterable[int]:
+    for _set_index, _tags, lookup, _policy in cache.iter_set_states():
+        yield from lookup
+
+
+def check_hierarchy(hierarchy) -> None:
+    """Inclusive-LLC and holder-map consistency.
+
+    Raises:
+        InvariantViolation: when a private line is missing from the LLC
+            (inclusivity breach), a private line has no holder record
+            (back-invalidation would miss it), or the holder map names a
+            line the LLC no longer holds.
+    """
+    llc_lines = set(_resident_lines(hierarchy.llc))
+    holders = hierarchy._private_holders
+    for core in range(hierarchy.cores):
+        for level_name, cache in (("l1", hierarchy.l1[core]), ("l2", hierarchy.l2[core])):
+            for line in _resident_lines(cache):
+                if line not in llc_lines:
+                    raise InvariantViolation(
+                        "hierarchy",
+                        f"{level_name}[{core}] holds line {line:#x} that is "
+                        "not in the inclusive LLC",
+                        dump={"core": core, "level": level_name, "line": line},
+                    )
+                recorded = holders.get(line)
+                if recorded is None or core not in recorded:
+                    raise InvariantViolation(
+                        "hierarchy",
+                        f"{level_name}[{core}] holds line {line:#x} with no "
+                        "holder record — back-invalidation would miss it",
+                        dump={
+                            "core": core,
+                            "level": level_name,
+                            "line": line,
+                            "holders": sorted(recorded) if recorded else [],
+                        },
+                    )
+    for line in holders:
+        if line not in llc_lines:
+            raise InvariantViolation(
+                "hierarchy",
+                f"holder map names line {line:#x} that is not LLC-resident",
+                dump={"line": line, "holders": sorted(holders[line])},
+            )
+
+
+def check_mee(mee) -> None:
+    """Freshness of cached integrity-tree nodes.
+
+    A node resident in the MEE cache is by definition already verified
+    (paper Section 2.2), so its embedded counter must match its parent's
+    record; a mismatch means the cached copy diverged from authoritative
+    tree state (tamper, replay, or a scrubbing bug).
+
+    Raises:
+        InvariantViolation: on any cached-node counter mismatch.
+    """
+    recorded = mee.tree.recorded_counters()
+    counters = mee.tree._node_counters
+    for line in _resident_lines(mee.cache):
+        own = counters.get(line, 0)
+        expected = recorded.get(line, 0)
+        if own != expected:
+            raise InvariantViolation(
+                "mee",
+                f"cached tree node {line:#x} has counter {own} but its "
+                f"parent recorded {expected} (stale or tampered while cached)",
+                dump={"line": line, "counter": own, "recorded": expected},
+            )
+
+
+def check_clocks(
+    machine,
+    last_seen: Optional[Dict[int, float]] = None,
+    rate_scale_bounds: Tuple[float, float] = (0.01, 100.0),
+) -> None:
+    """Per-core clock sanity: finite, non-negative, monotonic, DVFS in bounds.
+
+    Args:
+        machine: the machine whose ``clocks`` to check.
+        last_seen: mutable map of core index -> ``now`` at the previous
+            check; updated in place so successive calls detect backward
+            movement.  Pass None for a one-shot check.
+        rate_scale_bounds: allowed ``(min, max)`` for ``rate_scale``.
+
+    Raises:
+        InvariantViolation: on any violated clock invariant.
+    """
+    low, high = rate_scale_bounds
+    for index, clock in enumerate(machine.clocks):
+        now = clock.now
+        if not math.isfinite(now) or now < 0.0:
+            raise InvariantViolation(
+                "clock",
+                f"core {clock.core_id} clock at non-physical time {now!r}",
+                dump={"core": clock.core_id, "now": now},
+            )
+        if last_seen is not None:
+            previous = last_seen.get(index)
+            if previous is not None and now < previous:
+                raise InvariantViolation(
+                    "clock",
+                    f"core {clock.core_id} clock ran backwards: "
+                    f"{previous!r} -> {now!r}",
+                    dump={"core": clock.core_id, "previous": previous, "now": now},
+                )
+            last_seen[index] = now
+        if not low <= clock.rate_scale <= high:
+            raise InvariantViolation(
+                "clock",
+                f"core {clock.core_id} DVFS rate scale {clock.rate_scale!r} "
+                f"outside [{low}, {high}]",
+                dump={"core": clock.core_id, "rate_scale": clock.rate_scale},
+            )
+        expected_rate = (1.0 + clock.skew) * clock.rate_scale
+        if abs(clock._rate - expected_rate) > 1e-12 * max(1.0, abs(expected_rate)):
+            raise InvariantViolation(
+                "clock",
+                f"core {clock.core_id} cached rate divisor {clock._rate!r} "
+                f"desynced from (1 + skew) * rate_scale = {expected_rate!r}",
+                dump={"core": clock.core_id, "rate": clock._rate},
+            )
+        if not math.isfinite(clock.interrupt_cycles) or clock.interrupt_cycles < 0.0:
+            raise InvariantViolation(
+                "clock",
+                f"core {clock.core_id} interrupt accounting is "
+                f"{clock.interrupt_cycles!r}",
+                dump={"core": clock.core_id},
+            )
+
+
+def check_scheduler(scheduler) -> None:
+    """Scheduler bookkeeping: no orphaned pending ops, sane heap entries.
+
+    Raises:
+        InvariantViolation: when a finished/failed/cancelled process still
+            owns a pending operation (it would be silently re-executed on
+            resume) or a heap entry is non-finite or for an unknown process.
+    """
+    known = set(map(id, scheduler._processes))
+    for process in scheduler._processes:
+        if process.state in _DONE_STATES and process.pending_op is not None:
+            raise InvariantViolation(
+                "scheduler",
+                f"{process!r} is {process.state.value} but still holds "
+                f"pending operation {process.pending_op!r}",
+                dump={"process": repr(process)},
+            )
+    for queued_time, process in scheduler.pending_entries():
+        if not math.isfinite(queued_time) or queued_time < 0.0:
+            raise InvariantViolation(
+                "scheduler",
+                f"heap entry for {process!r} queued at non-physical time "
+                f"{queued_time!r}",
+                dump={"process": repr(process), "time": queued_time},
+            )
+        if id(process) not in known:
+            raise InvariantViolation(
+                "scheduler",
+                f"heap references unknown process {process!r}",
+                dump={"process": repr(process)},
+            )
+
+
+# -- the engine -------------------------------------------------------------
+
+
+class Sanitizer:
+    """Runs registered checkers over one machine at the configured cadence.
+
+    Attach via :meth:`repro.system.machine.Machine.install_sanitizer` (or
+    the ``REPRO_SANITIZE`` environment variable); the machine then calls
+    :meth:`on_event` / :meth:`on_phase` from its execution path.
+
+    Attributes:
+        checks_run: full invariant sweeps completed.
+        events_seen: operations observed through the event hook.
+        phases_seen: phase boundaries (Label operations) observed.
+    """
+
+    def __init__(self, machine, config: Optional[SanitizerConfig] = None):
+        config = config if config is not None else SanitizerConfig()
+        unknown = set(config.checkers) - set(DEFAULT_CHECKERS)
+        if unknown:
+            raise ValueError(
+                f"unknown checker(s) {sorted(unknown)}; "
+                f"valid names: {list(DEFAULT_CHECKERS)}"
+            )
+        if config.every_n_events is not None and config.every_n_events < 1:
+            raise ValueError(
+                f"every_n_events must be >= 1, got {config.every_n_events}"
+            )
+        self.machine = machine
+        self.config = config
+        self.checks_run = 0
+        self.events_seen = 0
+        self.phases_seen = 0
+        self._clock_marks: Dict[int, float] = {}
+
+    # -- cadence hooks -----------------------------------------------------
+
+    def on_event(self) -> None:
+        """Called by the machine after every executed operation."""
+        self.events_seen += 1
+        every = self.config.every_n_events
+        if every is not None and self.events_seen % every == 0:
+            self.check()
+
+    def on_phase(self, label: str) -> None:
+        """Called by the machine at every Label (phase-boundary) operation."""
+        self.phases_seen += 1
+        if self.config.phase_boundaries:
+            self.check()
+
+    # -- the sweep ---------------------------------------------------------
+
+    def check(self, checkers: Optional[Iterable[str]] = None) -> int:
+        """Run one full invariant sweep (or the named subset).
+
+        Returns:
+            The number of checkers that ran.
+
+        Raises:
+            InvariantViolation: from the first checker that fails.
+        """
+        machine = self.machine
+        selected = tuple(checkers) if checkers is not None else self.config.checkers
+        ran = 0
+        for name in selected:
+            if name == "cache":
+                for core in range(machine.config.cores):
+                    check_cache(machine.hierarchy.l1[core], name=f"l1[{core}]")
+                    check_cache(machine.hierarchy.l2[core], name=f"l2[{core}]")
+                check_cache(machine.hierarchy.llc, name="llc")
+                check_cache(machine.mee.cache, name="mee")
+            elif name == "hierarchy":
+                check_hierarchy(machine.hierarchy)
+            elif name == "mee":
+                check_mee(machine.mee)
+            elif name == "clock":
+                check_clocks(
+                    machine,
+                    last_seen=self._clock_marks,
+                    rate_scale_bounds=self.config.rate_scale_bounds,
+                )
+            elif name == "scheduler":
+                check_scheduler(machine.scheduler)
+            else:
+                raise ValueError(f"unknown checker {name!r}")
+            ran += 1
+        self.checks_run += 1
+        return ran

@@ -1,0 +1,314 @@
+"""Differential oracle: diff the fast-path cache against a slow reference.
+
+The fast-path cache (:mod:`repro.mem.cache`) inlines its SRRIP policy and
+fill logic into the access path for speed.  The oracle re-derives every
+decision from a deliberately naive model — dict-of-sets, one
+policy-method call per step, division instead of shift/mask address
+decomposition — and raises :class:`~repro.errors.OracleDivergence` the
+moment the two disagree on a hit, an eviction or a presence query.
+
+Two ways to use it:
+
+* **live shadowing** — :class:`DifferentialCache` *is* a fast-path cache
+  (same inlined hot loop) that mirrors every operation into a
+  :class:`ReferenceCache` and compares outcomes in place; install on a
+  whole machine with :func:`attach_differential_oracle` (or
+  ``SanitizerConfig(differential_oracle=True)`` / ``REPRO_ORACLE=1``);
+* **trace replay** — record operations (``record_trace=True``) and
+  re-check them later against a fresh reference with :func:`replay_trace`,
+  e.g. to validate a trace captured on another machine or an older build.
+
+Random replacement cannot be shadowed (two policy instances would drain
+the RNG stream twice and diverge by construction); the oracle refuses it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import CacheGeometry
+from ..errors import ConfigurationError, OracleDivergence
+from ..mem.cache import SetAssociativeCache
+from ..mem.replacement import make_policy
+
+__all__ = [
+    "ReferenceCache",
+    "DifferentialCache",
+    "attach_differential_oracle",
+    "replay_trace",
+]
+
+
+class ReferenceCache:
+    """Textbook set-associative cache: slow, obvious, and independent.
+
+    Mirrors the *semantics* of :class:`SetAssociativeCache` with none of
+    its optimizations: no inlined policies, no shift/mask geometry, no
+    dense set table — every step is a plain policy-method call over a
+    dict of sets, so a bug in the fast path cannot also live here.
+    """
+
+    def __init__(self, geometry: CacheGeometry):
+        if geometry.policy == "random":
+            raise ConfigurationError(
+                "the differential oracle cannot shadow random replacement: "
+                "two policy instances would drain the RNG twice and diverge"
+            )
+        self.geometry = geometry
+        self._sets: dict = {}  # set_index -> {"tags": [..], "policy": policy}
+
+    # Deliberately arithmetic (not shift/mask): an independent derivation
+    # of the same geometry.
+    def line_of(self, addr: int) -> int:
+        return addr - (addr % self.geometry.line_bytes)
+
+    def set_index_of(self, addr: int) -> int:
+        return (addr // self.geometry.line_bytes) % self.geometry.num_sets
+
+    def _set(self, set_index: int) -> dict:
+        entry = self._sets.get(set_index)
+        if entry is None:
+            entry = {
+                "tags": [None] * self.geometry.ways,
+                "policy": make_policy(self.geometry.policy, self.geometry.ways),
+            }
+            self._sets[set_index] = entry
+        return entry
+
+    def contains(self, addr: int) -> bool:
+        entry = self._sets.get(self.set_index_of(addr))
+        return entry is not None and self.line_of(addr) in entry["tags"]
+
+    def probe(self, addr: int) -> bool:
+        entry = self._sets.get(self.set_index_of(addr))
+        if entry is None:
+            return False
+        line = self.line_of(addr)
+        if line not in entry["tags"]:
+            return False
+        entry["policy"].touch(entry["tags"].index(line))
+        return True
+
+    def access(self, addr: int) -> Tuple[bool, Optional[int]]:
+        """Look up (and on miss, fill); return ``(hit, evicted_line)``."""
+        entry = self._set(self.set_index_of(addr))
+        line = self.line_of(addr)
+        tags, policy = entry["tags"], entry["policy"]
+        if line in tags:
+            policy.touch(tags.index(line))
+            return True, None
+        return False, self._place(entry, line)
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Insert without counting an access; touch when already present."""
+        entry = self._set(self.set_index_of(addr))
+        line = self.line_of(addr)
+        tags = entry["tags"]
+        if line in tags:
+            entry["policy"].touch(tags.index(line))
+            return None
+        return self._place(entry, line)
+
+    def _place(self, entry: dict, line: int) -> Optional[int]:
+        tags, policy = entry["tags"], entry["policy"]
+        evicted = None
+        if None in tags:
+            way = tags.index(None)
+        else:
+            way = policy.victim()
+            evicted = tags[way]
+        tags[way] = line
+        policy.fill(way)
+        return evicted
+
+    def invalidate(self, addr: int) -> bool:
+        entry = self._sets.get(self.set_index_of(addr))
+        if entry is None:
+            return False
+        line = self.line_of(addr)
+        if line not in entry["tags"]:
+            return False
+        entry["tags"][entry["tags"].index(line)] = None
+        return True
+
+    def clear(self) -> None:
+        self._sets = {}
+
+    def __len__(self) -> int:
+        return sum(
+            sum(tag is not None for tag in entry["tags"])
+            for entry in self._sets.values()
+        )
+
+
+class DifferentialCache(SetAssociativeCache):
+    """A fast-path cache that shadows every operation into a reference.
+
+    Subclasses :class:`SetAssociativeCache` so the *inlined* hot loop is
+    exactly what runs (``_fill`` is not overridden, keeping the inline
+    fill active); each public operation then replays into the
+    :class:`ReferenceCache` and compares outcomes.
+
+    Attributes:
+        oracle_name: label used in divergence reports.
+        ops_checked: operations diffed so far.
+        trace: recorded ``(op, addr, outcome)`` tuples when built with
+            ``record_trace=True``, else None.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "cache",
+        record_trace: bool = False,
+    ):
+        super().__init__(geometry, rng=rng)
+        self._ref = ReferenceCache(geometry)
+        self.oracle_name = name
+        self.ops_checked = 0
+        self.trace: Optional[List[tuple]] = [] if record_trace else None
+
+    def _diverged(self, op: str, addr: int, fast, reference) -> None:
+        raise OracleDivergence(
+            "oracle",
+            f"{self.oracle_name}.{op}({addr:#x}): fast path says {fast!r}, "
+            f"reference model says {reference!r}",
+            dump={
+                "cache": self.oracle_name,
+                "op": op,
+                "addr": addr,
+                "fast": repr(fast),
+                "reference": repr(reference),
+                "ops_checked": self.ops_checked,
+            },
+        )
+
+    def _note(self, op: str, addr: int, outcome) -> None:
+        self.ops_checked += 1
+        if self.trace is not None:
+            self.trace.append((op, addr, outcome))
+
+    def probe(self, addr: int) -> bool:
+        hit = super().probe(addr)
+        ref_hit = self._ref.probe(addr)
+        if hit != ref_hit:
+            self._diverged("probe", addr, hit, ref_hit)
+        self._note("probe", addr, hit)
+        return hit
+
+    def access(self, addr: int):
+        result = super().access(addr)
+        ref_hit, ref_evicted = self._ref.access(addr)
+        evicted = result.evicted.line_addr if result.evicted is not None else None
+        if result.hit != ref_hit or evicted != ref_evicted:
+            self._diverged(
+                "access", addr, (result.hit, evicted), (ref_hit, ref_evicted)
+            )
+        self._note("access", addr, (result.hit, evicted))
+        return result
+
+    def fill(self, addr: int):
+        record = super().fill(addr)
+        ref_evicted = self._ref.fill(addr)
+        evicted = record.line_addr if record is not None else None
+        if evicted != ref_evicted:
+            self._diverged("fill", addr, evicted, ref_evicted)
+        self._note("fill", addr, evicted)
+        return record
+
+    def invalidate(self, addr: int) -> bool:
+        present = super().invalidate(addr)
+        ref_present = self._ref.invalidate(addr)
+        if present != ref_present:
+            self._diverged("invalidate", addr, present, ref_present)
+        self._note("invalidate", addr, present)
+        return present
+
+    def clear(self) -> None:
+        super().clear()
+        self._ref.clear()
+        if self.trace is not None:
+            self.trace.append(("clear", 0, None))
+
+
+def attach_differential_oracle(machine, record_trace: bool = False) -> None:
+    """Replace every cache on ``machine`` with a shadowed differential one.
+
+    Must run before the machine simulates anything — shadowing cannot
+    reconstruct history, so non-empty caches are refused.
+
+    Raises:
+        SimulationError: when any cache already holds lines.
+        ConfigurationError: when a cache uses random replacement.
+    """
+    from ..errors import SimulationError
+
+    hierarchy = machine.hierarchy
+    caches = [*hierarchy.l1, *hierarchy.l2, hierarchy.llc, machine.mee.cache]
+    if any(len(cache) for cache in caches):
+        raise SimulationError(
+            "differential oracle must be attached to a fresh machine "
+            "(caches already hold lines)"
+        )
+    config = machine.config
+    hierarchy.l1 = [
+        DifferentialCache(
+            config.hierarchy.l1, rng=cache._rng, name=f"l1[{core}]",
+            record_trace=record_trace,
+        )
+        for core, cache in enumerate(hierarchy.l1)
+    ]
+    hierarchy.l2 = [
+        DifferentialCache(
+            config.hierarchy.l2, rng=cache._rng, name=f"l2[{core}]",
+            record_trace=record_trace,
+        )
+        for core, cache in enumerate(hierarchy.l2)
+    ]
+    hierarchy.llc = DifferentialCache(
+        config.hierarchy.llc, rng=hierarchy.llc._rng, name="llc",
+        record_trace=record_trace,
+    )
+    machine.mee.cache = DifferentialCache(
+        config.mee_cache.as_geometry(), rng=machine.mee.cache._rng, name="mee",
+        record_trace=record_trace,
+    )
+
+
+def replay_trace(geometry: CacheGeometry, trace) -> List[dict]:
+    """Re-run a recorded operation trace through a fresh reference model.
+
+    Args:
+        geometry: the traced cache's geometry.
+        trace: ``(op, addr, outcome)`` tuples as recorded by a
+            :class:`DifferentialCache` built with ``record_trace=True``.
+
+    Returns:
+        One divergence record per disagreement (empty list = the fast
+        path and the reference model agree on the whole trace).
+    """
+    reference = ReferenceCache(geometry)
+    divergences: List[dict] = []
+    for index, (op, addr, outcome) in enumerate(trace):
+        if op == "probe":
+            replayed = reference.probe(addr)
+        elif op == "access":
+            replayed = reference.access(addr)
+        elif op == "fill":
+            replayed = reference.fill(addr)
+        elif op == "invalidate":
+            replayed = reference.invalidate(addr)
+        elif op == "clear":
+            reference.clear()
+            continue
+        else:
+            raise ValueError(f"unknown trace op {op!r} at index {index}")
+        if replayed != outcome:
+            divergences.append(
+                {"index": index, "op": op, "addr": addr,
+                 "recorded": outcome, "replayed": replayed}
+            )
+    return divergences

@@ -1,0 +1,182 @@
+"""Crash-resumable machine snapshots: versioned, JSON-safe, fingerprinted.
+
+:func:`save_state` captures a machine's architectural state into a
+:class:`MachineSnapshot` — a plain dataclass whose payload survives both
+``pickle`` and ``json`` round trips — and :func:`load_state` restores it
+into a machine built from the same configuration.  Restore recomputes the
+fingerprint and raises :class:`~repro.errors.SnapshotError` on mismatch,
+so a truncated or bit-rotted checkpoint is detected instead of silently
+corrupting a resumed sweep.
+
+What a snapshot covers (architectural state): every cache level and the
+MEE cache (tags, replacement metadata, statistics), the holder map, the
+integrity tree, per-core clocks, DRAM/pager/EPC accounting, scheduler
+operation count and all named RNG stream positions.
+
+What it does **not** cover: live process bodies (Python generators are
+not serializable) and OS-construction state (address spaces, page
+tables, enclaves).  The supported resume pattern is therefore: rebuild
+the machine *deterministically from its seed* (re-running the same
+setup), ``load_state`` the snapshot over it, and re-spawn the remaining
+work — exactly what chunked trials under
+:func:`repro.experiments.runner.run_trials_robust` do with their
+per-trial snapshot slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import SnapshotError
+from .fingerprint import fingerprint_state
+
+__all__ = ["SNAPSHOT_VERSION", "MachineSnapshot", "capture_state", "save_state", "load_state"]
+
+#: bump on any change to the capture_state layout; load_state refuses
+#: snapshots from other versions rather than guessing at migrations
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """One saved machine state.
+
+    Attributes:
+        version: snapshot format version (:data:`SNAPSHOT_VERSION`).
+        seed: the machine's root seed — a snapshot only restores into a
+            machine built from the same seed/configuration.
+        fingerprint: :func:`fingerprint_state` of ``state`` at save time.
+        state: the JSON-safe architectural state payload.
+    """
+
+    version: int
+    seed: int
+    fingerprint: str
+    state: dict
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON checkpoint files."""
+        return {
+            "__machine_snapshot__": True,
+            "version": self.version,
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineSnapshot":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises:
+            SnapshotError: when required fields are missing or mistyped.
+        """
+        if not isinstance(data, dict):
+            raise SnapshotError(f"snapshot payload is {type(data).__name__}, not dict")
+        try:
+            version = int(data["version"])
+            seed = int(data["seed"])
+            fingerprint = data["fingerprint"]
+            state = data["state"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed snapshot payload: {exc!r}") from exc
+        if not isinstance(fingerprint, str) or not isinstance(state, dict):
+            raise SnapshotError("malformed snapshot payload: bad field types")
+        return cls(version=version, seed=seed, fingerprint=fingerprint, state=state)
+
+
+def capture_state(machine) -> dict:
+    """The JSON-safe architectural state dict for ``machine``.
+
+    This is the single source of truth for both snapshots and
+    fingerprints; every key is a string and every value JSON-encodable.
+    """
+    state = {
+        "hierarchy": machine.hierarchy.export_state(),
+        "mee": machine.mee.export_state(),
+        "clocks": [clock.export_state() for clock in machine.clocks],
+        "dram": machine.dram.export_state(),
+        "epc": machine.epc.export_state(),
+        "pager": machine.pager.export_state() if machine.pager is not None else None,
+        "streams": machine.streams.export_state(),
+        "scheduler": {"total_ops": machine.scheduler.total_ops},
+    }
+    return state
+
+
+def save_state(machine) -> MachineSnapshot:
+    """Capture ``machine`` into a fingerprinted, versioned snapshot."""
+    state = capture_state(machine)
+    return MachineSnapshot(
+        version=SNAPSHOT_VERSION,
+        seed=int(machine.config.seed),
+        fingerprint=fingerprint_state(state),
+        state=state,
+    )
+
+
+def load_state(machine, snapshot: Union[MachineSnapshot, dict]) -> None:
+    """Restore ``snapshot`` into ``machine`` and verify the fingerprint.
+
+    The machine must have been built from the same configuration (same
+    seed, core count, cache geometry); typically it was just rebuilt by
+    re-running the trial's deterministic setup.
+
+    Raises:
+        SnapshotError: on version mismatch, wrong seed, malformed payload,
+            a machine in differential-oracle mode (reference models cannot
+            be rewound), or a post-restore fingerprint mismatch — i.e. the
+            snapshot was corrupted or does not describe this machine.
+    """
+    if isinstance(snapshot, dict):
+        snapshot = MachineSnapshot.from_dict(snapshot)
+    if snapshot.version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {snapshot.version} is not supported "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    if snapshot.seed != int(machine.config.seed):
+        raise SnapshotError(
+            f"snapshot was saved from seed {snapshot.seed}, machine was "
+            f"built from seed {machine.config.seed}"
+        )
+    from .oracle import DifferentialCache
+
+    if isinstance(machine.mee.cache, DifferentialCache) or any(
+        isinstance(cache, DifferentialCache)
+        for cache in (*machine.hierarchy.l1, *machine.hierarchy.l2, machine.hierarchy.llc)
+    ):
+        raise SnapshotError(
+            "differential-oracle machines cannot load snapshots: the slow "
+            "reference models cannot be rewound to the saved state"
+        )
+    state = snapshot.state
+    try:
+        machine.hierarchy.restore_state(state["hierarchy"])
+        machine.mee.restore_state(state["mee"])
+        for clock, payload in zip(machine.clocks, state["clocks"]):
+            clock.restore_state(payload)
+        machine.dram.restore_state(state["dram"])
+        machine.epc.restore_state(state["epc"])
+        if state["pager"] is not None:
+            if machine.pager is None:
+                raise SnapshotError(
+                    "snapshot includes EPC pager state but the machine has "
+                    "no pager configured"
+                )
+            machine.pager.restore_state(state["pager"])
+        machine.streams.restore_state(state["streams"])
+        machine.scheduler.total_ops = int(state["scheduler"]["total_ops"])
+    except SnapshotError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise SnapshotError(f"snapshot payload failed to restore: {exc!r}") from exc
+    restored = fingerprint_state(capture_state(machine))
+    if restored != snapshot.fingerprint:
+        raise SnapshotError(
+            "snapshot fingerprint mismatch after restore "
+            f"({snapshot.fingerprint[:12]}... saved vs {restored[:12]}... "
+            "restored) — the checkpoint is corrupt or belongs to a "
+            "different machine"
+        )

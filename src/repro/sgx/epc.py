@@ -52,3 +52,11 @@ class EnclavePageCache:
     def usage_of(self, enclave_name: str) -> int:
         """Pages committed to one enclave."""
         return self._used.get(enclave_name, 0)
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of per-enclave page commitments."""
+        return {"used": dict(self._used)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        self._used = {name: int(pages) for name, pages in state["used"].items()}

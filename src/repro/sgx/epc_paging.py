@@ -116,3 +116,24 @@ class EPCPager:
     @property
     def resident_pages(self) -> int:
         return len(self._resident)
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot: resident frames in LRU order plus counters."""
+        return {
+            "resident": list(self._resident.keys()),
+            "stats": {
+                "faults": self.stats.faults,
+                "writebacks": self.stats.writebacks,
+                "resident_peak": self.stats.resident_peak,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        self._resident = OrderedDict((int(frame), None) for frame in state["resident"])
+        stats = state["stats"]
+        self.stats = EPCPagerStats(
+            faults=int(stats["faults"]),
+            writebacks=int(stats["writebacks"]),
+            resident_peak=int(stats["resident_peak"]),
+        )

@@ -101,3 +101,34 @@ class CoreClock:
     def tsc(self) -> int:
         """Invariant TSC: all cores read the same reference counter."""
         return int(self.now)
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of the clock's mutable position.
+
+        ``core_id`` and ``skew`` are construction-time constants and are
+        included only so a restore into the wrong clock can be detected.
+        """
+        return {
+            "core_id": self.core_id,
+            "skew": self.skew,
+            "now": self.now,
+            "rate_scale": self.rate_scale,
+            "interrupt_cycles": self.interrupt_cycles,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`.
+
+        Raises:
+            ValueError: when the snapshot belongs to a different clock
+                (core id or skew mismatch).
+        """
+        if int(state["core_id"]) != self.core_id or float(state["skew"]) != self.skew:
+            raise ValueError(
+                f"clock snapshot for core {state['core_id']} (skew "
+                f"{state['skew']!r}) restored into core {self.core_id} "
+                f"(skew {self.skew!r})"
+            )
+        self.set_rate_scale(float(state["rate_scale"]))
+        self.now = float(state["now"])
+        self.interrupt_cycles = float(state["interrupt_cycles"])

@@ -45,3 +45,20 @@ class RandomStreams:
     def fork(self, salt: int) -> "RandomStreams":
         """Derive an independent family, e.g. one per experiment trial."""
         return RandomStreams(self._seed * 1_000_003 + salt + 1)
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of every instantiated stream's generator state."""
+        return {
+            name: generator.bit_generator.state
+            for name, generator in self._streams.items()
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`.
+
+        Streams absent from the snapshot are left as-is (they will be
+        lazily re-derived from the seed, exactly as at save time); streams
+        named in the snapshot are created on demand and rewound.
+        """
+        for name, bit_state in state.items():
+            self.stream(name).bit_generator.state = bit_state

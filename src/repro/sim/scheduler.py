@@ -67,6 +67,14 @@ class Scheduler:
         self._processes.append(process)
         heapq.heappush(self._heap, (process.clock.now, next(self._counter), process))
 
+    def pending_entries(self) -> List[tuple]:
+        """``(queued_time, process)`` for every heap entry (checkers, tests).
+
+        Entries for already-finished processes may linger until popped;
+        callers must tolerate them, exactly like :meth:`_run` does.
+        """
+        return [(entry[0], entry[2]) for entry in self._heap]
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until every process finishes (or global time passes ``until``).
 

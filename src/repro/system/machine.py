@@ -159,6 +159,14 @@ class Machine:
             Label: self._execute_label,
         }
 
+        #: installed invariant engine, or None (the default — zero overhead)
+        self.sanitizer = None
+        from ..sanitizer.invariants import SanitizerConfig
+
+        env_config = SanitizerConfig.from_environment()
+        if env_config is not None:
+            self.install_sanitizer(env_config)
+
     # -- OS-level services ----------------------------------------------------
 
     def new_address_space(self, name: str) -> AddressSpace:
@@ -198,20 +206,28 @@ class Machine:
         self.scheduler.add(process)
         return process
 
-    def inject_faults(self, plan):
+    def inject_faults(self, plan, strict: bool = False):
         """Schedule a :class:`~repro.faults.plan.FaultPlan` for execution.
 
         Spawns the fault injector as a scheduler process on its own virtual
         clock (outside the core set, so injector waits never advance
         ``machine.now``).  Multiple plans may be active at once.
 
+        Args:
+            plan: the fault plan to apply.
+            strict: when True, a fault that has nothing to act on (e.g. a
+                migrate whose source core holds only finished or cancelled
+                processes) raises :class:`~repro.errors.FaultError` instead
+                of being collected in the injector's ``errors`` list.
+
         Returns:
-            The :class:`~repro.faults.injector.FaultInjector`, whose log
-            and counters describe what was applied after the run.
+            The :class:`~repro.faults.injector.FaultInjector`, whose log,
+            counters, and ``errors`` describe what was applied (and what
+            could not be) after the run.
         """
         from ..faults.injector import FaultInjector
 
-        injector = FaultInjector(self, plan)
+        injector = FaultInjector(self, plan, strict=strict)
         clock = CoreClock(
             core_id=self.config.cores,  # virtual id, outside the core range
             skew=0.0,
@@ -225,6 +241,83 @@ class Machine:
     def run(self, until: Optional[float] = None) -> None:
         """Run the scheduler (see :meth:`Scheduler.run`)."""
         self.scheduler.run(until=until)
+
+    # -- sanitizer: invariants, fingerprint, snapshot --------------------------
+
+    def install_sanitizer(self, config=None):
+        """Attach the runtime invariant engine (see :mod:`repro.sanitizer`).
+
+        With an event cadence configured, the executor entry point is
+        wrapped so checks fire every N operations; phase-boundary checks
+        hook the Label handler.  The uninstrumented machine pays nothing.
+
+        Returns:
+            The installed :class:`~repro.sanitizer.invariants.Sanitizer`.
+
+        Raises:
+            SimulationError: when a sanitizer is already installed, or
+                differential-oracle mode is requested on a machine whose
+                caches already hold lines.
+        """
+        from ..sanitizer.invariants import Sanitizer, SanitizerConfig
+        from ..sanitizer.oracle import attach_differential_oracle
+
+        if self.sanitizer is not None:
+            raise SimulationError("a sanitizer is already installed on this machine")
+        if config is None:
+            config = SanitizerConfig()
+        if config.differential_oracle:
+            attach_differential_oracle(self)
+        sanitizer = Sanitizer(self, config)
+        self.sanitizer = sanitizer
+        if config.every_n_events is not None:
+            inner = self.execute
+            on_event = sanitizer.on_event
+
+            def sanitized_execute(process, operation):
+                result = inner(process, operation)
+                on_event()
+                return result
+
+            # Instance attribute shadows the bound method, so both the
+            # scheduler's hoisted reference and direct calls go through it.
+            self.execute = sanitized_execute
+        return sanitizer
+
+    def sanitize(self, checkers=None) -> int:
+        """Run one on-demand invariant sweep; returns checkers run.
+
+        Uses the installed sanitizer when present (so clock-monotonicity
+        marks persist), else a one-shot engine with default config.
+        """
+        if self.sanitizer is not None:
+            return self.sanitizer.check(checkers)
+        from ..sanitizer.invariants import Sanitizer
+
+        return Sanitizer(self).check(checkers)
+
+    def fingerprint(self) -> str:
+        """Stable hash of architectural state (see :mod:`repro.sanitizer`)."""
+        from ..sanitizer.fingerprint import machine_fingerprint
+
+        return machine_fingerprint(self)
+
+    def save_state(self):
+        """Snapshot architectural state into a versioned, JSON-safe record."""
+        from ..sanitizer.snapshot import save_state
+
+        return save_state(self)
+
+    def load_state(self, snapshot) -> None:
+        """Restore a :meth:`save_state` snapshot (fingerprint-verified).
+
+        The machine must have been rebuilt from the same seed/config;
+        live processes are not restored — re-spawn remaining work after
+        loading (see :mod:`repro.sanitizer.snapshot`).
+        """
+        from ..sanitizer.snapshot import load_state
+
+        load_state(self, snapshot)
 
     @property
     def now(self) -> float:
@@ -250,6 +343,8 @@ class Machine:
     def _execute_label(self, process: SimProcess, operation: Label) -> OpResult:
         if self.trace.enabled:
             self.trace.record(process.now, process.name, "label", operation.text)
+        if self.sanitizer is not None:
+            self.sanitizer.on_phase(operation.text)
         return OpResult(0.0)
 
     # -- memory path -------------------------------------------------------------

@@ -203,3 +203,133 @@ class TestRunTrialsRobust:
         # Different seed list: the file must not poison the new sweep.
         results = run_trials_robust(_square, [0, 1, 2], jobs=1, checkpoint_path=path)
         assert results == [0, 1, 4]
+
+
+class TestCheckpointHardening:
+    """A corrupt checkpoint must warn and fall back to a fresh sweep."""
+
+    def _sweep(self, path, seeds=(0, 2, 4)):
+        return run_trials_robust(_square, list(seeds), jobs=1, checkpoint_path=path)
+
+    def test_truncated_json_discarded_with_warning(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        self._sweep(path)
+        with open(path, "w") as handle:
+            handle.write('{"seeds": [0, 2, 4], "resul')
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            assert self._sweep(path) == [0, 4, 16]
+
+    def test_non_dict_payload_discarded(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        with open(path, "w") as handle:
+            handle.write('[1, 2, 3]')
+        with pytest.warns(RuntimeWarning, match="layout"):
+            assert self._sweep(path) == [0, 4, 16]
+
+    def test_checksum_mismatch_discarded(self, tmp_path):
+        import json as json_module
+
+        path = str(tmp_path / "sweep.json")
+        self._sweep(path)
+        with open(path) as handle:
+            data = json_module.load(handle)
+        data["results"]["0"] = 999  # tamper without fixing the checksum
+        with open(path, "w") as handle:
+            json_module.dump(data, handle)
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            assert self._sweep(path) == [0, 4, 16]
+
+    def test_unknown_version_discarded(self, tmp_path):
+        import json as json_module
+
+        path = str(tmp_path / "sweep.json")
+        self._sweep(path)
+        with open(path) as handle:
+            data = json_module.load(handle)
+        data["version"] = 99
+        with open(path, "w") as handle:
+            json_module.dump(data, handle)
+        with pytest.warns(RuntimeWarning, match="version"):
+            assert self._sweep(path) == [0, 4, 16]
+
+    def test_malformed_trial_records_discarded(self, tmp_path):
+        import json as json_module
+        from repro.experiments.runner import _checkpoint_checksum
+
+        path = str(tmp_path / "sweep.json")
+        seeds = [0, 2, 4]
+        results = {"not-an-int": 1}
+        with open(path, "w") as handle:
+            json_module.dump(
+                {
+                    "version": 1,
+                    "seeds": seeds,
+                    "results": results,
+                    "checksum": _checkpoint_checksum(seeds, results),
+                },
+                handle,
+            )
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert self._sweep(path) == [0, 4, 16]
+
+    def test_legacy_checkpoint_without_version_still_loads(self, tmp_path):
+        import json as json_module
+
+        path = str(tmp_path / "sweep.json")
+        with open(path, "w") as handle:
+            json_module.dump(
+                {"seeds": [0, 2, 4], "results": {"0": 123}}, handle
+            )
+        # Pre-versioning files (no version/checksum fields) remain usable.
+        assert self._sweep(path) == [123, 4, 16]
+
+
+class TestTrialSnapshotSlot:
+    def test_absent_slot_loads_none(self, tmp_path):
+        from repro.experiments.runner import TrialSnapshotSlot
+
+        assert TrialSnapshotSlot(str(tmp_path / "missing.json")).load() is None
+
+    def test_save_load_clear_roundtrip(self, tmp_path):
+        from repro.experiments.runner import TrialSnapshotSlot
+
+        slot = TrialSnapshotSlot(str(tmp_path / "slot.json"))
+        payload = {
+            "__machine_snapshot__": True,
+            "version": 1,
+            "seed": 7,
+            "fingerprint": "abc",
+            "state": {},
+        }
+        slot.save(payload, progress={"next_unit": 5})
+        loaded = slot.load()
+        assert loaded["seed"] == 7
+        assert loaded["progress"] == {"next_unit": 5}
+        slot.clear()
+        slot.clear()  # idempotent
+        assert slot.load() is None
+
+    def test_unreadable_slot_warns_and_loads_none(self, tmp_path):
+        from repro.experiments.runner import TrialSnapshotSlot
+
+        slot = TrialSnapshotSlot(str(tmp_path / "slot.json"))
+        with open(slot.path, "w") as handle:
+            handle.write("not json{")
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            assert slot.load() is None
+
+    def test_foreign_json_warns_and_loads_none(self, tmp_path):
+        from repro.experiments.runner import TrialSnapshotSlot
+
+        slot = TrialSnapshotSlot(str(tmp_path / "slot.json"))
+        with open(slot.path, "w") as handle:
+            handle.write('{"some": "file"}')
+        with pytest.warns(RuntimeWarning, match="not a machine"):
+            assert slot.load() is None
+
+    def test_slot_is_picklable(self, tmp_path):
+        import pickle
+        from repro.experiments.runner import TrialSnapshotSlot
+
+        slot = TrialSnapshotSlot(str(tmp_path / "slot.json"))
+        assert pickle.loads(pickle.dumps(slot)).path == slot.path

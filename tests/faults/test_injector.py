@@ -200,3 +200,51 @@ class TestDeterminism:
             )
 
         assert one_run() == one_run()
+
+
+class TestNoEffectFaults:
+    """A fault that hits nothing must be visible, never a silent no-op."""
+
+    def _migrate_plan(self, at=50_000.0):
+        return plan_of(
+            FaultEvent(at_cycle=at, kind="migrate", core=0, target_core=1)
+        )
+
+    def test_migrate_with_no_live_process_records_typed_error(self, machine):
+        # Nothing ever runs on core 0, so the migrate has nothing to move.
+        injector = machine.inject_faults(self._migrate_plan())
+        spawn_worker(machine, core=1)
+        machine.run()
+        assert len(injector.errors) == 1
+        assert isinstance(injector.errors[0], FaultError)
+        assert "no effect" in str(injector.errors[0])
+        # The no-op is also visible in the log, under its own kind.
+        assert injector.counts.get("migrate_noop") == 1
+        assert "migrate" not in injector.counts
+
+    def test_migrate_after_worker_finished_records_error(self, machine):
+        # The worker completes ~100k cycles of work; the migrate lands
+        # well after, finding only a finished process.
+        injector = machine.inject_faults(
+            plan_of(
+                FaultEvent(
+                    at_cycle=500_000.0, kind="migrate", core=0, target_core=1
+                )
+            )
+        )
+        spawn_worker(machine, core=0, chunks=10, chunk_cycles=1000.0)
+        machine.run()
+        assert [type(error) for error in injector.errors] == [FaultError]
+
+    def test_strict_mode_raises(self, machine):
+        machine.inject_faults(self._migrate_plan(), strict=True)
+        spawn_worker(machine, core=1)
+        with pytest.raises(FaultError, match="no effect"):
+            machine.run()
+
+    def test_effective_migrate_reports_no_error(self, machine):
+        injector = machine.inject_faults(self._migrate_plan(), strict=True)
+        spawn_worker(machine, core=0)  # live target for the migrate
+        machine.run()
+        assert injector.errors == []
+        assert injector.counts.get("migrate") == 1

@@ -1,0 +1,126 @@
+"""Property-based invariants of the cache core under random op sequences.
+
+Three independent oracles over the same random streams:
+
+* the sanitizer's structural checker (:func:`check_cache`) must hold
+  after every single operation;
+* the differential reference model must agree with the fast path on
+  every outcome (:class:`DifferentialCache` raises on divergence);
+* export/restore must be a faithful fork — a restored cache replays an
+  arbitrary suffix of operations with outcomes identical to the original.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.replacement import make_policy
+from repro.sanitizer import DifferentialCache
+from repro.sanitizer.invariants import check_cache
+
+POLICIES = ("lru", "plru", "rrip")
+
+def geometry(policy: str) -> CacheGeometry:
+    return CacheGeometry(size_bytes=4 * 64 * 4, ways=4, line_bytes=64, policy=policy)
+
+
+# (op, line index) over a footprint 4x the cache: misses, hits, and
+# conflict evictions all occur.
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "probe", "fill", "invalidate"]),
+        st.integers(0, 63),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+def apply(cache, op: str, index: int):
+    addr = index * 64
+    if op == "access":
+        result = cache.access(addr)
+        return (result.hit, result.evicted.line_addr if result.evicted else None)
+    if op == "probe":
+        return cache.probe(addr)
+    if op == "fill":
+        record = cache.fill(addr)
+        return record.line_addr if record is not None else None
+    return cache.invalidate(addr)
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @given(stream=operations)
+    @settings(max_examples=25, deadline=None)
+    def test_checker_holds_after_every_op(self, policy, stream):
+        cache = SetAssociativeCache(geometry(policy))
+        for op, index in stream:
+            apply(cache, op, index)
+            check_cache(cache, name=policy)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @given(stream=operations)
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, policy, stream):
+        cache = SetAssociativeCache(geometry(policy))
+        capacity = geometry(policy).num_sets * geometry(policy).ways
+        for op, index in stream:
+            apply(cache, op, index)
+            assert 0 <= len(cache) <= capacity
+
+    @given(stream=operations)
+    @settings(max_examples=25, deadline=None)
+    def test_fast_path_matches_reference_model(self, stream):
+        # DifferentialCache raises OracleDivergence on any disagreement.
+        for policy in POLICIES:
+            cache = DifferentialCache(geometry(policy))
+            for op, index in stream:
+                apply(cache, op, index)
+
+
+class TestExportRestoreFork:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @given(prefix=operations, suffix=operations)
+    @settings(max_examples=25, deadline=None)
+    def test_restored_cache_replays_identically(self, policy, prefix, suffix):
+        original = SetAssociativeCache(geometry(policy))
+        for op, index in prefix:
+            apply(original, op, index)
+        fork = SetAssociativeCache(geometry(policy))
+        fork.restore_state(original.export_state())
+        check_cache(fork, name=f"fork-{policy}")
+        assert fork.export_state() == original.export_state()
+        for op, index in suffix:
+            assert apply(fork, op, index) == apply(original, op, index)
+        assert fork.export_state() == original.export_state()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @given(stream=operations)
+    @settings(max_examples=15, deadline=None)
+    def test_policy_restore_roundtrip(self, policy, stream):
+        ways = 4
+        source = make_policy(policy, ways)
+        for _op, index in stream:
+            way = index % ways
+            source.fill(way)
+            source.touch(way)
+        clone = make_policy(policy, ways)
+        clone.restore_state(source.export_state())
+        assert clone.export_state() == source.export_state()
+        # Both agree on every subsequent victim decision.
+        for _ in range(8):
+            victim = source.victim()
+            assert clone.victim() == victim
+            source.fill(victim)
+            clone.fill(victim)
+
+    def test_restore_rejects_ways_mismatch(self):
+        policy = make_policy("rrip", 4)
+        with pytest.raises(ConfigurationError):
+            policy.restore_state({"rrpv": [0, 1]})

@@ -126,3 +126,51 @@ class TestInclusivity:
             hierarchy.access(0, addr + i * l1_sets * 64)
         level = hierarchy.access(0, addr)
         assert level in (AccessLevel.L2, AccessLevel.LLC)
+
+
+class TestFlushCoreEdgeCases:
+    def test_flush_empty_core_is_safe(self):
+        # A core that never ran anything has empty private caches; flushing
+        # it must be a clean no-op, not a crash or a stats lie.
+        hierarchy = tiny_hierarchy()
+        hierarchy.flush_core(0)
+        hierarchy.flush_core(0, include_l2=True)
+        assert len(hierarchy.l1[0]) == 0
+        assert len(hierarchy.l2[0]) == 0
+
+    def test_repeated_flushes_are_idempotent(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, 0x1000)
+        hierarchy.flush_core(0)
+        first = len(hierarchy.l1[0])
+        hierarchy.flush_core(0)
+        hierarchy.flush_core(0)
+        assert first == 0
+        assert len(hierarchy.l1[0]) == 0
+        # The line survives below L1 — flush_core models AEX pollution of
+        # private caches, not a full wbinvd.
+        assert hierarchy.llc.contains(0x1000)
+
+    def test_flush_core_leaves_other_cores_alone(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, 0x1000)
+        hierarchy.access(1, 0x2000)
+        hierarchy.flush_core(0, include_l2=True)
+        assert hierarchy.access(1, 0x2000) is AccessLevel.L1
+
+    def test_flush_core_keeps_sanitizer_invariants(self):
+        from repro.sanitizer.invariants import check_hierarchy
+
+        hierarchy = tiny_hierarchy()
+        for index in range(16):
+            hierarchy.access(index % 2, 0x1000 + index * 64)
+        for _ in range(3):
+            hierarchy.flush_core(0)
+            hierarchy.flush_core(1, include_l2=True)
+            check_hierarchy(hierarchy)
+
+    def test_flush_without_l2_keeps_l2_contents(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, 0x1000)
+        hierarchy.flush_core(0)  # L1 only
+        assert hierarchy.access(0, 0x1000) is AccessLevel.L2

@@ -1,0 +1,18 @@
+"""Sanitizer tests install and configure sanitizers explicitly.
+
+A ``REPRO_SANITIZE``/``REPRO_ORACLE`` set in the outer environment (e.g.
+the CI job that runs the whole suite with checkers on) would auto-install
+a sanitizer on every machine these tests build, tripping the
+double-install guard — so the environment is cleared here and individual
+tests opt back in via monkeypatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _pristine_sanitizer_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    monkeypatch.delenv("REPRO_ORACLE", raising=False)

@@ -1,0 +1,95 @@
+"""State fingerprinting: determinism, sensitivity, and parallel == serial."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import skylake_i7_6700k
+from repro.errors import InvariantViolation
+from repro.experiments.runner import derive_seeds, run_trials
+from repro.sanitizer import capture_state, fingerprint_state, machine_fingerprint
+from repro.system.machine import Machine
+
+
+def build_touched(seed: int, accesses: int = 24) -> Machine:
+    machine = Machine(skylake_i7_6700k(seed=seed))
+    for index in range(accesses):
+        machine.hierarchy.access(index % machine.config.cores, 0x40000 + index * 64)
+        machine.mee.access(machine.physical.protected_base + index * 512)
+    return machine
+
+
+def _fingerprint_trial(seed: int) -> dict:
+    """Module-level so pool workers can import it."""
+    return {"seed": seed, "fingerprint": build_touched(seed).fingerprint()}
+
+
+def _pid_stamped_trial(seed: int) -> dict:
+    """Deliberately process-dependent — parallel and serial runs differ."""
+    return {"seed": seed, "fingerprint": os.getpid()}
+
+
+class TestFingerprintBasics:
+    def test_same_seed_same_fingerprint(self):
+        assert build_touched(3).fingerprint() == build_touched(3).fingerprint()
+
+    def test_different_seed_differs(self):
+        assert build_touched(3).fingerprint() != build_touched(4).fingerprint()
+
+    def test_different_history_differs(self):
+        assert (
+            build_touched(3, accesses=24).fingerprint()
+            != build_touched(3, accesses=25).fingerprint()
+        )
+
+    def test_fingerprint_is_pure(self):
+        machine = build_touched(9)
+        assert machine.fingerprint() == machine.fingerprint()
+
+    def test_matches_module_level_function(self):
+        machine = build_touched(5)
+        assert machine.fingerprint() == machine_fingerprint(machine)
+
+    def test_state_dict_is_canonical(self):
+        machine = build_touched(5)
+        assert fingerprint_state(capture_state(machine)) == machine.fingerprint()
+
+    def test_unencodable_state_rejected(self):
+        with pytest.raises(TypeError):
+            fingerprint_state({"bad": object()})
+
+
+class TestParallelEqualsSerial:
+    """Acceptance: REPRO_JOBS=4 fingerprints are identical to serial."""
+
+    def test_pool_trials_match_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        seeds = derive_seeds(2024, 6)
+        parallel = run_trials(_fingerprint_trial, seeds)
+        serial = [_fingerprint_trial(seed) for seed in seeds]
+        assert parallel == serial
+
+    def test_verify_fingerprints_passes_on_deterministic_trials(self):
+        seeds = derive_seeds(2024, 4)
+        results = run_trials(
+            _fingerprint_trial, seeds, jobs=4, verify_fingerprints=True
+        )
+        assert [r["seed"] for r in results] == seeds
+
+    def test_verify_fingerprints_catches_divergence(self):
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_trials(
+                _pid_stamped_trial,
+                derive_seeds(7, 4),
+                jobs=2,
+                verify_fingerprints=True,
+            )
+        assert excinfo.value.checker == "fingerprint"
+
+    def test_verify_is_a_no_op_when_serial(self):
+        seeds = derive_seeds(7, 3)
+        # Serial execution *is* the reference; nothing to cross-check.
+        results = run_trials(_pid_stamped_trial, seeds, jobs=1, verify_fingerprints=True)
+        assert len(results) == 3

@@ -1,0 +1,282 @@
+"""The invariant engine: configuration, cadences, and seeded corruptions.
+
+The mutation tests are the sanitizer's own test oracle: each one corrupts
+exactly one structure (a cache tag, a tree counter, a clock, ...) and
+asserts the *corresponding* checker fires with a typed
+:class:`InvariantViolation` — proving the checkers detect real damage,
+not just that they pass on healthy machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import skylake_i7_6700k
+from repro.errors import InvariantViolation, SimulationError
+from repro.sanitizer import Sanitizer, SanitizerConfig
+from repro.sanitizer.invariants import SANITIZE_ENV_VAR
+from repro.sim.ops import Busy, Label
+from repro.system.machine import Machine
+from repro.units import PAGE_SIZE
+
+
+def touched_machine(seed: int = 77) -> Machine:
+    """A machine with populated caches, holder map, and MEE tree."""
+    machine = Machine(skylake_i7_6700k(seed=seed))
+    for index in range(32):
+        machine.hierarchy.access(index % machine.config.cores, 0x10000 + index * 64)
+    base = machine.physical.protected_base
+    for index in range(16):
+        machine.mee.access(base + index * 512, write=index % 3 == 0)
+    return machine
+
+
+def first_populated_set(cache):
+    for set_index, tags, lookup, policy in cache.iter_set_states():
+        if lookup:
+            return set_index, tags, lookup, policy
+    raise AssertionError("cache is empty")
+
+
+class TestConfigFromEnvironment:
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV_VAR, raising=False)
+        monkeypatch.delenv("REPRO_ORACLE", raising=False)
+        assert SanitizerConfig.from_environment() is None
+
+    def test_zero_means_disabled(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "0")
+        monkeypatch.delenv("REPRO_ORACLE", raising=False)
+        assert SanitizerConfig.from_environment() is None
+
+    def test_one_enables_phase_boundaries_only(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "1")
+        monkeypatch.delenv("REPRO_ORACLE", raising=False)
+        config = SanitizerConfig.from_environment()
+        assert config.phase_boundaries
+        assert config.every_n_events is None
+        assert not config.differential_oracle
+
+    def test_integer_sets_event_cadence(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "5000")
+        monkeypatch.delenv("REPRO_ORACLE", raising=False)
+        config = SanitizerConfig.from_environment()
+        assert config.every_n_events == 5000
+
+    def test_oracle_env(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV_VAR, raising=False)
+        monkeypatch.setenv("REPRO_ORACLE", "1")
+        config = SanitizerConfig.from_environment()
+        assert config.differential_oracle
+
+    def test_unknown_checker_rejected(self, machine):
+        with pytest.raises(ValueError):
+            Sanitizer(machine, SanitizerConfig(checkers=("cache", "vibes")))
+
+    def test_nonpositive_cadence_rejected(self, machine):
+        with pytest.raises(ValueError):
+            Sanitizer(machine, SanitizerConfig(every_n_events=0))
+
+
+class TestCleanMachines:
+    def test_fresh_machine_passes_all_checkers(self, machine):
+        assert Sanitizer(machine).check() == 5
+
+    def test_busy_machine_passes_all_checkers(self):
+        machine = touched_machine()
+        assert machine.sanitize() == 5
+
+    def test_checker_subset(self):
+        machine = touched_machine()
+        assert machine.sanitize(checkers=("cache", "mee")) == 2
+
+    def test_checks_are_read_only(self):
+        machine = touched_machine()
+        before = machine.fingerprint()
+        for _ in range(3):
+            machine.sanitize()
+        assert machine.fingerprint() == before
+
+
+class TestSeededCorruptions:
+    """Corrupt one structure; the matching checker must fire."""
+
+    def test_cache_tag_in_wrong_set(self):
+        machine = touched_machine()
+        cache = machine.hierarchy.llc
+        set_index, tags, lookup, _policy = first_populated_set(cache)
+        tag = next(iter(lookup))
+        way = lookup[tag]
+        tags[way] = tag + cache.geometry.line_bytes  # maps to a different set
+        with pytest.raises(InvariantViolation) as excinfo:
+            machine.sanitize()
+        assert excinfo.value.checker == "cache"
+        assert "maps to set" in str(excinfo.value)
+
+    def test_cache_duplicate_tag(self):
+        machine = touched_machine()
+        cache = machine.hierarchy.llc
+        _idx, tags, lookup, _policy = first_populated_set(cache)
+        tag = next(iter(lookup))
+        free_way = (lookup[tag] + 1) % cache.geometry.ways
+        tags[free_way] = tag
+        with pytest.raises(InvariantViolation, match="duplicate tag"):
+            machine.sanitize(checkers=("cache",))
+
+    def test_cache_lookup_desync(self):
+        machine = touched_machine()
+        cache = machine.hierarchy.l1[0]
+        _idx, _tags, lookup, _policy = first_populated_set(cache)
+        lookup.pop(next(iter(lookup)))
+        with pytest.raises(InvariantViolation, match="desynced"):
+            machine.sanitize(checkers=("cache",))
+
+    def test_rrpv_out_of_range(self):
+        machine = touched_machine()
+        _idx, _tags, _lookup, policy = first_populated_set(machine.mee.cache)
+        policy._rrpv[0] = 9
+        with pytest.raises(InvariantViolation, match="RRPV"):
+            machine.sanitize(checkers=("cache",))
+
+    def test_hierarchy_missing_holder_record(self):
+        machine = touched_machine()
+        holders = machine.hierarchy._private_holders
+        _idx, _tags, lookup, _policy = first_populated_set(machine.hierarchy.l1[0])
+        line = next(iter(lookup))
+        holders.pop(line, None)
+        with pytest.raises(InvariantViolation) as excinfo:
+            machine.sanitize(checkers=("hierarchy",))
+        assert excinfo.value.checker == "hierarchy"
+
+    def test_hierarchy_inclusivity_breach(self):
+        machine = touched_machine()
+        _idx, _tags, lookup, _policy = first_populated_set(machine.hierarchy.l1[0])
+        line = next(iter(lookup))
+        # Drop the line from the LLC behind the hierarchy's back.
+        assert machine.hierarchy.llc.invalidate(line)
+        with pytest.raises(InvariantViolation, match="inclusive"):
+            machine.sanitize(checkers=("hierarchy",))
+
+    def test_mee_stale_cached_node(self):
+        machine = touched_machine()
+        _idx, _tags, lookup, _policy = first_populated_set(machine.mee.cache)
+        line = next(iter(lookup))
+        machine.mee.tree._node_counters[line] = (
+            machine.mee.tree._node_counters.get(line, 0) + 7
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            machine.sanitize(checkers=("mee",))
+        assert excinfo.value.checker == "mee"
+        assert "stale or tampered" in str(excinfo.value)
+
+    def test_clock_negative_time(self):
+        machine = touched_machine()
+        machine.clocks[0].now = -1.0
+        with pytest.raises(InvariantViolation, match="non-physical"):
+            machine.sanitize(checkers=("clock",))
+
+    def test_clock_runs_backwards(self):
+        machine = touched_machine()
+        machine.clocks[1].now = 1000.0
+        sanitizer = Sanitizer(machine)
+        sanitizer.check(checkers=("clock",))
+        machine.clocks[1].now = 995.0
+        with pytest.raises(InvariantViolation, match="backwards"):
+            sanitizer.check(checkers=("clock",))
+
+    def test_clock_dvfs_out_of_bounds(self):
+        machine = touched_machine()
+        machine.clocks[0].rate_scale = 1e6
+        with pytest.raises(InvariantViolation, match="rate scale"):
+            machine.sanitize(checkers=("clock",))
+
+    def test_clock_rate_divisor_desync(self):
+        machine = touched_machine()
+        machine.clocks[0]._rate *= 1.5
+        with pytest.raises(InvariantViolation, match="desynced"):
+            machine.sanitize(checkers=("clock",))
+
+    def test_scheduler_orphaned_pending_op(self, machine):
+        space = machine.new_address_space("w")
+
+        def body():
+            yield Busy(10.0)
+
+        process = machine.spawn("w", body(), core=0, space=space)
+        machine.run()
+        assert process.state.value == "finished"
+        process.pending_op = Busy(1.0)
+        with pytest.raises(InvariantViolation, match="pending operation"):
+            machine.sanitize(checkers=("scheduler",))
+
+    def test_violation_carries_minimized_dump(self):
+        machine = touched_machine()
+        machine.clocks[0].now = float("inf")
+        with pytest.raises(InvariantViolation) as excinfo:
+            machine.sanitize(checkers=("clock",))
+        assert excinfo.value.dump["core"] == 0
+
+
+class TestCadences:
+    def test_event_cadence_fires(self, machine):
+        machine.install_sanitizer(SanitizerConfig(every_n_events=10))
+        space = machine.new_address_space("w")
+
+        def body():
+            for _ in range(50):
+                yield Busy(100.0)
+
+        machine.spawn("w", body(), core=0, space=space)
+        machine.run()
+        assert machine.sanitizer.events_seen >= 50
+        assert machine.sanitizer.checks_run >= 5
+
+    def test_phase_boundaries_fire(self, machine):
+        machine.install_sanitizer(SanitizerConfig())
+        space = machine.new_address_space("w")
+
+        def body():
+            yield Busy(10.0)
+            yield Label("phase-1")
+            yield Busy(10.0)
+            yield Label("phase-2")
+
+        machine.spawn("w", body(), core=0, space=space)
+        machine.run()
+        assert machine.sanitizer.phases_seen == 2
+        assert machine.sanitizer.checks_run >= 2
+
+    def test_double_install_rejected(self, machine):
+        machine.install_sanitizer()
+        with pytest.raises(SimulationError):
+            machine.install_sanitizer()
+
+    def test_env_var_installs_on_construction(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "100")
+        machine = Machine(skylake_i7_6700k(seed=5))
+        assert machine.sanitizer is not None
+        assert machine.sanitizer.config.every_n_events == 100
+
+    def test_sanitized_run_is_bit_identical(self):
+        def run(config):
+            machine = Machine(skylake_i7_6700k(seed=11))
+            if config is not None:
+                machine.install_sanitizer(config)
+            space = machine.new_address_space("w")
+
+            def body():
+                from repro.sim.ops import Access
+
+                region = space.mmap(4 * PAGE_SIZE)
+                for index in range(200):
+                    yield Access(region.base + (index * 192) % (4 * PAGE_SIZE))
+                    if index % 50 == 0:
+                        yield Label(f"window-{index}")
+
+            machine.spawn("w", body(), core=0, space=space)
+            machine.run()
+            return machine.fingerprint()
+
+        plain = run(None)
+        sanitized = run(SanitizerConfig(every_n_events=7))
+        assert plain == sanitized

@@ -1,0 +1,152 @@
+"""Differential oracle: reference model, live shadowing, trace replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CacheGeometry, skylake_i7_6700k
+from repro.errors import ConfigurationError, OracleDivergence, SimulationError
+from repro.sanitizer import (
+    DifferentialCache,
+    ReferenceCache,
+    attach_differential_oracle,
+    replay_trace,
+)
+from repro.system.machine import Machine
+
+GEOMETRY = CacheGeometry(size_bytes=8 * 64 * 4, ways=4, line_bytes=64, policy="lru")
+
+
+def address_stream(seed: int, count: int = 400, footprint: int = 64):
+    rng = np.random.default_rng(seed)
+    return [int(addr) * 64 for addr in rng.integers(0, footprint, size=count)]
+
+
+class TestReferenceCache:
+    def test_miss_then_hit(self):
+        reference = ReferenceCache(GEOMETRY)
+        hit, evicted = reference.access(0x1000)
+        assert not hit and evicted is None
+        hit, _ = reference.access(0x1040)
+        assert not hit
+        assert reference.access(0x1000) == (True, None)
+        assert reference.probe(0x1000)
+        assert len(reference) == 2
+
+    def test_eviction_returns_victim(self):
+        reference = ReferenceCache(GEOMETRY)
+        set_span = GEOMETRY.num_sets * GEOMETRY.line_bytes
+        lines = [way * set_span for way in range(GEOMETRY.ways + 1)]
+        for line in lines[:-1]:
+            reference.access(line)
+        hit, evicted = reference.access(lines[-1])
+        assert not hit
+        assert evicted == lines[0]  # LRU victim
+
+    def test_invalidate_and_clear(self):
+        reference = ReferenceCache(GEOMETRY)
+        reference.access(0x1000)
+        assert reference.invalidate(0x1000)
+        assert not reference.invalidate(0x1000)
+        reference.access(0x1000)
+        reference.clear()
+        assert len(reference) == 0
+
+    def test_random_policy_refused(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceCache(
+                CacheGeometry(size_bytes=8 * 64 * 4, ways=4, policy="random")
+            )
+
+
+class TestDifferentialCache:
+    @pytest.mark.parametrize("policy", ["lru", "plru", "rrip"])
+    def test_mixed_workload_never_diverges(self, policy):
+        geometry = CacheGeometry(size_bytes=8 * 64 * 4, ways=4, policy=policy)
+        cache = DifferentialCache(geometry)
+        rng = np.random.default_rng(17)
+        for addr in address_stream(17):
+            op = rng.integers(0, 5)
+            if op == 0:
+                cache.probe(addr)
+            elif op == 1:
+                cache.fill(addr)
+            elif op == 2:
+                cache.invalidate(addr)
+            elif op == 3 and rng.integers(0, 40) == 0:
+                cache.clear()
+            else:
+                cache.access(addr)
+        assert cache.ops_checked > 300
+
+    def test_seeded_divergence_is_caught(self):
+        cache = DifferentialCache(GEOMETRY, name="llc")
+        cache.access(0x1000)
+        # Corrupt the *reference* side so the next probe disagrees.
+        cache._ref.invalidate(0x1000)
+        with pytest.raises(OracleDivergence) as excinfo:
+            cache.probe(0x1000)
+        assert excinfo.value.checker == "oracle"
+        assert excinfo.value.dump["cache"] == "llc"
+        assert excinfo.value.dump["op"] == "probe"
+
+    def test_divergence_is_an_invariant_violation(self):
+        from repro.errors import InvariantViolation
+
+        assert issubclass(OracleDivergence, InvariantViolation)
+
+
+class TestTraceReplay:
+    def test_recorded_trace_replays_clean(self):
+        cache = DifferentialCache(GEOMETRY, record_trace=True)
+        for addr in address_stream(23, count=200):
+            cache.access(addr)
+        cache.clear()
+        for addr in address_stream(24, count=50):
+            cache.access(addr)
+        assert replay_trace(GEOMETRY, cache.trace) == []
+
+    def test_tampered_trace_reports_divergence(self):
+        cache = DifferentialCache(GEOMETRY, record_trace=True)
+        for addr in address_stream(23, count=50):
+            cache.access(addr)
+        op, addr, (hit, evicted) = cache.trace[10]
+        cache.trace[10] = (op, addr, (not hit, evicted))
+        divergences = replay_trace(GEOMETRY, cache.trace)
+        assert [d["index"] for d in divergences] == [10]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            replay_trace(GEOMETRY, [("defrag", 0x1000, None)])
+
+
+class TestMachineAttachment:
+    def test_attach_replaces_every_cache(self):
+        machine = Machine(skylake_i7_6700k(seed=6))
+        attach_differential_oracle(machine)
+        for cache in (*machine.hierarchy.l1, *machine.hierarchy.l2):
+            assert isinstance(cache, DifferentialCache)
+        assert isinstance(machine.hierarchy.llc, DifferentialCache)
+        assert isinstance(machine.mee.cache, DifferentialCache)
+
+    def test_shadowed_machine_runs_clean(self):
+        machine = Machine(skylake_i7_6700k(seed=6))
+        attach_differential_oracle(machine)
+        for index in range(64):
+            machine.hierarchy.access(index % machine.config.cores, 0x7000 + index * 64)
+            machine.mee.access(machine.physical.protected_base + index * 512)
+        assert machine.hierarchy.llc.ops_checked > 0
+        assert machine.mee.cache.ops_checked > 0
+
+    def test_used_machine_refused(self):
+        machine = Machine(skylake_i7_6700k(seed=6))
+        machine.hierarchy.access(0, 0x1000)
+        with pytest.raises(SimulationError):
+            attach_differential_oracle(machine)
+
+    def test_oracle_env_installs_on_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE", "1")
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        machine = Machine(skylake_i7_6700k(seed=6))
+        assert isinstance(machine.hierarchy.llc, DifferentialCache)

@@ -1,0 +1,179 @@
+"""Snapshot/restore: versioning, corruption detection, crash-resume."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import skylake_i7_6700k
+from repro.errors import SnapshotError
+from repro.experiments.runner import run_trials_robust, TrialFailure
+from repro.sanitizer import (
+    SNAPSHOT_VERSION,
+    MachineSnapshot,
+    attach_differential_oracle,
+)
+from repro.system.machine import Machine
+
+
+def build_machine(seed: int = 42) -> Machine:
+    return Machine(skylake_i7_6700k(seed=seed))
+
+
+def touch(machine: Machine, index: int) -> None:
+    """One deterministic unit of architectural mutation."""
+    machine.hierarchy.access(index % machine.config.cores, 0x20000 + index * 64)
+    machine.mee.access(
+        machine.physical.protected_base + (index * 512) % (1 << 20),
+        write=index % 4 == 0,
+    )
+
+
+class TestSnapshotRoundtrip:
+    def test_restore_reproduces_fingerprint(self):
+        source = build_machine()
+        for index in range(40):
+            touch(source, index)
+        snapshot = source.save_state()
+        target = build_machine()
+        target.load_state(snapshot)
+        assert target.fingerprint() == source.fingerprint()
+
+    def test_restore_then_identical_future(self):
+        # The real acceptance property: a restored machine doesn't just
+        # look identical, it *behaves* identically from there on.
+        source = build_machine()
+        for index in range(30):
+            touch(source, index)
+        snapshot = source.save_state()
+        target = build_machine()
+        target.load_state(snapshot)
+        for index in range(30, 60):
+            touch(source, index)
+            touch(target, index)
+        assert target.fingerprint() == source.fingerprint()
+
+    def test_snapshot_survives_json(self):
+        source = build_machine()
+        for index in range(20):
+            touch(source, index)
+        wire = json.dumps(source.save_state().to_dict())
+        target = build_machine()
+        target.load_state(json.loads(wire))
+        assert target.fingerprint() == source.fingerprint()
+
+    def test_snapshot_metadata(self):
+        snapshot = build_machine(seed=9).save_state()
+        assert snapshot.version == SNAPSHOT_VERSION
+        assert snapshot.seed == 9
+        assert snapshot.to_dict()["__machine_snapshot__"] is True
+
+
+class TestSnapshotRejection:
+    def test_version_mismatch(self):
+        machine = build_machine()
+        snapshot = dataclasses.replace(machine.save_state(), version=99)
+        with pytest.raises(SnapshotError, match="version"):
+            machine.load_state(snapshot)
+
+    def test_seed_mismatch(self):
+        snapshot = build_machine(seed=1).save_state()
+        with pytest.raises(SnapshotError, match="seed"):
+            build_machine(seed=2).load_state(snapshot)
+
+    def test_corrupt_payload_caught_by_fingerprint(self):
+        source = build_machine()
+        for index in range(20):
+            touch(source, index)
+        data = source.save_state().to_dict()
+        # Flip one counter deep inside the payload; the schema stays valid
+        # so only the fingerprint check can catch it.
+        data["state"]["scheduler"]["total_ops"] += 1
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            build_machine().load_state(data)
+
+    def test_malformed_payload(self):
+        machine = build_machine()
+        with pytest.raises(SnapshotError):
+            machine.load_state({"__machine_snapshot__": True, "version": 1})
+        with pytest.raises(SnapshotError):
+            MachineSnapshot.from_dict("not a dict")
+
+    def test_oracle_machine_refused(self):
+        machine = build_machine()
+        snapshot = machine.save_state()
+        shadowed = build_machine()
+        attach_differential_oracle(shadowed)
+        with pytest.raises(SnapshotError, match="oracle"):
+            shadowed.load_state(snapshot)
+
+
+# -- crash-resume through run_trials_robust ---------------------------------
+
+TRIAL_UNITS = 36
+CRASH_AT = 20
+
+
+def _resumable_trial(seed: int, snapshot=None) -> dict:
+    """A chunked trial that checkpoints mid-way and dies on first attempt.
+
+    With no slot (reference mode) it just runs to completion.  With a slot
+    it saves a machine snapshot at unit CRASH_AT and crashes; the retry
+    finds the slot, rebuilds the machine from the seed, restores, and
+    finishes only the remaining units.
+    """
+    machine = build_machine(seed=seed)
+    start = 0
+    payload = snapshot.load() if snapshot is not None else None
+    if payload is not None:
+        machine.load_state(payload)
+        start = payload["progress"]["next_unit"]
+    for index in range(start, TRIAL_UNITS):
+        touch(machine, index)
+        if index + 1 == CRASH_AT and snapshot is not None and payload is None:
+            snapshot.save(machine.save_state(), progress={"next_unit": index + 1})
+            raise RuntimeError("simulated mid-trial crash")
+    return {"seed": seed, "fingerprint": machine.fingerprint(), "resumed": start > 0}
+
+
+class TestCrashResume:
+    def test_killed_trial_resumes_to_bit_identical_result(self, tmp_path):
+        seeds = [101, 202]
+        results = run_trials_robust(
+            _resumable_trial,
+            seeds,
+            jobs=1,
+            max_attempts=2,
+            snapshot_dir=str(tmp_path),
+        )
+        reference = [_resumable_trial(seed) for seed in seeds]
+        for got, want in zip(results, reference):
+            assert not isinstance(got, TrialFailure)
+            assert got["resumed"], "retry did not use the snapshot"
+            assert got["fingerprint"] == want["fingerprint"]
+        # Completed trials clear their slots.
+        assert list(tmp_path.glob("trial-*.json")) == []
+
+    def test_corrupt_slot_restarts_from_scratch(self, tmp_path):
+        slot_path = tmp_path / "trial-0000-101.json"
+        slot_path.write_text('{"__machine_snapshot__": true, "ver')
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            [result] = run_trials_robust(
+                _resumable_trial,
+                [101],
+                jobs=1,
+                max_attempts=2,
+                snapshot_dir=str(tmp_path),
+            )
+        assert result["fingerprint"] == _resumable_trial(101)["fingerprint"]
+
+    def test_snapshot_dir_requires_snapshot_parameter(self, tmp_path):
+        def no_snapshot_kwarg(seed):
+            return seed
+
+        with pytest.raises(ValueError, match="snapshot"):
+            run_trials_robust(
+                no_snapshot_kwarg, [1], jobs=1, snapshot_dir=str(tmp_path)
+            )

@@ -128,3 +128,52 @@ class TestMachineIntegration:
         machine.spawn("t", body(), core=0, space=space, enclave=enclave)
         machine.run()
         assert observed == [True, False]
+
+
+class TestEvictBurstEdgeCases:
+    def test_burst_on_empty_pager(self):
+        pager = EPCPager(resident_limit=4)
+        assert pager.evict_burst(3) == []
+        assert pager.stats.writebacks == 0
+
+    def test_zero_count_burst(self):
+        pager = EPCPager(resident_limit=4)
+        pager.touch(0 * PAGE_SIZE)
+        assert pager.evict_burst(0) == []
+        assert pager.is_resident(0)
+
+    def test_burst_larger_than_resident_set(self):
+        # Asking for more pages than are resident evicts everything and
+        # stops — no phantom writebacks, no error.
+        pager = EPCPager(resident_limit=8)
+        for page in range(3):
+            pager.touch(page * PAGE_SIZE)
+        evicted = pager.evict_burst(100)
+        assert evicted == [0 * PAGE_SIZE, 1 * PAGE_SIZE, 2 * PAGE_SIZE]
+        assert pager.stats.writebacks == 3
+        for page in range(3):
+            assert not pager.is_resident(page * PAGE_SIZE)
+
+    def test_repeated_bursts_drain_once(self):
+        pager = EPCPager(resident_limit=8)
+        pager.touch(0)
+        assert pager.evict_burst(5) == [0]
+        assert pager.evict_burst(5) == []
+        assert pager.stats.writebacks == 1
+
+    def test_burst_evicts_lru_first(self):
+        pager = EPCPager(resident_limit=8)
+        for page in range(4):
+            pager.touch(page * PAGE_SIZE)
+        pager.touch(0)  # page 0 becomes most recent
+        assert pager.evict_burst(2) == [1 * PAGE_SIZE, 2 * PAGE_SIZE]
+
+    def test_export_restore_preserves_lru_order(self):
+        source = EPCPager(resident_limit=8)
+        for page in range(4):
+            source.touch(page * PAGE_SIZE)
+        source.touch(0)
+        clone = EPCPager(resident_limit=8)
+        clone.restore_state(source.export_state())
+        assert clone.evict_burst(2) == source.evict_burst(2)
+        assert clone.stats.writebacks == source.stats.writebacks
