@@ -30,7 +30,19 @@ from .config import (
     TimerConfig,
     skylake_i7_6700k,
 )
+from .coding import (
+    DEFAULT_LADDER,
+    PROFILES,
+    ChannelQualityEstimator,
+    CodingProfile,
+    CodingStack,
+    ReedSolomon,
+    StackDecode,
+    profile_by_name,
+)
 from .core import (
+    AdaptiveCodeRateConfig,
+    AdaptiveCodeRateController,
     AdaptiveWindowConfig,
     AdaptiveWindowController,
     CandidateAddressSet,
@@ -64,6 +76,7 @@ from .core import (
 from .errors import (
     AddressError,
     ChannelError,
+    CodingError,
     ConfigurationError,
     EnclaveError,
     EPCError,
@@ -87,6 +100,8 @@ from .system import Machine
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveCodeRateConfig",
+    "AdaptiveCodeRateController",
     "AdaptiveWindowConfig",
     "AdaptiveWindowController",
     "AddressError",
@@ -95,9 +110,14 @@ __all__ = [
     "ChannelConfig",
     "ChannelError",
     "ChannelMetrics",
+    "ChannelQualityEstimator",
     "ChannelResult",
+    "CodingError",
+    "CodingProfile",
+    "CodingStack",
     "ConfigurationError",
     "CovertChannel",
+    "DEFAULT_LADDER",
     "DRAMConfig",
     "EPCError",
     "EnclaveError",
@@ -117,10 +137,12 @@ __all__ = [
     "MachineSnapshot",
     "NoiseConfig",
     "OracleDivergence",
+    "PROFILES",
     "PagingConfig",
     "PagingError",
     "PrimeProbeResult",
     "ProcessError",
+    "ReedSolomon",
     "ReproError",
     "Sanitizer",
     "SanitizerConfig",
@@ -130,6 +152,7 @@ __all__ = [
     "SelfHealingChannel",
     "SelfHealingConfig",
     "SelfHealingResult",
+    "StackDecode",
     "SystemConfig",
     "ThresholdClassifier",
     "TimerConfig",
@@ -147,6 +170,7 @@ __all__ = [
     "find_eviction_set",
     "find_monitor_address",
     "pattern_100100",
+    "profile_by_name",
     "run_prime_probe_channel",
     "skylake_i7_6700k",
     "text_to_bits",

@@ -7,8 +7,11 @@ utilities keep that rendering consistent and testable.
 from .histogram import Histogram, latency_histogram
 from .render import render_curve, render_histogram, render_series, render_table
 from .robustness import (
+    CodingFrontierPoint,
     RobustnessCurvePoint,
+    aggregate_coding_point,
     aggregate_point,
+    render_coding_frontier,
     render_robustness_table,
 )
 from .stats import SummaryStats, summarize
@@ -16,13 +19,16 @@ from .timeline import ChannelTimeline, WindowActivity, build_timeline
 
 __all__ = [
     "ChannelTimeline",
+    "CodingFrontierPoint",
     "Histogram",
     "RobustnessCurvePoint",
     "SummaryStats",
     "WindowActivity",
+    "aggregate_coding_point",
     "aggregate_point",
     "build_timeline",
     "latency_histogram",
+    "render_coding_frontier",
     "render_curve",
     "render_histogram",
     "render_robustness_table",

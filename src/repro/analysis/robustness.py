@@ -15,7 +15,14 @@ from typing import Dict, List, Sequence
 
 from .render import render_table
 
-__all__ = ["RobustnessCurvePoint", "aggregate_point", "render_robustness_table"]
+__all__ = [
+    "RobustnessCurvePoint",
+    "aggregate_point",
+    "render_robustness_table",
+    "CodingFrontierPoint",
+    "aggregate_coding_point",
+    "render_coding_frontier",
+]
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -76,6 +83,162 @@ def aggregate_point(
         retransmissions=_mean([float(m["retransmissions"]) for m in metrics_dicts]),
         time_to_recover_ms=_mean(ttr_ms) if ttr_ms else math.nan,
     )
+
+
+@dataclass(frozen=True)
+class CodingFrontierPoint:
+    """One (coding stack, fault intensity) cell of the coding-gain frontier.
+
+    Two measurements per cell: the *FEC-only* phase (single shot, no
+    retransmission — what the code alone buys in residual BER) and the
+    *hybrid-ARQ* phase (FEC + CRC-triggered selective repeat — what the
+    full stack delivers).  ``residual_ber``/``raw_ber`` are NaN for the
+    adaptive policy, which only exists at the ARQ layer.
+    """
+
+    stack: str
+    intensity: float
+    trials: int
+    #: payload-bit error rate after FEC decode, no ARQ (phase A)
+    residual_ber: float
+    #: wire-bit error rate before decoding — the channel itself (phase A)
+    raw_ber: float
+    #: wire bits per payload bit (1.0 = no redundancy)
+    expansion: float
+    #: hybrid-ARQ delivered-payload rate in KBps (phase B)
+    goodput_kbps: float
+    #: fraction of trials whose full message arrived CRC-verified (phase B)
+    delivery_rate: float
+    frame_error_rate: float
+    #: mean frames rescued by FEC alone / by retransmission, per trial
+    fec_corrected_frames: float
+    arq_recovered_frames: float
+    retransmissions: float
+
+    def to_dict(self) -> dict:
+        return {
+            "stack": self.stack,
+            "intensity": self.intensity,
+            "trials": self.trials,
+            "residual_ber": self.residual_ber,
+            "raw_ber": self.raw_ber,
+            "expansion": self.expansion,
+            "goodput_kbps": self.goodput_kbps,
+            "delivery_rate": self.delivery_rate,
+            "frame_error_rate": self.frame_error_rate,
+            "fec_corrected_frames": self.fec_corrected_frames,
+            "arq_recovered_frames": self.arq_recovered_frames,
+            "retransmissions": self.retransmissions,
+        }
+
+
+def aggregate_coding_point(
+    stack: str, intensity: float, trial_records: Sequence[Dict]
+) -> CodingFrontierPoint:
+    """Collapse per-trial coding-sweep records into one frontier point.
+
+    Each record carries ``fec`` (phase A dict or None) and ``arq`` (the
+    :meth:`~repro.core.metrics.RobustnessMetrics.to_dict` form).
+    """
+    if not trial_records:
+        raise ValueError("cannot aggregate an empty trial set")
+    fec = [r["fec"] for r in trial_records if r.get("fec") is not None]
+    arq = [r["arq"] for r in trial_records]
+    return CodingFrontierPoint(
+        stack=stack,
+        intensity=intensity,
+        trials=len(trial_records),
+        residual_ber=_mean([f["residual_ber"] for f in fec]) if fec else math.nan,
+        raw_ber=_mean([f["raw_ber"] for f in fec]) if fec else math.nan,
+        expansion=_mean([f["expansion"] for f in fec]) if fec else math.nan,
+        goodput_kbps=_mean([m["goodput_kbps"] for m in arq]),
+        delivery_rate=_mean([1.0 if m["delivered"] else 0.0 for m in arq]),
+        frame_error_rate=_mean([m["frame_error_rate"] for m in arq]),
+        fec_corrected_frames=_mean(
+            [float(m["fec_corrected_frames"]) for m in arq]
+        ),
+        arq_recovered_frames=_mean(
+            [float(m["arq_recovered_frames"]) for m in arq]
+        ),
+        retransmissions=_mean([float(m["retransmissions"]) for m in arq]),
+    )
+
+
+def render_coding_frontier(points: Sequence[CodingFrontierPoint]) -> str:
+    """Coding-gain frontier table plus per-intensity gain headlines.
+
+    The headline number is the *coding gain*: raw stack residual BER over
+    each coded stack's residual BER at the same intensity (∞ when the code
+    drove the residual to zero).
+    """
+
+    def fmt_ber(value: float) -> str:
+        if math.isnan(value):
+            return "-"
+        if value == 0.0:
+            return "0"
+        return f"{value:.2e}"
+
+    headers = [
+        "stack",
+        "intensity",
+        "trials",
+        "expand",
+        "raw BER",
+        "resid BER",
+        "goodput KBps",
+        "delivered",
+        "FER",
+        "FEC saves",
+        "ARQ saves",
+        "retx",
+    ]
+    rows: List[List[object]] = []
+    for p in sorted(points, key=lambda p: (p.intensity, p.stack)):
+        rows.append(
+            [
+                p.stack,
+                f"{p.intensity:g}",
+                p.trials,
+                "-" if math.isnan(p.expansion) else f"{p.expansion:.2f}x",
+                fmt_ber(p.raw_ber),
+                fmt_ber(p.residual_ber),
+                f"{p.goodput_kbps:.3f}",
+                f"{p.delivery_rate:.2f}",
+                f"{p.frame_error_rate:.3f}",
+                f"{p.fec_corrected_frames:.1f}",
+                f"{p.arq_recovered_frames:.1f}",
+                f"{p.retransmissions:.1f}",
+            ]
+        )
+    lines = [render_table(headers, rows)]
+
+    by_intensity: Dict[float, List[CodingFrontierPoint]] = {}
+    for p in points:
+        by_intensity.setdefault(p.intensity, []).append(p)
+    for intensity in sorted(by_intensity):
+        cell = by_intensity[intensity]
+        baseline = next((p for p in cell if p.stack == "raw"), None)
+        if baseline is None or math.isnan(baseline.residual_ber):
+            continue
+        gains = []
+        for p in sorted(cell, key=lambda p: p.stack):
+            if p.stack == "raw" or math.isnan(p.residual_ber):
+                continue
+            if p.residual_ber == 0.0:
+                gains.append(f"{p.stack} clean" if baseline.residual_ber > 0
+                             else f"{p.stack} 1x")
+            else:
+                gains.append(
+                    f"{p.stack} {baseline.residual_ber / p.residual_ber:.0f}x"
+                )
+        if gains:
+            lines.append(
+                f"coding gain @ intensity {intensity:g} "
+                f"(raw BER {fmt_ber(baseline.residual_ber)}): "
+                + ", ".join(gains)
+            )
+    return "\n".join(lines)
 
 
 def render_robustness_table(points: Sequence[RobustnessCurvePoint]) -> str:

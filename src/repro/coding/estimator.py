@@ -1,0 +1,115 @@
+"""Channel-quality estimation from FEC decoder telemetry.
+
+The receiver cannot see the storm directly — it sees its *consequences*:
+how many symbols each frame's FEC had to repair, how many erasures the
+soft demodulator flagged, and which frames still failed their CRC.  The
+estimator folds that per-frame telemetry into exponentially weighted
+rates, giving the adaptive code-rate controller
+(:class:`~repro.core.adaptive.AdaptiveCodeRateController`) a smoothed,
+deterministic view of the error process: replaying the same frame
+history reproduces the same estimates bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CodingError
+
+__all__ = ["ChannelQualityEstimator"]
+
+#: regime cutoffs on the smoothed symbol-error estimate
+_QUIET_BELOW = 0.02
+_STORM_ABOVE = 0.12
+
+
+class ChannelQualityEstimator:
+    """EWMA tracker of symbol-error, erasure, and frame-failure rates."""
+
+    def __init__(self, alpha: float = 0.25):
+        if not 0.0 < alpha <= 1.0:
+            raise CodingError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._symbol_error_rate = 0.0
+        self._erasure_rate = 0.0
+        self._failure_rate = 0.0
+        self.frames_observed = 0
+        #: (symbol_error_rate, erasure_rate, failure_rate) after each frame
+        self.history: List[tuple] = []
+
+    def _blend(self, current: float, sample: float) -> float:
+        if self.frames_observed == 0:
+            return sample
+        return (1.0 - self.alpha) * current + self.alpha * sample
+
+    def observe_frame(
+        self,
+        symbols: int,
+        corrected: int,
+        erasures: int,
+        delivered: bool,
+    ) -> None:
+        """Fold one frame attempt's decoder telemetry into the estimates.
+
+        Args:
+            symbols: wire symbols (or bits, for bit-oriented schemes) the
+                frame occupied — the denominator.
+            corrected: symbols the FEC repaired; for a failed frame this
+                undercounts the true corruption, so a failure pins the
+                sample at the full correction budget's worth of damage.
+            erasures: soft-decision erasure flags consumed.
+            delivered: whether the frame ultimately passed its CRC.
+        """
+        if symbols < 1:
+            raise CodingError(f"frame must span at least one symbol, got {symbols}")
+        if corrected < 0 or erasures < 0:
+            raise CodingError("corrected/erasures cannot be negative")
+        error_sample = min(corrected / symbols, 1.0)
+        if not delivered:
+            # The decoder only reports what it *could* fix; an undelivered
+            # frame means the corruption exceeded that, so saturate well
+            # above the storm threshold instead of underreporting.  The
+            # floor scales with the smoothed failure rate: an isolated
+            # failure (quiet-machine background loss) pins the sample just
+            # past the storm cutoff, while a persistent failure streak —
+            # every sample censored, the channel plausibly far worse than
+            # any decoder can report — raises it toward the regime where
+            # only the heaviest codes survive.
+            floor = 2.0 * _STORM_ABOVE + 0.5 * max(0.0, self._failure_rate - 0.6)
+            error_sample = max(error_sample, floor)
+        self._symbol_error_rate = self._blend(self._symbol_error_rate, error_sample)
+        self._erasure_rate = self._blend(
+            self._erasure_rate, min(erasures / symbols, 1.0)
+        )
+        self._failure_rate = self._blend(
+            self._failure_rate, 0.0 if delivered else 1.0
+        )
+        self.frames_observed += 1
+        self.history.append(
+            (self._symbol_error_rate, self._erasure_rate, self._failure_rate)
+        )
+
+    @property
+    def symbol_error_rate(self) -> float:
+        """Smoothed fraction of wire symbols the FEC repairs per frame."""
+        return self._symbol_error_rate
+
+    @property
+    def erasure_rate(self) -> float:
+        """Smoothed fraction of wire symbols flagged as erasures."""
+        return self._erasure_rate
+
+    @property
+    def frame_failure_rate(self) -> float:
+        """Smoothed fraction of frame attempts that failed their CRC."""
+        return self._failure_rate
+
+    @property
+    def regime(self) -> str:
+        """``"quiet"``, ``"moderate"``, or ``"storm"`` — the qualitative
+        operating regime implied by the smoothed error estimate."""
+        if self._symbol_error_rate < _QUIET_BELOW:
+            return "quiet"
+        if self._symbol_error_rate > _STORM_ABOVE:
+            return "storm"
+        return "moderate"

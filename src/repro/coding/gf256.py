@@ -1,0 +1,129 @@
+"""GF(2^8) arithmetic for the Reed-Solomon codec.
+
+The field is built over the AES-unrelated primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D) with generator element 2 — the
+conventional choice for byte-oriented Reed-Solomon (CCSDS, QR codes,
+RAID-6).  Multiplication and division go through exp/log tables computed
+once at import; the tables are doubled so products of two logs index
+without a modulo in the hot path.
+
+Everything here is pure python on ints 0..255 — the codec exists for
+*robustness* of the covert channel, not throughput, and frames are tens
+of symbols long.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "GF_PRIMITIVE_POLY",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_pow",
+    "gf_inverse",
+    "poly_add",
+    "poly_mul",
+    "poly_scale",
+    "poly_eval",
+]
+
+#: primitive polynomial of the field (x^8 + x^4 + x^3 + x^2 + 1)
+GF_PRIMITIVE_POLY = 0x11D
+#: multiplicative order of the field's generator
+_FIELD_ORDER = 255
+
+
+def _build_tables() -> tuple:
+    exp = [0] * (_FIELD_ORDER * 2)
+    log = [0] * 256
+    value = 1
+    for power in range(_FIELD_ORDER):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= GF_PRIMITIVE_POLY
+    for power in range(_FIELD_ORDER, _FIELD_ORDER * 2):
+        exp[power] = exp[power - _FIELD_ORDER]
+    return tuple(exp), tuple(log)
+
+
+_EXP, _LOG = _build_tables()
+
+
+def _check_element(value: int) -> None:
+    if not 0 <= value <= 255:
+        raise ValueError(f"GF(256) elements are 0..255, got {value!r}")
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition (== subtraction) in GF(2^8): XOR."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Product of two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Quotient ``a / b``; division by zero raises ZeroDivisionError."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % _FIELD_ORDER]
+
+
+def gf_pow(a: int, power: int) -> int:
+    """``a`` raised to an (arbitrary-sign) integer power."""
+    if a == 0:
+        if power <= 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return 0
+    return _EXP[(_LOG[a] * power) % _FIELD_ORDER]
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse of ``a``."""
+    return gf_div(1, a)
+
+
+# -- polynomials over GF(256), coefficient lists, highest degree first ---------
+
+
+def poly_add(p: Sequence[int], q: Sequence[int]) -> List[int]:
+    """Sum of two polynomials."""
+    out = [0] * max(len(p), len(q))
+    out[len(out) - len(p) :] = list(p)
+    for index, coef in enumerate(q):
+        out[index + len(out) - len(q)] ^= coef
+    return out
+
+
+def poly_mul(p: Sequence[int], q: Sequence[int]) -> List[int]:
+    """Product of two polynomials."""
+    out = [0] * (len(p) + len(q) - 1)
+    for i, pc in enumerate(p):
+        if pc == 0:
+            continue
+        for j, qc in enumerate(q):
+            out[i + j] ^= gf_mul(pc, qc)
+    return out
+
+
+def poly_scale(p: Sequence[int], factor: int) -> List[int]:
+    """Polynomial times a scalar."""
+    return [gf_mul(coef, factor) for coef in p]
+
+
+def poly_eval(p: Sequence[int], x: int) -> int:
+    """Evaluate the polynomial at ``x`` (Horner's method)."""
+    value = 0
+    for coef in p:
+        value = gf_mul(value, x) ^ coef
+    return value

@@ -1,0 +1,52 @@
+"""Block interleaving: scatter channel bursts across RS codewords.
+
+A preemption-storm burst garbles a *run* of windows — tens of adjacent
+bits, i.e. several adjacent symbols.  One RS codeword absorbs at most
+``nsym // 2`` unknown errors, so a single storm can sink the codeword it
+lands on while its neighbours sail through untouched.  The fix is the
+classic one: transmit ``depth`` codewords column-major (symbol 0 of every
+codeword, then symbol 1 of every codeword, ...), so a burst of ``b``
+adjacent channel symbols degrades into at most ``ceil(b / depth)`` errors
+*per codeword* — scattered, correctable damage instead of one dead block.
+
+The permutation is data-agnostic, so the same reordering applies to the
+soft-decision confidence stream: erasure flags travel with their symbols
+through :func:`deinterleave`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+from ..errors import CodingError
+
+__all__ = ["interleave", "deinterleave"]
+
+T = TypeVar("T")
+
+
+def _check(length: int, depth: int) -> int:
+    if depth < 1:
+        raise CodingError(f"interleave depth must be >= 1, got {depth}")
+    if length % depth != 0:
+        raise CodingError(
+            f"cannot interleave {length} items at depth {depth}: not a multiple"
+        )
+    return length // depth
+
+
+def interleave(items: Sequence[T], depth: int) -> List[T]:
+    """Reorder ``depth`` consecutive blocks into column-major wire order.
+
+    ``items`` is read as ``depth`` back-to-back blocks (codewords) of
+    equal length; the output emits position 0 of every block, then
+    position 1 of every block, and so on.  ``depth=1`` is the identity.
+    """
+    width = _check(len(items), depth)
+    return [items[row * width + column] for column in range(width) for row in range(depth)]
+
+
+def deinterleave(items: Sequence[T], depth: int) -> List[T]:
+    """Invert :func:`interleave` with the same ``depth``."""
+    width = _check(len(items), depth)
+    return [items[column * depth + row] for row in range(depth) for column in range(width)]

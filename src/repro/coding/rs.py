@@ -1,0 +1,244 @@
+"""Systematic Reed-Solomon over GF(256) with errors-and-erasures decoding.
+
+The channel's fault-induced error process is *bursty*: a stolen time
+slice garbles a run of adjacent windows (bits), which packs into one or
+two adjacent byte symbols.  Reed-Solomon corrects whole symbols, so a
+burst costs the same budget as a single bit flip inside it — the reason
+RS (and not a bit-oriented code) is the right FEC for this channel.
+
+A codeword with ``nsym`` parity symbols corrects ``e`` symbol errors and
+``f`` erasures whenever ``2e + f <= nsym``; erasure positions come from
+the soft-decision demodulator (probe latencies too close to the hit/miss
+threshold of Figure 5), so a symbol the channel already knows it fumbled
+costs half the budget of one it must locate itself.
+
+Decoding is the textbook pipeline: syndromes → Forney syndromes (erasure
+contribution divided out) → Berlekamp-Massey error locator → Chien search
+→ errata evaluator → Forney magnitudes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import CodingError
+from .gf256 import gf_div, gf_inverse, gf_mul, gf_pow, poly_eval, poly_mul
+
+__all__ = ["ReedSolomon"]
+
+#: symbols per codeword can never exceed the field's multiplicative order
+MAX_CODEWORD_SYMBOLS = 255
+
+
+def _conv(p: Sequence[int], q: Sequence[int]) -> List[int]:
+    """Polynomial product for lowest-degree-first coefficient lists."""
+    out = [0] * (len(p) + len(q) - 1)
+    for i, pc in enumerate(p):
+        if pc:
+            for j, qc in enumerate(q):
+                out[i + j] ^= gf_mul(pc, qc)
+    return out
+
+
+def _eval_low(p: Sequence[int], x: int) -> int:
+    """Evaluate a lowest-degree-first polynomial at ``x``."""
+    value = 0
+    for coef in reversed(p):
+        value = gf_mul(value, x) ^ coef
+    return value
+
+
+class ReedSolomon:
+    """RS(k + nsym, k) codec on byte symbols, shortened-code friendly.
+
+    ``encode`` appends ``nsym`` parity symbols to any message of up to
+    ``255 - nsym`` symbols; shorter messages behave as shortened codes
+    with the same correction capacity.  ``decode`` repairs up to
+    ``nsym // 2`` symbol errors, or more when erasure positions are
+    supplied (``2 * errors + erasures <= nsym``), and raises
+    :class:`~repro.errors.CodingError` — never returns silently wrong
+    data — when the corruption exceeds that budget and is detectable.
+    """
+
+    def __init__(self, nsym: int):
+        if nsym < 2 or nsym % 2 != 0:
+            raise CodingError(f"nsym must be even and >= 2, got {nsym}")
+        if nsym >= MAX_CODEWORD_SYMBOLS:
+            raise CodingError(f"nsym must be < {MAX_CODEWORD_SYMBOLS}, got {nsym}")
+        self.nsym = nsym
+        generator = [1]
+        for power in range(nsym):
+            generator = poly_mul(generator, [1, gf_pow(2, power)])
+        self._generator = generator
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, data: Sequence[int]) -> List[int]:
+        """``data`` symbols followed by ``nsym`` parity symbols."""
+        data = list(data)
+        if not data:
+            raise CodingError("cannot encode an empty message")
+        if len(data) + self.nsym > MAX_CODEWORD_SYMBOLS:
+            raise CodingError(
+                f"{len(data)} data + {self.nsym} parity symbols exceed the "
+                f"{MAX_CODEWORD_SYMBOLS}-symbol codeword limit"
+            )
+        for symbol in data:
+            if not 0 <= symbol <= 255:
+                raise CodingError(f"symbols must be bytes 0..255, got {symbol!r}")
+        # Polynomial long division of data * x^nsym by the generator; the
+        # remainder is the parity block (systematic encoding).
+        remainder = data + [0] * self.nsym
+        for index in range(len(data)):
+            lead = remainder[index]
+            if lead == 0:
+                continue
+            for offset, coef in enumerate(self._generator):
+                if coef:
+                    remainder[index + offset] ^= gf_mul(coef, lead)
+        return data + remainder[len(data) :]
+
+    # -- decode ------------------------------------------------------------
+
+    def _syndromes(self, word: Sequence[int]) -> List[int]:
+        """``S_i = word(alpha^i)`` for ``i`` in 0..nsym-1 (lowest first)."""
+        return [poly_eval(word, gf_pow(2, power)) for power in range(self.nsym)]
+
+    def _forney_syndromes(
+        self, syndromes: Sequence[int], erase_coefs: Sequence[int]
+    ) -> List[int]:
+        """Syndromes with the erasure contribution divided out, so
+        Berlekamp-Massey sees only the unknown-position errors."""
+        modified = list(syndromes)
+        for coef in erase_coefs:
+            x = gf_pow(2, coef)
+            for index in range(len(modified) - 1):
+                modified[index] = gf_mul(modified[index], x) ^ modified[index + 1]
+            modified.pop()
+        return modified
+
+    def _berlekamp_massey(self, syndromes: Sequence[int], budget: int) -> List[int]:
+        """Error-locator polynomial (highest degree first), degree capped
+        by the remaining correction ``budget``."""
+        locator = [1]
+        previous = [1]
+        for step in range(len(syndromes)):
+            previous = previous + [0]
+            delta = syndromes[step]
+            for index in range(1, len(locator)):
+                delta ^= gf_mul(
+                    locator[len(locator) - 1 - index], syndromes[step - index]
+                )
+            if delta != 0:
+                if len(previous) > len(locator):
+                    swapped = [gf_mul(coef, delta) for coef in previous]
+                    previous = [gf_div(coef, delta) for coef in locator]
+                    locator = swapped
+                scaled = [gf_mul(coef, delta) for coef in previous]
+                padded = [0] * (len(locator) - len(scaled)) + scaled
+                locator = [a ^ b for a, b in zip(locator, padded)]
+        while len(locator) > 1 and locator[0] == 0:
+            locator.pop(0)
+        if len(locator) - 1 > budget:
+            raise CodingError(
+                f"corruption exceeds correction capacity: {len(locator) - 1} "
+                f"errors located with budget for {budget}"
+            )
+        return locator
+
+    def _chien_search(self, locator: Sequence[int], length: int) -> List[int]:
+        """Coefficient positions (degrees) where the locator's roots sit."""
+        reciprocal = list(reversed(locator))  # roots at X_i instead of 1/X_i
+        coefs = [
+            coef
+            for coef in range(length)
+            if poly_eval(reciprocal, gf_pow(2, coef)) == 0
+        ]
+        if len(coefs) != len(locator) - 1:
+            raise CodingError(
+                "error locator roots do not match its degree — corruption "
+                "beyond the code's correction capacity"
+            )
+        return coefs
+
+    def decode(
+        self, word: Sequence[int], erase_pos: Sequence[int] = ()
+    ) -> Tuple[List[int], List[int]]:
+        """Correct up to ``nsym//2`` errors plus the given erasures.
+
+        Args:
+            word: received codeword (data + parity symbols).
+            erase_pos: indices into ``word`` the demodulator flagged as
+                unreliable; each costs one budget unit instead of two.
+
+        Returns:
+            ``(data_symbols, corrected_positions)`` — the repaired message
+            with parity stripped, and every word index whose symbol was
+            changed.
+
+        Raises:
+            CodingError: corruption beyond ``2e + f <= nsym`` where
+                detected (residual syndromes are always re-checked, so a
+                miscorrection slipping through requires beating the code's
+                minimum distance, not a library bug).
+        """
+        word = list(word)
+        if len(word) <= self.nsym:
+            raise CodingError(
+                f"codeword of {len(word)} symbols has no data (nsym={self.nsym})"
+            )
+        if len(word) > MAX_CODEWORD_SYMBOLS:
+            raise CodingError(f"codeword longer than {MAX_CODEWORD_SYMBOLS} symbols")
+        erase_pos = sorted(set(erase_pos))
+        if erase_pos and (erase_pos[0] < 0 or erase_pos[-1] >= len(word)):
+            raise CodingError(f"erasure positions out of range for {len(word)} symbols")
+        if len(erase_pos) > self.nsym:
+            raise CodingError(
+                f"{len(erase_pos)} erasures exceed the {self.nsym}-symbol budget"
+            )
+        syndromes = self._syndromes(word)
+        if max(syndromes) == 0:
+            return word[: -self.nsym], []
+
+        # Word indexes count from the left; locator arithmetic wants the
+        # coefficient position (degree) counted from the right.
+        erase_coefs = [len(word) - 1 - position for position in erase_pos]
+        forney = self._forney_syndromes(syndromes, erase_coefs)
+        budget = (self.nsym - len(erase_pos)) // 2
+        error_locator = self._berlekamp_massey(forney, budget)
+        error_coefs = self._chien_search(error_locator, len(word))
+        all_coefs = sorted(set(error_coefs) | set(erase_coefs))
+
+        # Errata locator Lambda(x) = prod (1 - X_i x) and evaluator
+        # Omega(x) = S(x) Lambda(x) mod x^nsym, both lowest degree first.
+        errata = [1]
+        for coef in all_coefs:
+            errata = _conv(errata, [1, gf_pow(2, coef)])
+        omega = _conv(syndromes, errata)[: self.nsym]
+
+        corrected: List[int] = []
+        for coef in all_coefs:
+            x = gf_pow(2, coef)
+            x_inverse = gf_inverse(x)
+            denominator = 1
+            for other in all_coefs:
+                if other != coef:
+                    denominator = gf_mul(
+                        denominator, 1 ^ gf_mul(x_inverse, gf_pow(2, other))
+                    )
+            if denominator == 0:
+                raise CodingError("repeated errata location — uncorrectable word")
+            # Forney with first consecutive root alpha^0: the X_i factor of
+            # Lambda'(1/X_i) cancels the X_i^{1-b} numerator term exactly.
+            magnitude = gf_div(_eval_low(omega, x_inverse), denominator)
+            if magnitude:
+                position = len(word) - 1 - coef
+                word[position] ^= magnitude
+                corrected.append(position)
+
+        if max(self._syndromes(word)) != 0:
+            raise CodingError(
+                "residual syndromes after correction — corruption beyond "
+                "the code's capacity"
+            )
+        return word[: -self.nsym], sorted(corrected)

@@ -1,0 +1,430 @@
+"""Pluggable reliability stacks: profile → encode/decode pipeline.
+
+A :class:`CodingProfile` names one rung of the redundancy ladder — from
+``raw`` (the paper's no-error-handling channel) through SECDED Hamming
+to interleaved Reed-Solomon — and :class:`CodingStack` turns it into a
+bit-in/bit-out pipeline the link layer can swap at frame granularity:
+
+* ``raw``         — identity; errors surface to the frame CRC;
+* ``repetition``  — per-bit repetition with (soft) majority vote;
+* ``secded``      — Hamming(8,4): corrects singles, *detects* doubles
+  and reports the words as erasures instead of miscorrecting;
+* ``rs``          — byte-symbol Reed-Solomon split over
+  ``interleave_depth`` codewords transmitted column-major, with
+  soft-decision erasure flagging (probe latencies too close to the
+  Figure 5 hit/miss threshold) feeding the errors-and-erasures decoder.
+
+Geometry is derived per message: the payload's symbols are split evenly
+across ``interleave_depth`` codewords, so short link frames do not pay
+for a fixed block size.  Both endpoints derive the identical geometry
+from the agreed payload length — nothing about the stack needs to be
+negotiated in-band.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.ecc import (
+    repetition_encode,
+    secded84_decode,
+    secded84_encode,
+)
+from ..errors import CodingError
+from .interleave import deinterleave, interleave
+from .rs import MAX_CODEWORD_SYMBOLS, ReedSolomon
+
+__all__ = [
+    "CodingProfile",
+    "CodingStack",
+    "StackDecode",
+    "PROFILES",
+    "DEFAULT_LADDER",
+    "profile_by_name",
+]
+
+_SCHEMES = ("raw", "repetition", "secded", "rs")
+#: bits per RS symbol
+_SYMBOL_BITS = 8
+
+
+@dataclass(frozen=True)
+class CodingProfile:
+    """One reliability configuration, identified by ``name``.
+
+    Attributes:
+        scheme: pipeline kind (see module docstring).
+        repetition_factor: copies per bit for ``repetition``.
+        rs_parity_symbols: parity symbols per RS codeword (corrects
+            ``nsym // 2`` errors, ``nsym`` erasures).
+        interleave_depth: RS codewords the payload is split across and
+            interleaved over; a channel burst of ``b`` symbols costs each
+            codeword only ``ceil(b / depth)`` of its budget.
+        erasure_confidence: soft-decision cutoff — a symbol whose least
+            confident bit falls below this is offered to the RS decoder
+            as an erasure (half the budget of an unlocated error).
+    """
+
+    name: str
+    scheme: str
+    repetition_factor: int = 3
+    rs_parity_symbols: int = 8
+    interleave_depth: int = 1
+    erasure_confidence: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.scheme not in _SCHEMES:
+            raise CodingError(f"unknown coding scheme {self.scheme!r}")
+        if self.scheme == "repetition" and (
+            self.repetition_factor < 1 or self.repetition_factor % 2 == 0
+        ):
+            raise CodingError("repetition factor must be odd and >= 1")
+        if self.scheme == "rs":
+            if self.rs_parity_symbols < 2 or self.rs_parity_symbols % 2:
+                raise CodingError("rs_parity_symbols must be even and >= 2")
+            if self.interleave_depth < 1:
+                raise CodingError("interleave_depth must be >= 1")
+        if not 0.0 <= self.erasure_confidence <= 1.0:
+            raise CodingError("erasure_confidence must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class StackDecode:
+    """Outcome of one stack decode.
+
+    ``bits`` always has the requested payload length — blocks the FEC
+    could not repair pass their systematic symbols through unchanged, so
+    the frame CRC (not the codec) stays the final arbiter of integrity.
+    """
+
+    bits: List[int]
+    #: symbols (rs) / codewords (secded) / bit-groups (repetition) repaired
+    corrected: int = 0
+    #: erasure positions the decoder actually consumed
+    erasures_used: int = 0
+    #: blocks whose corruption exceeded the correction budget
+    failed_blocks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no block exceeded its correction capacity."""
+        return self.failed_blocks == 0
+
+
+def _binomial_tail(n: int, p: float, threshold: int) -> float:
+    """P(Binomial(n, p) > threshold), computed exactly."""
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0 if n > threshold else 0.0
+    return sum(
+        math.comb(n, k) * p**k * (1.0 - p) ** (n - k)
+        for k in range(threshold + 1, n + 1)
+    )
+
+
+def _bits_to_symbols(bits: Sequence[int]) -> List[int]:
+    symbols = []
+    for start in range(0, len(bits), _SYMBOL_BITS):
+        value = 0
+        for bit in bits[start : start + _SYMBOL_BITS]:
+            value = (value << 1) | bit
+        symbols.append(value)
+    return symbols
+
+
+def _symbols_to_bits(symbols: Sequence[int]) -> List[int]:
+    bits: List[int] = []
+    for symbol in symbols:
+        bits.extend((symbol >> shift) & 1 for shift in range(_SYMBOL_BITS - 1, -1, -1))
+    return bits
+
+
+class CodingStack:
+    """Encode/decode pipeline for one :class:`CodingProfile`."""
+
+    def __init__(self, profile: CodingProfile):
+        self.profile = profile
+        self._rs: Optional[ReedSolomon] = (
+            ReedSolomon(profile.rs_parity_symbols) if profile.scheme == "rs" else None
+        )
+
+    # -- geometry ----------------------------------------------------------
+
+    def _rs_geometry(self, data_bits: int) -> Tuple[int, int, int]:
+        """(codewords, data symbols per codeword, total wire symbols)."""
+        profile = self.profile
+        symbols = max(1, -(-data_bits // _SYMBOL_BITS))
+        depth = profile.interleave_depth
+        width = -(-symbols // depth)
+        if width + profile.rs_parity_symbols > MAX_CODEWORD_SYMBOLS:
+            raise CodingError(
+                f"{data_bits} data bits need {width}-symbol codewords at "
+                f"depth {depth}: over the {MAX_CODEWORD_SYMBOLS}-symbol limit"
+            )
+        return depth, width, depth * (width + profile.rs_parity_symbols)
+
+    def encoded_length(self, data_bits: int) -> int:
+        """Wire bits a ``data_bits``-bit payload occupies under this stack."""
+        if data_bits < 1:
+            raise CodingError(f"payload must be at least one bit, got {data_bits}")
+        scheme = self.profile.scheme
+        if scheme == "raw":
+            return data_bits
+        if scheme == "repetition":
+            return data_bits * self.profile.repetition_factor
+        if scheme == "secded":
+            return -(-data_bits // 4) * 8
+        _, _, wire_symbols = self._rs_geometry(data_bits)
+        return wire_symbols * _SYMBOL_BITS
+
+    def correction_capacity(self, data_bits: int) -> int:
+        """Unknown-position errors the stack can repair in one payload —
+        the normalizer for the adaptive controller's FEC-load signal."""
+        scheme = self.profile.scheme
+        if scheme == "raw":
+            return 0
+        if scheme == "repetition":
+            return data_bits * (self.profile.repetition_factor // 2)
+        if scheme == "secded":
+            return -(-data_bits // 4)
+        depth, _, _ = self._rs_geometry(data_bits)
+        return depth * (self.profile.rs_parity_symbols // 2)
+
+    # -- prediction --------------------------------------------------------
+
+    def predicted_frame_failure(
+        self,
+        data_bits: int,
+        symbol_error_rate: float,
+        erasure_rate: float = 0.0,
+    ) -> float:
+        """Probability a ``data_bits`` frame survives decoding wrong.
+
+        A small channel model for code-rate selection: given the measured
+        symbol error rate ``q`` (8-bit symbols; from
+        :class:`~repro.coding.ChannelQualityEstimator`), predict the
+        chance that corruption exceeds this stack's correction budget —
+        independent symbol errors, binomial tails over each block.
+        ``erasure_rate`` credits the soft demodulator: flagged symbols
+        cost an RS codeword half the budget of an unlocated error, so the
+        effective budget grows with the fraction of errors arriving
+        pre-located.  The prediction lets an adaptive controller rank
+        rungs *before* paying a failed frame to learn the same lesson.
+        """
+        q = min(max(symbol_error_rate, 0.0), 1.0)
+        if q == 0.0:
+            return 0.0
+        # per-bit rate implied by the symbol rate
+        p = 1.0 - (1.0 - q) ** (1.0 / _SYMBOL_BITS)
+        scheme = self.profile.scheme
+        if scheme == "raw":
+            return 1.0 - (1.0 - p) ** data_bits
+        if scheme == "repetition":
+            factor = self.profile.repetition_factor
+            group = _binomial_tail(factor, p, factor // 2)
+            return 1.0 - (1.0 - group) ** data_bits
+        if scheme == "secded":
+            words = -(-data_bits // 4)
+            word = _binomial_tail(8, p, 1)
+            return 1.0 - (1.0 - word) ** words
+        depth, width, _ = self._rs_geometry(data_bits)
+        nsym = self.profile.rs_parity_symbols
+        block = width + nsym
+        budget = nsym // 2 + int(round(
+            min(max(erasure_rate, 0.0), 1.0) * block / 2.0
+        ))
+        budget = min(budget, nsym)
+        per_block = _binomial_tail(block, q, budget)
+        return 1.0 - (1.0 - per_block) ** depth
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, bits: Sequence[int]) -> List[int]:
+        """Payload bits → wire bits (padded to the scheme's granularity)."""
+        bits = list(bits)
+        if not bits:
+            raise CodingError("cannot encode an empty payload")
+        scheme = self.profile.scheme
+        if scheme == "raw":
+            return bits
+        if scheme == "repetition":
+            return repetition_encode(bits, factor=self.profile.repetition_factor)
+        if scheme == "secded":
+            padded = bits + [0] * (-len(bits) % 4)
+            return secded84_encode(padded)
+        depth, width, _ = self._rs_geometry(len(bits))
+        padded = bits + [0] * (-len(bits) % _SYMBOL_BITS)
+        symbols = _bits_to_symbols(padded)
+        symbols += [0] * (depth * width - len(symbols))
+        codewords: List[int] = []
+        for row in range(depth):
+            codewords.extend(self._rs.encode(symbols[row * width : (row + 1) * width]))
+        return _symbols_to_bits(interleave(codewords, depth))
+
+    # -- decode ------------------------------------------------------------
+
+    def _decode_rs(
+        self,
+        bits: Sequence[int],
+        data_bits: int,
+        confidences: Optional[Sequence[float]],
+    ) -> StackDecode:
+        profile = self.profile
+        depth, width, wire_symbols = self._rs_geometry(data_bits)
+        symbols = _bits_to_symbols(bits)
+        if confidences is not None:
+            symbol_confidence = [
+                min(confidences[start : start + _SYMBOL_BITS])
+                for start in range(0, len(confidences), _SYMBOL_BITS)
+            ]
+        else:
+            symbol_confidence = [1.0] * len(symbols)
+        symbols = deinterleave(symbols, depth)
+        symbol_confidence = deinterleave(symbol_confidence, depth)
+
+        block_length = width + profile.rs_parity_symbols
+        nsym = profile.rs_parity_symbols
+        recovered: List[int] = []
+        corrected = erasures_used = failed = 0
+        for row in range(depth):
+            block = symbols[row * block_length : (row + 1) * block_length]
+            confidence = symbol_confidence[
+                row * block_length : (row + 1) * block_length
+            ]
+            doubtful = sorted(
+                (
+                    index
+                    for index, value in enumerate(confidence)
+                    if value < profile.erasure_confidence
+                ),
+                key=lambda index: confidence[index],
+            )[:nsym]
+            try:
+                data, fixed = self._rs.decode(block, erase_pos=doubtful)
+                corrected += len(fixed)
+                erasures_used += len(doubtful)
+            except CodingError:
+                # Mislabelled erasures can sink a decodable word; fall back
+                # to errors-only before declaring the block lost.
+                try:
+                    data, fixed = self._rs.decode(block)
+                    corrected += len(fixed)
+                except CodingError:
+                    data = block[:width]
+                    failed += 1
+            recovered.extend(data)
+        return StackDecode(
+            bits=_symbols_to_bits(recovered)[:data_bits],
+            corrected=corrected,
+            erasures_used=erasures_used,
+            failed_blocks=failed,
+        )
+
+    def _decode_repetition(
+        self,
+        bits: Sequence[int],
+        data_bits: int,
+        confidences: Optional[Sequence[float]],
+    ) -> StackDecode:
+        factor = self.profile.repetition_factor
+        decoded: List[int] = []
+        corrected = 0
+        for group in range(data_bits):
+            votes = bits[group * factor : (group + 1) * factor]
+            if confidences is not None:
+                weights = confidences[group * factor : (group + 1) * factor]
+                score = sum(w if bit else -w for bit, w in zip(votes, weights))
+                value = 1 if score > 0 else 0 if score < 0 else (
+                    1 if sum(votes) * 2 > factor else 0
+                )
+            else:
+                value = 1 if sum(votes) * 2 > factor else 0
+            if any(bit != value for bit in votes):
+                corrected += 1
+            decoded.append(value)
+        return StackDecode(bits=decoded, corrected=corrected)
+
+    def decode(
+        self,
+        bits: Sequence[int],
+        data_bits: int,
+        confidences: Optional[Sequence[float]] = None,
+    ) -> StackDecode:
+        """Wire bits → payload bits plus a correction/failure report.
+
+        Args:
+            bits: received wire bits (length must equal
+                :meth:`encoded_length` of ``data_bits``).
+            data_bits: payload length both endpoints agreed on.
+            confidences: optional per-wire-bit demodulation confidences in
+                [0, 1] (:attr:`~repro.core.channel.ChannelResult.confidences`);
+                enables erasure flagging (rs) and soft voting (repetition).
+        """
+        expected = self.encoded_length(data_bits)
+        if len(bits) != expected:
+            raise CodingError(
+                f"wire length {len(bits)} != {expected} expected for "
+                f"{data_bits} data bits under {self.profile.name!r}"
+            )
+        if confidences is not None and len(confidences) != len(bits):
+            raise CodingError("confidences must align with the wire bits")
+        scheme = self.profile.scheme
+        if scheme == "raw":
+            return StackDecode(bits=list(bits))
+        if scheme == "repetition":
+            return self._decode_repetition(bits, data_bits, confidences)
+        if scheme == "secded":
+            data, corrections, erasures = secded84_decode(list(bits))
+            return StackDecode(
+                bits=data[:data_bits],
+                corrected=corrections,
+                erasures_used=len(erasures),
+                failed_blocks=len(erasures),
+            )
+        return self._decode_rs(bits, data_bits, confidences)
+
+
+#: the named stacks experiments sweep and the ladder draws from
+PROFILES = {
+    profile.name: profile
+    for profile in (
+        CodingProfile(name="raw", scheme="raw"),
+        CodingProfile(name="repetition3", scheme="repetition", repetition_factor=3),
+        CodingProfile(name="secded84", scheme="secded"),
+        CodingProfile(name="rs_light", scheme="rs", rs_parity_symbols=4),
+        CodingProfile(name="rs", scheme="rs", rs_parity_symbols=8),
+        CodingProfile(
+            name="rs_interleaved", scheme="rs", rs_parity_symbols=8, interleave_depth=2
+        ),
+        CodingProfile(
+            name="rs_heavy", scheme="rs", rs_parity_symbols=16, interleave_depth=4
+        ),
+    )
+}
+
+#: redundancy ladder for adaptive code-rate control: none → Hamming →
+#: RS(n, k), lightest first.  The RS rungs are the *interleaved* variants:
+#: storm corruption is bursty (a preemption stall or a deadline-truncated
+#: tail corrupts a run of adjacent windows), and the rate-selection model
+#: assumes independent symbol errors — interleaving is what makes that
+#: assumption safe, while an un-interleaved codeword of equal parity can
+#: be killed by one burst the model never priced in.
+DEFAULT_LADDER = (
+    PROFILES["raw"],
+    PROFILES["secded84"],
+    PROFILES["rs_interleaved"],
+    PROFILES["rs_heavy"],
+)
+
+
+def profile_by_name(name: str) -> CodingProfile:
+    """Look up a registry profile; raises :class:`CodingError` on typos."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise CodingError(
+            f"unknown coding profile {name!r}; choose from {sorted(PROFILES)}"
+        ) from None

@@ -19,7 +19,12 @@ Modules map to the paper's sections:
 * :mod:`~repro.core.metrics` — bit-rate / error-rate accounting.
 """
 
-from .adaptive import AdaptiveWindowConfig, AdaptiveWindowController
+from .adaptive import (
+    AdaptiveCodeRateConfig,
+    AdaptiveCodeRateController,
+    AdaptiveWindowConfig,
+    AdaptiveWindowController,
+)
 from .candidates import CandidateAddressSet, allocate_candidate_pages
 from .channel import (
     ChannelConfig,
@@ -42,8 +47,15 @@ from .ecc import (
     hamming74_encode,
     repetition_decode,
     repetition_encode,
+    secded84_decode,
+    secded84_encode,
 )
-from .latency import LatencyCalibration, ThresholdClassifier, calibrate_classifier
+from .latency import (
+    LatencyCalibration,
+    SoftBit,
+    ThresholdClassifier,
+    calibrate_classifier,
+)
 from .metrics import ChannelMetrics, RobustnessMetrics, bit_error_rate, bit_rate_kbps
 from .monitor import find_monitor_address
 from .multichannel import MultiChannel, MultiChannelResult, lane_window_cycles
@@ -63,6 +75,8 @@ from .reverse_engineering import (
 )
 
 __all__ = [
+    "AdaptiveCodeRateConfig",
+    "AdaptiveCodeRateController",
     "AdaptiveWindowConfig",
     "AdaptiveWindowController",
     "CandidateAddressSet",
@@ -84,6 +98,7 @@ __all__ = [
     "SelfHealingChannel",
     "SelfHealingConfig",
     "SelfHealingResult",
+    "SoftBit",
     "ThresholdClassifier",
     "lane_window_cycles",
     "allocate_candidate_pages",
@@ -104,6 +119,8 @@ __all__ = [
     "repetition_decode",
     "repetition_encode",
     "run_prime_probe_channel",
+    "secded84_decode",
+    "secded84_encode",
     "spy_body",
     "text_to_bits",
     "trojan_body",

@@ -31,11 +31,16 @@ which keeps fault-sweep trials deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Sequence
 
 from ..errors import ConfigurationError
 
-__all__ = ["AdaptiveWindowConfig", "AdaptiveWindowController"]
+__all__ = [
+    "AdaptiveWindowConfig",
+    "AdaptiveWindowController",
+    "AdaptiveCodeRateConfig",
+    "AdaptiveCodeRateController",
+]
 
 
 @dataclass(frozen=True)
@@ -125,4 +130,161 @@ class AdaptiveWindowController:
         self._window = float(self.config.base_window_cycles)
         self._clean_streak = 0
         self._fail_streak = 0
+        self.history.clear()
+
+
+@dataclass(frozen=True)
+class AdaptiveCodeRateConfig:
+    """Knobs of the code-rate controller.
+
+    The controller walks a *ladder* of redundancy rungs (lightest first —
+    e.g. raw → SECDED → interleaved RS → heavy RS) using two signals per
+    frame: whether the frame was delivered, and the *FEC load* — the
+    smoothed fraction of the current code's correction budget the channel
+    is consuming (from
+    :class:`~repro.coding.ChannelQualityEstimator` telemetry).  Waiting
+    for outright failures before hardening would waste a whole frame per
+    lesson; the load signal hardens *before* the budget is exceeded, and
+    refuses to relax while the lighter code would be operating near its
+    own (smaller) budget.
+    """
+
+    #: consecutive stressed frames (lost, or load at/above the high water)
+    #: before stepping one rung heavier; 3 keeps the quiet machine's
+    #: independent ~0.3-0.4 frame-loss background (which retries clear at
+    #: the *same* rung for free) from triggering spurious hardening, while
+    #: a storm's near-1.0 loss rate still escalates within three frames
+    harden_after: int = 3
+    #: consecutive comfortable frames (delivered at/below the low water)
+    #: before stepping one rung lighter; eager relaxing is cheap because a
+    #: wrong step down is corrected by the next harden streak
+    relax_after: int = 2
+    #: FEC load that marks a frame as stressed even when it was delivered —
+    #: high enough that a code absorbing half its budget per frame (which
+    #: is the code doing its job) is left in place rather than escalated
+    load_high_water: float = 0.75
+    #: FEC load a delivered frame must stay under to count toward relaxing
+    load_low_water: float = 0.15
+    #: when the caller supplies per-rung efficiency scores (the model-based
+    #: path), switch rungs only if the best rung beats the current one by
+    #: this relative margin — hysteresis against estimator jitter flapping
+    #: the schedule between near-tied rungs.  0.2 is wide enough that a
+    #: failure-streak spike in the error estimate (which inflates every
+    #: heavy rung's score for a few frames) does not buy an excursion the
+    #: steady-state estimate immediately regrets, while regime changes —
+    #: where the ranking shifts by integer factors — still switch promptly
+    switch_margin: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.harden_after < 1 or self.relax_after < 1:
+            raise ConfigurationError("harden_after/relax_after must be >= 1")
+        if not 0.0 <= self.load_low_water < self.load_high_water <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= load_low_water < load_high_water <= 1"
+            )
+        if self.switch_margin < 0.0:
+            raise ConfigurationError("switch_margin must be >= 0")
+
+
+class AdaptiveCodeRateController:
+    """Selects the ladder rung for the next frame from delivery history.
+
+    The ladder entries are opaque to the controller (the self-healing
+    layer passes coding stacks; tests pass plain labels), which keeps
+    :mod:`repro.core` free of a dependency on :mod:`repro.coding`.  Like
+    the window controller, it is a pure function of its recorded history:
+    both endpoints replay identical (delivered, load) sequences into
+    identical rung schedules.
+    """
+
+    def __init__(
+        self,
+        ladder: Sequence,
+        config: AdaptiveCodeRateConfig = AdaptiveCodeRateConfig(),
+    ):
+        if not ladder:
+            raise ConfigurationError("code-rate ladder cannot be empty")
+        self.ladder = tuple(ladder)
+        self.config = config
+        self.index = 0
+        self._stress_streak = 0
+        self._comfort_streak = 0
+        #: (rung_index, delivered, load) per recorded frame, oldest first
+        self.history: List[tuple] = []
+
+    @property
+    def current(self):
+        """The ladder rung the next frame should use."""
+        return self.ladder[self.index]
+
+    @property
+    def hardened(self) -> bool:
+        """True while the controller sits above the lightest rung."""
+        return self.index > 0
+
+    def record_frame(
+        self,
+        delivered: bool,
+        load: float,
+        scores: Optional[Sequence[float]] = None,
+    ):
+        """Feed one frame outcome; return the rung for the next frame.
+
+        Args:
+            delivered: whether the frame passed its CRC (on any path).
+            load: smoothed FEC-load estimate in [0, 1] — fraction of the
+                current code's correction budget in use; for uncoded rungs
+                the caller passes the frame-failure rate instead.
+            scores: optional predicted goodput efficiency per rung (same
+                order as the ladder), e.g. from
+                :meth:`repro.coding.CodingStack.predicted_frame_failure`
+                fed with channel-quality telemetry.  When given, the
+                controller jumps straight to the best-scoring rung
+                (subject to ``switch_margin`` hysteresis) instead of
+                streak-walking one rung at a time — a failure streak can
+                only ever *react* to a regime change, while the model
+                *ranks* every rung from the same telemetry and pays no
+                exploratory frames climbing through rungs that were never
+                going to win.
+        """
+        config = self.config
+        load = min(max(load, 0.0), 1.0)
+        self.history.append((self.index, delivered, load))
+        if scores is not None:
+            if len(scores) != len(self.ladder):
+                raise ConfigurationError(
+                    "scores must provide one entry per ladder rung"
+                )
+            self._stress_streak = 0
+            self._comfort_streak = 0
+            best = max(range(len(scores)), key=lambda i: scores[i])
+            if scores[best] > scores[self.index] * (1.0 + config.switch_margin):
+                self.index = best
+            return self.current
+        stressed = (not delivered) or load >= config.load_high_water
+        comfortable = delivered and load <= config.load_low_water
+        if stressed:
+            self._comfort_streak = 0
+            self._stress_streak += 1
+            if self._stress_streak >= config.harden_after:
+                self._stress_streak = 0
+                self.index = min(self.index + 1, len(self.ladder) - 1)
+        elif comfortable:
+            self._stress_streak = 0
+            self._comfort_streak += 1
+            if self._comfort_streak >= config.relax_after:
+                self._comfort_streak = 0
+                self.index = max(self.index - 1, 0)
+        else:
+            # Mid-band frames are evidence the current rung is earning its
+            # keep — break both streaks, hold position.
+            self._stress_streak = 0
+            self._comfort_streak = 0
+        return self.current
+
+    def reset(self) -> None:
+        """Return to the lightest rung (new transmission)."""
+        self.index = 0
+        self._stress_streak = 0
+        self._comfort_streak = 0
         self.history.clear()

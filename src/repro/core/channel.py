@@ -162,6 +162,10 @@ class ChannelResult:
     #: bits the spy never probed before the run deadline (padded as 0s);
     #: nonzero only for deadline-bounded transmissions under heavy faults
     truncated: int = 0
+    #: per-bit soft-decision confidences in [0, 1] (empty when the channel
+    #: predates soft demodulation); truncated bits carry 0.0 — a never-made
+    #: probe is the definitive erasure
+    confidences: List[float] = field(default_factory=list)
     metrics: ChannelMetrics = field(init=False)
 
     def __post_init__(self) -> None:
@@ -334,6 +338,9 @@ class CovertChannel:
                 truncated = len(bits) - len(received)
                 received.extend([0] * truncated)
 
+        confidences = [classifier.confidence(t) for t in probe_times]
+        confidences.extend([0.0] * (len(received) - len(confidences)))
+
         return ChannelResult(
             sent=list(bits),
             received=received,
@@ -341,4 +348,5 @@ class CovertChannel:
             window_cycles=window,
             clock_hz=self.machine.config.clock_hz,
             truncated=truncated,
+            confidences=confidences,
         )

@@ -9,11 +9,13 @@ the coding ablation benchmark.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 __all__ = [
     "hamming74_encode",
     "hamming74_decode",
+    "secded84_encode",
+    "secded84_decode",
     "repetition_encode",
     "repetition_decode",
     "block_repetition_encode",
@@ -56,13 +58,14 @@ def hamming74_encode(bits: Sequence[int]) -> List[int]:
     return encoded
 
 
-def hamming74_decode(bits: Sequence[int]) -> tuple:
+def hamming74_decode(bits: Sequence[int]) -> Tuple[List[int], int]:
     """Decode Hamming(7,4), correcting single-bit errors per codeword.
 
     Returns:
         ``(data_bits, corrections)`` — the decoded bits and how many
-        codewords needed a correction.  Double-bit errors miscorrect, as
-        Hamming(7,4) inherently does.
+        codewords needed a correction.  Double-bit errors *miscorrect*,
+        as Hamming(7,4) inherently does; use :func:`secded84_decode`
+        when double errors must be detected instead of silently mangled.
     """
     _check_bits(bits)
     if len(bits) % 7 != 0:
@@ -84,6 +87,73 @@ def hamming74_decode(bits: Sequence[int]) -> tuple:
             corrections += 1
         data.extend(word[position] for position in _DATA_POSITIONS)
     return data, corrections
+
+
+def secded84_encode(bits: Sequence[int]) -> List[int]:
+    """Encode data bits into extended-parity Hamming(8,4) codewords.
+
+    Each Hamming(7,4) codeword gains an eighth bit — even parity over the
+    whole word — lifting the code to SECDED: single errors are corrected,
+    double errors are *detected* (and reported as erasures by
+    :func:`secded84_decode`) instead of miscorrected.
+    """
+    encoded: List[int] = []
+    inner = hamming74_encode(bits)
+    for start in range(0, len(inner), 7):
+        word = inner[start : start + 7]
+        parity = 0
+        for bit in word:
+            parity ^= bit
+        encoded.extend(word)
+        encoded.append(parity)
+    return encoded
+
+
+def secded84_decode(bits: Sequence[int]) -> Tuple[List[int], int, List[int]]:
+    """Decode Hamming(8,4) SECDED codewords.
+
+    Returns:
+        ``(data_bits, corrections, erasures)`` — the decoded bits, the
+        number of codewords that needed a single-error correction, and
+        the indices of codewords whose corruption was *detected but not
+        correctable* (double errors).  Erased words contribute their raw
+        data-position bits to ``data_bits`` — best-effort content the
+        caller should treat as unreliable (e.g. hand to an outer code or
+        trigger retransmission); nothing is silently miscorrected.
+    """
+    _check_bits(bits)
+    if len(bits) % 8 != 0:
+        raise ValueError(f"SECDED(8,4) codewords are 8 bits, got {len(bits)}")
+    data: List[int] = []
+    corrections = 0
+    erasures: List[int] = []
+    for word_index, start in enumerate(range(0, len(bits), 8)):
+        word = [0] + list(bits[start : start + 8])  # 1-indexed; word[8] = parity
+        syndrome = 0
+        for parity in _PARITY_POSITIONS:
+            value = 0
+            for position in range(1, 8):
+                if position & parity:
+                    value ^= word[position]
+            if value:
+                syndrome += parity
+        overall = 0
+        for position in range(1, 9):
+            overall ^= word[position]
+        if syndrome and overall:
+            # Single error among bits 1..7: correctable.
+            word[syndrome] ^= 1
+            corrections += 1
+        elif syndrome and not overall:
+            # Even number of flips with a nonzero syndrome: a double
+            # error.  Correcting would mangle a third bit — report the
+            # word as an erasure instead.
+            erasures.append(word_index)
+        elif not syndrome and overall:
+            # The extended parity bit itself flipped; data is intact.
+            corrections += 1
+        data.extend(word[position] for position in _DATA_POSITIONS)
+    return data, corrections, erasures
 
 
 def repetition_encode(bits: Sequence[int], factor: int = 3) -> List[int]:

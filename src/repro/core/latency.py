@@ -20,7 +20,12 @@ from ..sgx.timing import TimerMechanism, measured_access
 from ..sim.ops import Access, Flush, Operation, OpResult
 from ..units import PAGE_SIZE
 
-__all__ = ["ThresholdClassifier", "LatencyCalibration", "calibrate_classifier"]
+__all__ = [
+    "ThresholdClassifier",
+    "SoftBit",
+    "LatencyCalibration",
+    "calibrate_classifier",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,36 @@ class ThresholdClassifier:
     def decode_bit(self, measured: float) -> int:
         """Bit value: trojan eviction (miss) encodes '1'."""
         return 1 if self.is_miss(measured) else 0
+
+    def confidence(self, measured: float) -> float:
+        """Soft-decision confidence in [0, 1] for one probe.
+
+        The hard decision only keeps the *sign* of the latency margin;
+        the margin's magnitude is the demodulator's best evidence of
+        reliability.  A probe landing on the calibrated hit (~480 cycles)
+        or miss (~750 cycles) estimate scores 1.0; one landing exactly on
+        the threshold — where an interrupt slip or a partially-completed
+        eviction parks it — scores 0.0.  Erasure-aware decoders
+        (:mod:`repro.coding`) treat low-confidence bits as erasures,
+        which cost a Reed-Solomon codeword half the budget of an
+        unlocated error.
+        """
+        half_gap = (self.miss_estimate - self.hit_estimate) / 2.0
+        if half_gap <= 0:
+            return 1.0
+        return min(abs(measured - self.threshold) / half_gap, 1.0)
+
+    def soft_decode(self, measured: float) -> "SoftBit":
+        """Hard bit plus its confidence, as one record."""
+        return SoftBit(bit=self.decode_bit(measured), confidence=self.confidence(measured))
+
+
+@dataclass(frozen=True)
+class SoftBit:
+    """One demodulated bit with its soft-decision confidence."""
+
+    bit: int
+    confidence: float
 
 
 @dataclass(frozen=True)

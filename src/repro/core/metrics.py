@@ -141,6 +141,14 @@ class RobustnessMetrics:
     #: (math.nan when no failure ever happened)
     time_to_recover_cycles: float
     clock_hz: float
+    #: frames whose *first* transmission was corrupted but delivered anyway
+    #: because the FEC repaired it before the CRC check — coding's wins
+    fec_corrected_frames: int = 0
+    #: frames delivered only by retransmission (CRC-triggered selective
+    #: repeat) — the errors FEC could not absorb; separating this from
+    #: ``fec_corrected_frames`` is what lets the coding-sweep curves
+    #: attribute reliability to the code versus the ARQ loop
+    arq_recovered_frames: int = 0
 
     @property
     def delivered(self) -> bool:
@@ -178,4 +186,6 @@ class RobustnessMetrics:
             "goodput_kbps": self.goodput_kbps,
             "frame_error_rate": self.frame_error_rate,
             "delivered": self.delivered,
+            "fec_corrected_frames": self.fec_corrected_frames,
+            "arq_recovered_frames": self.arq_recovered_frames,
         }

@@ -25,21 +25,33 @@ top:
 Feedback assumption: the trojan learns per-frame delivery outcomes.  The
 paper's scenario ships exfiltrated data onward through the spy, which
 gives the pair an out-of-band acknowledgement path at frame granularity
-(not per-bit); the controller only consumes that one bit per frame, and
-both endpoints derive identical window schedules from it.
+(not per-bit); the window controller only consumes that one bit per
+frame, and both endpoints derive identical window schedules from it.
+With adaptive coding the acknowledgement additionally carries the spy's
+channel-quality digest (smoothed symbol-error and erasure rates from FEC
+telemetry — a few bits per frame on the same out-of-band path), from
+which both endpoints compute the same code-rate schedule.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from ..errors import ChannelError
-from .adaptive import AdaptiveWindowConfig, AdaptiveWindowController
+from .adaptive import (
+    AdaptiveCodeRateConfig,
+    AdaptiveCodeRateController,
+    AdaptiveWindowConfig,
+    AdaptiveWindowController,
+)
 from .channel import CovertChannel
 from .metrics import RobustnessMetrics
 from .protocol import SEQ_MODULUS, FrameCodec
+
+if TYPE_CHECKING:  # repro.coding imports repro.core.ecc; resolve lazily
+    from ..coding.stack import CodingProfile, CodingStack
 
 __all__ = [
     "SelfHealingConfig",
@@ -68,6 +80,22 @@ class SelfHealingConfig:
     #: set to pin a fixed window instead of adapting (the ablation the
     #: fault sweep compares against)
     fixed_window_cycles: Optional[int] = None
+    #: FEC applied inside each frame attempt — a profile name from
+    #: :data:`repro.coding.PROFILES`, a
+    #: :class:`~repro.coding.CodingProfile`, or None for the uncoded
+    #: legacy path.  With coding, delivery is *hybrid ARQ*: the FEC
+    #: absorbs what it can first, and the CRC-triggered retransmission
+    #: loop only pays for residually corrupt frames.
+    coding: Optional[Union[str, "CodingProfile"]] = None
+    #: auto-select the code rate per frame by walking ``coding_ladder``
+    #: with an :class:`~repro.core.adaptive.AdaptiveCodeRateController`
+    #: fed by FEC-load telemetry (overrides ``coding``)
+    adaptive_coding: bool = False
+    #: ladder for adaptive coding, lightest rung first (names or
+    #: profiles); None → :data:`repro.coding.DEFAULT_LADDER`
+    coding_ladder: Optional[tuple] = None
+    #: code-rate controller knobs
+    adaptive_code_rate: AdaptiveCodeRateConfig = AdaptiveCodeRateConfig()
 
     def __post_init__(self) -> None:
         if self.frame_payload_bytes < 1:
@@ -76,6 +104,10 @@ class SelfHealingConfig:
             raise ChannelError("need at least one attempt per frame")
         if self.guard_windows < 0 or self.deadline_slack_windows < 1:
             raise ChannelError("guard/deadline windows out of range")
+        if self.adaptive_coding and self.coding is not None:
+            raise ChannelError(
+                "adaptive_coding selects its own profile; leave coding=None"
+            )
 
 
 @dataclass(frozen=True)
@@ -91,6 +123,14 @@ class FrameAttempt:
     truncated_bits: int  # spy probes cut off by the deadline
     start_cycle: float
     end_cycle: float
+    #: coding profile this attempt used ("raw" = uncoded legacy path)
+    profile: str = "raw"
+    #: symbols/words the FEC repaired before the CRC check
+    fec_corrected: int = 0
+    #: soft-decision erasure flags the decoder consumed
+    fec_erasures: int = 0
+    #: False when some block exceeded its correction budget
+    fec_ok: bool = True
 
 
 @dataclass
@@ -103,6 +143,11 @@ class SelfHealingResult:
     metrics: RobustnessMetrics
     #: (window, delivered) history of the controller (empty when fixed)
     window_history: List[tuple] = field(default_factory=list)
+    #: (profile, delivered, fec_load) per attempt (empty when uncoded)
+    coding_history: List[tuple] = field(default_factory=list)
+    #: (symbol_error_rate, erasure_rate, frame_failure_rate) after each
+    #: attempt, from the channel-quality estimator (empty when uncoded)
+    quality_history: List[tuple] = field(default_factory=list)
 
     @property
     def delivered(self) -> bool:
@@ -131,23 +176,78 @@ class SelfHealingChannel:
             sequence_numbers=True,
             max_payload_bytes=self.config.frame_payload_bytes,
         )
+        self._fixed_stack: Optional["CodingStack"] = None
+        self.rate_controller: Optional[AdaptiveCodeRateController] = None
+        if self.config.adaptive_coding:
+            from ..coding.stack import DEFAULT_LADDER, CodingStack
+
+            ladder = (
+                self.config.coding_ladder
+                if self.config.coding_ladder is not None
+                else DEFAULT_LADDER
+            )
+            self.rate_controller = AdaptiveCodeRateController(
+                [CodingStack(self._resolve(entry)) for entry in ladder],
+                self.config.adaptive_code_rate,
+            )
+        elif self.config.coding is not None:
+            from ..coding.stack import CodingStack
+
+            self._fixed_stack = CodingStack(self._resolve(self.config.coding))
+
+    @staticmethod
+    def _resolve(profile: Union[str, "CodingProfile"]) -> "CodingProfile":
+        from ..coding.stack import profile_by_name
+
+        return profile_by_name(profile) if isinstance(profile, str) else profile
+
+    @property
+    def uses_coding(self) -> bool:
+        """True when frames pass through a reliability stack."""
+        return self._fixed_stack is not None or self.rate_controller is not None
 
     def _chunks(self, payload: bytes) -> List[bytes]:
         size = self.config.frame_payload_bytes
         return [payload[i : i + size] for i in range(0, len(payload), size)]
 
+    def _fec_denominator(self, stack, wire_bits: int, frame_bits: int) -> int:
+        """Units the estimator normalizes by: RS symbols / SECDED words
+        (both 8 wire bits), repetition vote groups, or raw bits."""
+        scheme = stack.profile.scheme if stack is not None else "raw"
+        if scheme in ("rs", "secded"):
+            return max(wire_bits // 8, 1)
+        if scheme == "repetition":
+            return frame_bits
+        return wire_bits
+
     def send(self, payload: bytes) -> SelfHealingResult:
         """Deliver ``payload``; returns the recovered bytes + degradation
         metrics.  Missing frames (attempts exhausted) are dropped from the
-        recovered message rather than aborting the rest."""
+        recovered message rather than aborting the rest.
+
+        With a coding profile configured, delivery is *hybrid ARQ*: each
+        attempt's frame bits pass through the FEC stack — the channel's
+        soft-decision confidences feeding erasure flagging — before the
+        frame CRC arbitrates, so the retransmission loop only pays for
+        corruption the code could not absorb.
+        """
         config = self.config
         machine = self.channel.machine
         controller = AdaptiveWindowController(config.adaptive)
+        estimator = None
+        rung_estimators: Dict[str, object] = {}
+        if self.uses_coding:
+            from ..coding.estimator import ChannelQualityEstimator
+
+            estimator = ChannelQualityEstimator()
         attempts: List[FrameAttempt] = []
         recovered_chunks: List[Optional[bytes]] = []
         recover_samples: List[float] = []
+        coding_history: List[Tuple[str, bool, float]] = []
         pending_failure_at: Optional[float] = None
         resyncs = 0
+        fec_corrected_frames = 0
+        arq_recovered_frames = 0
         started = machine.now
 
         for index, chunk in enumerate(self._chunks(payload)):
@@ -160,22 +260,49 @@ class SelfHealingChannel:
                     if config.fixed_window_cycles is not None
                     else controller.window_cycles
                 )
-                stream = [0] * config.guard_windows + frame_bits
+                stack = (
+                    self.rate_controller.current
+                    if self.rate_controller is not None
+                    else self._fixed_stack
+                )
+                coded = stack is not None and stack.profile.scheme != "raw"
+                wire = stack.encode(frame_bits) if coded else frame_bits
+                stream = [0] * config.guard_windows + wire
                 start_cycle = machine.now
                 result = self.channel.transmit(
                     stream,
                     window_cycles=window,
                     deadline_slack_windows=config.deadline_slack_windows,
                 )
-                frames = self.codec.decode_stream(result.received)
+                fec_corrected = fec_erasures = 0
+                fec_ok = True
+                if coded:
+                    body = result.received[config.guard_windows :]
+                    confidences = (
+                        result.confidences[config.guard_windows :]
+                        if result.confidences
+                        else None
+                    )
+                    decoded = stack.decode(
+                        body, data_bits=len(frame_bits), confidences=confidences
+                    )
+                    fec_corrected = decoded.corrected
+                    fec_erasures = decoded.erasures_used
+                    fec_ok = decoded.ok
+                    frames = self.codec.decode_stream(decoded.bits)
+                    expected_start = 0
+                else:
+                    frames = self.codec.decode_stream(result.received)
+                    expected_start = config.guard_windows
                 match = next(
                     (f for f in frames if f.crc_ok and f.seq == seq), None
                 )
                 delivered = match is not None
-                resynced = delivered and match.start_index != config.guard_windows
+                resynced = delivered and match.start_index != expected_start
                 if resynced:
                     resyncs += 1
                 end_cycle = machine.now
+                profile_name = stack.profile.name if stack is not None else "raw"
                 attempts.append(
                     FrameAttempt(
                         seq=seq,
@@ -187,10 +314,82 @@ class SelfHealingChannel:
                         truncated_bits=result.truncated,
                         start_cycle=start_cycle,
                         end_cycle=end_cycle,
+                        profile=profile_name,
+                        fec_corrected=fec_corrected,
+                        fec_erasures=fec_erasures,
+                        fec_ok=fec_ok,
                     )
                 )
                 if config.fixed_window_cycles is None:
                     controller.record_frame(delivered)
+                if estimator is not None:
+                    from ..coding.estimator import ChannelQualityEstimator
+
+                    denominator = self._fec_denominator(
+                        stack, len(wire), len(frame_bits)
+                    )
+                    estimator.observe_frame(
+                        symbols=denominator,
+                        corrected=fec_corrected,
+                        erasures=fec_erasures,
+                        delivered=delivered,
+                    )
+                    # The load estimate normalizes damage against *this
+                    # code's* correction budget, so each rung keeps its own
+                    # estimator: saturated failure samples from a lighter
+                    # code are not evidence about a heavier one, and
+                    # carrying them over makes the controller overshoot
+                    # the ladder and then refuse to come back down.
+                    rung = rung_estimators.setdefault(
+                        profile_name, ChannelQualityEstimator()
+                    )
+                    rung.observe_frame(
+                        symbols=denominator,
+                        corrected=fec_corrected,
+                        erasures=fec_erasures,
+                        delivered=delivered,
+                    )
+                    capacity = (
+                        stack.correction_capacity(len(frame_bits))
+                        if stack is not None
+                        else 0
+                    )
+                    if capacity > 0:
+                        load = min(
+                            rung.symbol_error_rate * denominator / capacity,
+                            1.0,
+                        )
+                    else:
+                        # Uncoded rung: no correction budget to measure
+                        # against; failures are the only stress signal.
+                        load = rung.frame_failure_rate
+                    coding_history.append((profile_name, delivered, load))
+                    if self.rate_controller is not None:
+                        # Rank every rung from the shared channel-quality
+                        # estimate: predicted delivery probability per wire
+                        # window (guard included).  The controller jumps to
+                        # the most efficient rung instead of streak-walking,
+                        # so it never dwells on rungs the telemetry already
+                        # rules out.
+                        q = estimator.symbol_error_rate
+                        e = estimator.erasure_rate
+                        scores = [
+                            (
+                                1.0
+                                - rung_stack.predicted_frame_failure(
+                                    len(frame_bits), q, e
+                                )
+                            )
+                            * len(frame_bits)
+                            / (
+                                rung_stack.encoded_length(len(frame_bits))
+                                + config.guard_windows
+                            )
+                            for rung_stack in self.rate_controller.ladder
+                        ]
+                        self.rate_controller.record_frame(
+                            delivered, load, scores
+                        )
                 if delivered:
                     if pending_failure_at is not None:
                         recover_samples.append(end_cycle - pending_failure_at)
@@ -200,6 +399,12 @@ class SelfHealingChannel:
                 if pending_failure_at is None:
                     pending_failure_at = start_cycle
             recovered_chunks.append(delivered_chunk)
+            if delivered_chunk is not None:
+                final = attempts[-1]
+                if final.attempt > 1:
+                    arq_recovered_frames += 1
+                elif final.fec_corrected > 0:
+                    fec_corrected_frames += 1
 
         delivered_frames = sum(1 for chunk in recovered_chunks if chunk is not None)
         recovered = b"".join(chunk for chunk in recovered_chunks if chunk is not None)
@@ -217,6 +422,8 @@ class SelfHealingChannel:
                 else math.nan
             ),
             clock_hz=machine.config.clock_hz,
+            fec_corrected_frames=fec_corrected_frames,
+            arq_recovered_frames=arq_recovered_frames,
         )
         return SelfHealingResult(
             payload=payload,
@@ -224,4 +431,6 @@ class SelfHealingChannel:
             attempts=attempts,
             metrics=metrics,
             window_history=list(controller.history),
+            coding_history=coding_history,
+            quality_history=list(estimator.history) if estimator is not None else [],
         )

@@ -82,6 +82,13 @@ class ChannelError(ReproError):
     """Covert-channel setup failed (no eviction set, no monitor address...)."""
 
 
+class CodingError(ChannelError):
+    """A reliability-stack codec was misused (invalid geometry, wrong
+    block length) or a decode exceeded the code's correction capacity —
+    a :class:`ChannelError` because coding failures surface to callers as
+    channel-delivery failures."""
+
+
 class FaultError(ReproError):
     """A fault plan is malformed or a fault could not be injected (unknown
     fault kind, core out of range, overlapping modifier on one core...)."""

@@ -12,6 +12,7 @@ returns a structured result with a ``render()``-able text form.  The
 from . import (
     ablations,
     algorithm1,
+    coding_sweep,
     defenses,
     fault_sweep,
     figure2,
@@ -37,6 +38,7 @@ __all__ = [
     "algorithm1",
     "build_machine",
     "build_ready_channel",
+    "coding_sweep",
     "defenses",
     "derive_seeds",
     "fault_sweep",

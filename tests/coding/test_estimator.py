@@ -1,0 +1,89 @@
+"""Tests for the channel-quality estimator feeding code-rate control."""
+
+import pytest
+
+from repro.coding.estimator import ChannelQualityEstimator
+from repro.errors import CodingError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha", [0.0, -0.5, 1.5])
+    def test_bad_alpha_rejected(self, alpha):
+        with pytest.raises(CodingError):
+            ChannelQualityEstimator(alpha=alpha)
+
+    def test_bad_frame_shapes_rejected(self):
+        estimator = ChannelQualityEstimator()
+        with pytest.raises(CodingError):
+            estimator.observe_frame(symbols=0, corrected=0, erasures=0, delivered=True)
+        with pytest.raises(CodingError):
+            estimator.observe_frame(symbols=8, corrected=-1, erasures=0, delivered=True)
+
+
+class TestSmoothing:
+    def test_first_sample_taken_verbatim(self):
+        estimator = ChannelQualityEstimator(alpha=0.25)
+        estimator.observe_frame(symbols=20, corrected=5, erasures=2, delivered=True)
+        assert estimator.symbol_error_rate == pytest.approx(0.25)
+        assert estimator.erasure_rate == pytest.approx(0.1)
+        assert estimator.frame_failure_rate == 0.0
+
+    def test_ewma_converges_toward_steady_state(self):
+        estimator = ChannelQualityEstimator(alpha=0.25)
+        for _ in range(60):
+            estimator.observe_frame(symbols=10, corrected=1, erasures=0, delivered=True)
+        assert estimator.symbol_error_rate == pytest.approx(0.1, abs=1e-6)
+
+    def test_history_and_determinism(self):
+        def replay():
+            estimator = ChannelQualityEstimator()
+            for index in range(12):
+                estimator.observe_frame(
+                    symbols=16,
+                    corrected=index % 3,
+                    erasures=index % 2,
+                    delivered=index % 4 != 0,
+                )
+            return estimator.history
+
+        first, second = replay(), replay()
+        assert first == second
+        assert len(first) == 12
+
+
+class TestFailureSaturation:
+    def test_isolated_failure_saturates_modestly(self):
+        # One failure with no track record pins the sample just past the
+        # storm cutoff, not at catastrophe.
+        estimator = ChannelQualityEstimator()
+        estimator.observe_frame(symbols=30, corrected=0, erasures=0, delivered=False)
+        assert estimator.symbol_error_rate == pytest.approx(0.24)
+
+    def test_persistent_failures_raise_the_floor(self):
+        estimator = ChannelQualityEstimator()
+        for _ in range(30):
+            estimator.observe_frame(symbols=30, corrected=0, erasures=0, delivered=False)
+        # With the failure rate pinned near 1.0, samples saturate around
+        # 0.24 + 0.5 * (1 - 0.6) = 0.44 — storm territory the plain
+        # clamp could never reach.
+        assert estimator.symbol_error_rate > 0.38
+        assert estimator.frame_failure_rate > 0.95
+
+    def test_failure_never_underreports_observed_corrections(self):
+        estimator = ChannelQualityEstimator()
+        estimator.observe_frame(symbols=10, corrected=8, erasures=0, delivered=False)
+        assert estimator.symbol_error_rate == pytest.approx(0.8)
+
+
+class TestRegime:
+    def test_quiet_to_storm_transitions(self):
+        estimator = ChannelQualityEstimator()
+        assert estimator.regime == "quiet"
+        estimator.observe_frame(symbols=32, corrected=2, erasures=0, delivered=True)
+        assert estimator.regime == "moderate"
+        for _ in range(10):
+            estimator.observe_frame(symbols=32, corrected=10, erasures=4, delivered=True)
+        assert estimator.regime == "storm"
+        for _ in range(40):
+            estimator.observe_frame(symbols=32, corrected=0, erasures=0, delivered=True)
+        assert estimator.regime == "quiet"

@@ -1,0 +1,94 @@
+"""Property tests for the GF(2^8) arithmetic under the RS codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.gf256 import (
+    gf_add,
+    gf_div,
+    gf_inverse,
+    gf_mul,
+    gf_pow,
+    poly_add,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+)
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+polys = st.lists(elements, min_size=1, max_size=12)
+
+
+class TestFieldLaws:
+    @given(elements, elements)
+    @settings(max_examples=100)
+    def test_addition_is_xor_and_self_inverse(self, a, b):
+        assert gf_add(a, b) == a ^ b
+        assert gf_add(gf_add(a, b), b) == a
+
+    @given(elements, elements)
+    @settings(max_examples=100)
+    def test_multiplication_commutes(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    @settings(max_examples=100)
+    def test_multiplication_associates(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    @settings(max_examples=100)
+    def test_distributivity(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(elements)
+    @settings(max_examples=50)
+    def test_multiplicative_identity_and_zero(self, a):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    @settings(max_examples=100)
+    def test_inverse_multiplies_to_one(self, a):
+        assert gf_mul(a, gf_inverse(a)) == 1
+
+    @given(elements, nonzero)
+    @settings(max_examples=100)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    @given(nonzero, st.integers(0, 20))
+    @settings(max_examples=50)
+    def test_pow_matches_repeated_multiplication(self, a, power):
+        expected = 1
+        for _ in range(power):
+            expected = gf_mul(expected, a)
+        assert gf_pow(a, power) == expected
+
+    def test_zero_division_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf_inverse(0)
+
+
+
+class TestPolynomials:
+    @given(polys, polys, elements)
+    @settings(max_examples=100)
+    def test_poly_mul_evaluates_pointwise(self, p, q, x):
+        assert poly_eval(poly_mul(p, q), x) == gf_mul(poly_eval(p, x), poly_eval(q, x))
+
+    @given(polys, polys, elements)
+    @settings(max_examples=100)
+    def test_poly_add_evaluates_pointwise(self, p, q, x):
+        assert poly_eval(poly_add(p, q), x) == gf_add(poly_eval(p, x), poly_eval(q, x))
+
+    @given(polys, elements, elements)
+    @settings(max_examples=50)
+    def test_poly_scale_evaluates_pointwise(self, p, factor, x):
+        assert poly_eval(poly_scale(p, factor), x) == gf_mul(
+            factor, poly_eval(p, x)
+        )

@@ -1,0 +1,72 @@
+"""Property tests for the block interleaver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.interleave import deinterleave, interleave
+from repro.errors import CodingError
+
+
+def _shapes():
+    # (depth, rows * depth items) — interleaving needs a full matrix.
+    return st.integers(1, 6).flatmap(
+        lambda depth: st.integers(1, 12).map(lambda rows: (depth, depth * rows))
+    )
+
+
+class TestRoundTrip:
+    @given(_shapes(), st.data())
+    @settings(max_examples=100)
+    def test_roundtrip_identity(self, shape, drawer):
+        depth, size = shape
+        items = drawer.draw(
+            st.lists(st.integers(0, 255), min_size=size, max_size=size)
+        )
+        assert deinterleave(interleave(items, depth), depth) == items
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_depth_one_is_identity(self, items):
+        assert interleave(items, 1) == items
+        assert deinterleave(items, 1) == items
+
+    @given(_shapes(), st.data())
+    @settings(max_examples=50)
+    def test_interleaving_is_a_permutation(self, shape, drawer):
+        depth, size = shape
+        items = drawer.draw(
+            st.lists(st.integers(0, 255), min_size=size, max_size=size)
+        )
+        assert sorted(interleave(items, depth)) == sorted(items)
+
+
+class TestBurstDispersal:
+    @given(_shapes(), st.data())
+    @settings(max_examples=100)
+    def test_wire_burst_spreads_across_rows(self, shape, drawer):
+        # The property the interleaver exists for: a contiguous wire burst
+        # of length b lands on at most ceil(b / depth) symbols of any one
+        # codeword row.
+        depth, size = shape
+        burst_len = drawer.draw(st.integers(1, size))
+        burst_start = drawer.draw(st.integers(0, size - burst_len))
+        # Tag every position by its pre-interleave row, then burst the wire.
+        rows_on_wire = interleave(
+            [index // (size // depth) for index in range(size)], depth
+        )
+        hit = rows_on_wire[burst_start : burst_start + burst_len]
+        worst = max(hit.count(row) for row in set(hit))
+        assert worst <= -(-burst_len // depth)
+
+
+class TestValidation:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(CodingError):
+            interleave([1, 2], 0)
+
+    def test_ragged_length_rejected(self):
+        with pytest.raises(CodingError):
+            interleave([1, 2, 3], 2)
+        with pytest.raises(CodingError):
+            deinterleave([1, 2, 3], 2)

@@ -1,0 +1,170 @@
+"""Property tests for the Reed-Solomon codec: round-trips under bounded
+corruption, erasure credit, and honest failure reporting beyond capacity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.rs import MAX_CODEWORD_SYMBOLS, ReedSolomon
+from repro.errors import CodingError
+
+messages = st.lists(st.integers(0, 255), min_size=1, max_size=40)
+
+
+def _corrupt(codeword, positions, drawer):
+    corrupted = list(codeword)
+    for position in positions:
+        flip = drawer.draw(st.integers(1, 255))
+        corrupted[position] ^= flip
+    return corrupted
+
+
+class TestRoundTrip:
+    @given(messages, st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=50)
+    def test_clean_roundtrip(self, data, nsym):
+        codec = ReedSolomon(nsym)
+        decoded, corrected = codec.decode(codec.encode(data))
+        assert decoded == data
+        assert corrected == []
+
+    @given(messages, st.sampled_from([4, 8, 16]), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_up_to_t_random_errors_corrected(self, data, nsym, drawer):
+        codec = ReedSolomon(nsym)
+        encoded = codec.encode(data)
+        count = drawer.draw(st.integers(0, nsym // 2))
+        positions = drawer.draw(
+            st.lists(
+                st.integers(0, len(encoded) - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        decoded, corrected = codec.decode(_corrupt(encoded, positions, drawer))
+        assert decoded == data
+        assert sorted(corrected) == sorted(positions)
+
+    @given(messages, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_contiguous_burst_within_budget_corrected(self, data, drawer):
+        codec = ReedSolomon(8)
+        encoded = codec.encode(data)
+        length = drawer.draw(st.integers(1, min(4, len(encoded))))
+        start = drawer.draw(st.integers(0, len(encoded) - length))
+        corrupted = _corrupt(encoded, range(start, start + length), drawer)
+        decoded, _ = codec.decode(corrupted)
+        assert decoded == data
+
+    @given(messages, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_erasures_cost_half_an_error(self, data, drawer):
+        # 2e + f <= nsym: all-erasure corruption up to nsym symbols decodes.
+        codec = ReedSolomon(8)
+        encoded = codec.encode(data)
+        count = drawer.draw(st.integers(0, min(8, len(encoded))))
+        positions = drawer.draw(
+            st.lists(
+                st.integers(0, len(encoded) - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        corrupted = _corrupt(encoded, positions, drawer)
+        decoded, _ = codec.decode(corrupted, erase_pos=positions)
+        assert decoded == data
+
+    @given(messages, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_mixed_errors_and_erasures(self, data, drawer):
+        # 2 unlocated errors + 4 erasures fit the nsym=8 budget exactly.
+        codec = ReedSolomon(8)
+        encoded = codec.encode(data)
+        if len(encoded) < 6:
+            return
+        spots = drawer.draw(
+            st.lists(
+                st.integers(0, len(encoded) - 1),
+                min_size=6,
+                max_size=6,
+                unique=True,
+            )
+        )
+        corrupted = _corrupt(encoded, spots, drawer)
+        decoded, _ = codec.decode(corrupted, erase_pos=spots[:4])
+        assert decoded == data
+
+
+class TestBeyondCapacity:
+    @given(messages, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_never_silently_wrong(self, data, drawer):
+        # Past the budget the decoder may fail loudly (CodingError) or —
+        # within the code's minimum distance this cannot happen silently —
+        # return repaired data while *reporting* the positions it touched.
+        # What it must never do is hand back wrong data while claiming the
+        # word was clean.
+        codec = ReedSolomon(8)
+        encoded = codec.encode(data)
+        count = drawer.draw(st.integers(5, min(8, len(encoded))))
+        positions = drawer.draw(
+            st.lists(
+                st.integers(0, len(encoded) - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        corrupted = _corrupt(encoded, positions, drawer)
+        try:
+            decoded, corrected = codec.decode(corrupted)
+        except CodingError:
+            return
+        if decoded != data:
+            assert corrected, "wrong data returned with no correction reported"
+
+    def test_unfixable_word_raises(self):
+        codec = ReedSolomon(4)
+        encoded = codec.encode([17, 34, 51, 68, 85])
+        corrupted = list(encoded)
+        for position in range(4):  # 4 errors >> budget of 2
+            corrupted[position] ^= 0xA5
+        with pytest.raises(CodingError):
+            codec.decode(corrupted)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("nsym", [0, 1, 3, MAX_CODEWORD_SYMBOLS])
+    def test_bad_nsym_rejected(self, nsym):
+        with pytest.raises(CodingError):
+            ReedSolomon(nsym)
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomon(4).encode([])
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomon(4).encode([0] * MAX_CODEWORD_SYMBOLS)
+
+    def test_non_byte_symbols_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomon(4).encode([256])
+
+    def test_parity_only_word_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomon(4).decode([1, 2, 3, 4])
+
+    def test_out_of_range_erasures_rejected(self):
+        codec = ReedSolomon(4)
+        word = codec.encode([5, 6])
+        with pytest.raises(CodingError):
+            codec.decode(word, erase_pos=[len(word)])
+
+    def test_too_many_erasures_rejected(self):
+        codec = ReedSolomon(4)
+        word = codec.encode([5, 6, 7])
+        with pytest.raises(CodingError):
+            codec.decode(word, erase_pos=[0, 1, 2, 3, 4])

@@ -1,0 +1,196 @@
+"""Tests for the pluggable coding stacks: geometry, round-trips under
+errors/bursts/erasures, honest failure flagging, and the rate model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.rs import ReedSolomon
+from repro.coding.stack import (
+    DEFAULT_LADDER,
+    PROFILES,
+    CodingProfile,
+    CodingStack,
+    profile_by_name,
+)
+from repro.errors import CodingError
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=160)
+profile_names = st.sampled_from(sorted(PROFILES))
+
+
+class TestRegistry:
+    def test_profiles_cover_every_scheme(self):
+        schemes = {profile.scheme for profile in PROFILES.values()}
+        assert schemes == {"raw", "repetition", "secded", "rs"}
+
+    def test_ladder_orders_lightest_first(self):
+        stacks = [CodingStack(profile) for profile in DEFAULT_LADDER]
+        expansions = [stack.encoded_length(120) / 120 for stack in stacks]
+        assert expansions == sorted(expansions)
+        assert DEFAULT_LADDER[0].scheme == "raw"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(CodingError):
+            profile_by_name("rs_imaginary")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="x", scheme="turbo"),
+            dict(name="x", scheme="repetition", repetition_factor=2),
+            dict(name="x", scheme="rs", rs_parity_symbols=3),
+            dict(name="x", scheme="rs", interleave_depth=0),
+            dict(name="x", scheme="rs", erasure_confidence=1.5),
+        ],
+    )
+    def test_bad_profiles_rejected(self, kwargs):
+        with pytest.raises(CodingError):
+            CodingProfile(**kwargs)
+
+
+class TestGeometry:
+    @given(bit_lists, profile_names)
+    @settings(max_examples=100, deadline=None)
+    def test_encode_matches_declared_length(self, bits, name):
+        stack = CodingStack(PROFILES[name])
+        assert len(stack.encode(bits)) == stack.encoded_length(len(bits))
+
+    def test_capacity_zero_only_for_raw(self):
+        for profile in PROFILES.values():
+            capacity = CodingStack(profile).correction_capacity(120)
+            assert (capacity == 0) == (profile.scheme == "raw")
+
+
+class TestRoundTrip:
+    @given(bit_lists, profile_names)
+    @settings(max_examples=100, deadline=None)
+    def test_clean_roundtrip_every_profile(self, bits, name):
+        stack = CodingStack(PROFILES[name])
+        decoded = stack.decode(stack.encode(bits), data_bits=len(bits))
+        assert decoded.bits == bits
+        assert decoded.ok
+        assert decoded.corrected == 0
+
+    @given(bit_lists, st.sampled_from(["rs", "rs_interleaved", "rs_heavy"]), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_rs_stacks_absorb_scattered_errors(self, bits, name, drawer):
+        # One corrupted symbol per codeword stays within every budget.
+        stack = CodingStack(PROFILES[name])
+        wire = stack.encode(bits)
+        depth = PROFILES[name].interleave_depth
+        flips = drawer.draw(
+            st.lists(
+                st.integers(0, len(wire) - 1),
+                min_size=depth,
+                max_size=depth,
+                unique_by=lambda index: index // 8 % depth,
+            )
+        )
+        corrupted = list(wire)
+        for position in flips:
+            corrupted[position] ^= 1
+        decoded = stack.decode(corrupted, data_bits=len(bits))
+        assert decoded.bits == bits
+        assert decoded.ok
+
+    def test_interleaving_survives_a_burst_the_plain_code_cannot(self):
+        rng = random.Random(99)
+        bits = [rng.getrandbits(1) for _ in range(240)]
+        plain = CodingStack(PROFILES["rs"])
+        interleaved = CodingStack(PROFILES["rs_interleaved"])
+        burst = 48  # 6 symbols: over nsym//2 = 4 for one codeword, fine split in two
+        for stack, should_survive in ((plain, False), (interleaved, True)):
+            wire = stack.encode(bits)
+            corrupted = list(wire)
+            for position in range(8, 8 + burst):
+                corrupted[position] ^= 1
+            decoded = stack.decode(corrupted, data_bits=len(bits))
+            assert (decoded.bits == bits) == should_survive
+            assert decoded.ok == should_survive
+
+    def test_confidence_erasures_stretch_the_budget(self):
+        # 6 corrupted symbols with confidence 0 exceed the blind budget
+        # (nsym//2 = 4) but fit the erasure budget (nsym = 8).
+        rng = random.Random(7)
+        bits = [rng.getrandbits(1) for _ in range(120)]
+        stack = CodingStack(PROFILES["rs"])
+        wire = stack.encode(bits)
+        corrupted = list(wire)
+        confidences = [1.0] * len(wire)
+        for symbol in range(6):
+            for bit in range(8):
+                position = symbol * 8 + bit
+                corrupted[position] ^= rng.getrandbits(1)
+                confidences[position] = 0.0
+        blind = stack.decode(corrupted, data_bits=len(bits))
+        soft = stack.decode(corrupted, data_bits=len(bits), confidences=confidences)
+        assert not blind.ok
+        assert soft.bits == bits
+        assert soft.ok
+        assert soft.erasures_used > 0
+
+    @given(bit_lists, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_overwhelmed_blocks_flagged_never_silent(self, bits, drawer):
+        # Saturate the whole wire with drawn garbage.  A wrong payload
+        # reported as clean (ok, zero corrections) is only legitimate when
+        # the garbage happens to BE a valid codeword of that other payload
+        # — the undetectable case every FEC has, and the reason the frame
+        # CRC sits above the codec.  Anything else must surface through
+        # ok=False or a nonzero correction count.
+        stack = CodingStack(PROFILES["rs"])
+        wire = stack.encode(bits)
+        corrupted = [drawer.draw(st.integers(0, 1)) for _ in wire]
+        decoded = stack.decode(corrupted, data_bits=len(bits))
+        assert len(decoded.bits) == len(bits)
+        if decoded.bits != bits and decoded.ok and decoded.corrected == 0:
+            symbols = [
+                int("".join(map(str, corrupted[start : start + 8])), 2)
+                for start in range(0, len(corrupted), 8)
+            ]
+            _, corrections = ReedSolomon(8).decode(symbols)
+            assert corrections == []
+
+    def test_decode_length_mismatch_rejected(self):
+        stack = CodingStack(PROFILES["rs"])
+        wire = stack.encode([1, 0, 1, 1])
+        with pytest.raises(CodingError):
+            stack.decode(wire[:-1], data_bits=4)
+
+
+class TestRateModel:
+    @given(profile_names, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_prediction_is_a_probability(self, name, q, e):
+        stack = CodingStack(PROFILES[name])
+        prediction = stack.predicted_frame_failure(120, q, e)
+        assert 0.0 <= prediction <= 1.0
+
+    @given(profile_names)
+    @settings(max_examples=20, deadline=None)
+    def test_clean_channel_predicts_no_failures(self, name):
+        assert CodingStack(PROFILES[name]).predicted_frame_failure(120, 0.0) == 0.0
+
+    @given(profile_names, st.integers(1, 19))
+    @settings(max_examples=50, deadline=None)
+    def test_prediction_monotone_in_error_rate(self, name, step):
+        stack = CodingStack(PROFILES[name])
+        low = stack.predicted_frame_failure(120, step * 0.025)
+        high = stack.predicted_frame_failure(120, (step + 1) * 0.025)
+        assert high >= low - 1e-12
+
+    def test_stronger_codes_predict_fewer_failures(self):
+        q = 0.08
+        ladder = [CodingStack(profile) for profile in DEFAULT_LADDER]
+        predictions = [stack.predicted_frame_failure(120, q) for stack in ladder]
+        assert predictions[0] == max(predictions)
+        assert predictions[-1] == min(predictions)
+
+    def test_erasure_credit_lowers_rs_prediction(self):
+        stack = CodingStack(PROFILES["rs"])
+        blind = stack.predicted_frame_failure(120, 0.2, 0.0)
+        flagged = stack.predicted_frame_failure(120, 0.2, 0.5)
+        assert flagged < blind

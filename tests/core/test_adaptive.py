@@ -1,8 +1,13 @@
-"""Unit tests for the adaptive timing-window controller."""
+"""Unit tests for the adaptive timing-window and code-rate controllers."""
 
 import pytest
 
-from repro.core import AdaptiveWindowConfig, AdaptiveWindowController
+from repro.core import (
+    AdaptiveCodeRateConfig,
+    AdaptiveCodeRateController,
+    AdaptiveWindowConfig,
+    AdaptiveWindowController,
+)
 from repro.errors import ConfigurationError
 
 
@@ -133,3 +138,155 @@ class TestDeterminism:
         controller2.reset()
         controller2.record_frame(False)
         assert not controller2.backed_off
+
+
+LADDER = ("raw", "secded", "rs", "rs_heavy")
+
+
+class TestCodeRateConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(harden_after=0),
+            dict(relax_after=0),
+            dict(load_low_water=0.8, load_high_water=0.5),
+            dict(load_low_water=-0.1),
+            dict(load_high_water=1.5),
+            dict(switch_margin=-0.1),
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptiveCodeRateConfig(**kwargs)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveCodeRateController([])
+
+
+class TestCodeRateStreaks:
+    def test_starts_on_lightest_rung(self):
+        controller = AdaptiveCodeRateController(LADDER)
+        assert controller.current == "raw"
+        assert not controller.hardened
+
+    def test_failure_streak_hardens_one_rung(self):
+        controller = AdaptiveCodeRateController(
+            LADDER, AdaptiveCodeRateConfig(harden_after=3)
+        )
+        controller.record_frame(False, 0.0)
+        controller.record_frame(False, 0.0)
+        assert controller.current == "raw"  # streak incomplete
+        controller.record_frame(False, 0.0)
+        assert controller.current == "secded"
+        assert controller.hardened
+
+    def test_high_load_counts_as_stress_even_when_delivered(self):
+        controller = AdaptiveCodeRateController(
+            LADDER, AdaptiveCodeRateConfig(harden_after=2, load_high_water=0.75)
+        )
+        controller.record_frame(True, 0.9)
+        controller.record_frame(True, 0.8)
+        assert controller.current == "secded"
+
+    def test_mid_band_load_holds_position_and_breaks_streaks(self):
+        controller = AdaptiveCodeRateController(
+            LADDER, AdaptiveCodeRateConfig(harden_after=2, relax_after=2)
+        )
+        controller.record_frame(False, 0.0)
+        controller.record_frame(True, 0.5)  # mid-band: resets both streaks
+        controller.record_frame(False, 0.0)
+        assert controller.current == "raw"
+
+    def test_comfort_streak_relaxes_one_rung(self):
+        controller = AdaptiveCodeRateController(
+            LADDER, AdaptiveCodeRateConfig(harden_after=1, relax_after=2)
+        )
+        controller.record_frame(False, 0.0)
+        controller.record_frame(False, 0.0)
+        assert controller.current == "rs"
+        controller.record_frame(True, 0.05)
+        controller.record_frame(True, 0.05)
+        assert controller.current == "secded"
+
+    def test_rungs_clamped_at_both_ends(self):
+        controller = AdaptiveCodeRateController(
+            LADDER, AdaptiveCodeRateConfig(harden_after=1, relax_after=1)
+        )
+        for _ in range(10):
+            controller.record_frame(False, 1.0)
+        assert controller.current == "rs_heavy"
+        for _ in range(10):
+            controller.record_frame(True, 0.0)
+        assert controller.current == "raw"
+
+
+class TestCodeRateScores:
+    def test_jumps_straight_to_best_scoring_rung(self):
+        controller = AdaptiveCodeRateController(LADDER)
+        controller.record_frame(True, 0.0, scores=[0.1, 0.2, 0.9, 0.3])
+        assert controller.current == "rs"
+
+    def test_hysteresis_holds_near_ties(self):
+        controller = AdaptiveCodeRateController(
+            LADDER, AdaptiveCodeRateConfig(switch_margin=0.2)
+        )
+        # secded at 0.55 does not beat raw's 0.5 by the 20% margin.
+        controller.record_frame(True, 0.0, scores=[0.5, 0.55, 0.1, 0.1])
+        assert controller.current == "raw"
+        # A decisive lead switches immediately.
+        controller.record_frame(True, 0.0, scores=[0.5, 0.7, 0.1, 0.1])
+        assert controller.current == "secded"
+
+    def test_scores_can_relax_multiple_rungs_at_once(self):
+        controller = AdaptiveCodeRateController(LADDER)
+        controller.record_frame(False, 1.0, scores=[0.1, 0.1, 0.1, 0.9])
+        assert controller.current == "rs_heavy"
+        controller.record_frame(True, 0.0, scores=[0.9, 0.2, 0.2, 0.1])
+        assert controller.current == "raw"
+
+    def test_scores_reset_streaks(self):
+        # Two failures followed by a scores frame must not complete a
+        # 3-failure streak on the next plain failure.
+        controller = AdaptiveCodeRateController(
+            LADDER, AdaptiveCodeRateConfig(harden_after=3)
+        )
+        controller.record_frame(False, 0.0)
+        controller.record_frame(False, 0.0)
+        controller.record_frame(True, 0.0, scores=[0.9, 0.1, 0.1, 0.1])
+        controller.record_frame(False, 0.0)
+        assert controller.current == "raw"
+
+    def test_wrong_score_count_rejected(self):
+        controller = AdaptiveCodeRateController(LADDER)
+        with pytest.raises(ConfigurationError):
+            controller.record_frame(True, 0.0, scores=[0.5, 0.5])
+
+
+class TestCodeRateDeterminism:
+    def test_same_history_same_schedule(self):
+        frames = [(False, 1.0), (True, 0.1), (False, 0.9), (True, 0.0)] * 8
+
+        def schedule():
+            controller = AdaptiveCodeRateController(
+                LADDER, AdaptiveCodeRateConfig(harden_after=2, relax_after=2)
+            )
+            return [controller.record_frame(ok, load) for ok, load in frames]
+
+        assert schedule() == schedule()
+
+    def test_history_records_rung_outcome_and_load(self):
+        controller = AdaptiveCodeRateController(LADDER)
+        controller.record_frame(True, 0.3)
+        controller.record_frame(False, 2.0)  # load clamps into [0, 1]
+        assert controller.history == [(0, True, 0.3), (0, False, 1.0)]
+
+    def test_reset_returns_to_lightest_rung(self):
+        controller = AdaptiveCodeRateController(
+            LADDER, AdaptiveCodeRateConfig(harden_after=1)
+        )
+        controller.record_frame(False, 1.0)
+        assert controller.hardened
+        controller.reset()
+        assert controller.current == "raw"
+        assert controller.history == []

@@ -11,6 +11,8 @@ from repro.core.ecc import (
     hamming74_encode,
     repetition_decode,
     repetition_encode,
+    secded84_decode,
+    secded84_encode,
 )
 
 nibbles = st.lists(st.integers(0, 1), min_size=4, max_size=40).filter(
@@ -55,6 +57,66 @@ class TestHamming74:
     def test_bad_bits_rejected(self):
         with pytest.raises(ValueError):
             hamming74_encode([2, 0, 0, 0])
+
+
+class TestSecded84:
+    def test_rate(self):
+        assert len(secded84_encode([1, 0, 1, 1])) == 8
+
+    @given(nibbles)
+    @settings(max_examples=50)
+    def test_clean_roundtrip(self, data):
+        decoded, corrections, erasures = secded84_decode(secded84_encode(data))
+        assert decoded == data
+        assert corrections == 0
+        assert erasures == []
+
+    @given(nibbles, st.data())
+    @settings(max_examples=100)
+    def test_single_error_per_codeword_corrected(self, data, drawer):
+        encoded = secded84_encode(data)
+        corrupted = list(encoded)
+        for word_start in range(0, len(corrupted), 8):
+            flip = drawer.draw(st.integers(0, 7))
+            corrupted[word_start + flip] ^= 1
+        decoded, corrections, erasures = secded84_decode(corrupted)
+        assert decoded == data
+        assert corrections == len(data) // 4
+        assert erasures == []
+
+    @given(nibbles, st.data())
+    @settings(max_examples=100)
+    def test_double_error_detected_never_miscorrected(self, data, drawer):
+        # The SECDED property Hamming(7,4) lacks: two flips in a word are
+        # flagged as an erasure rather than "corrected" into a third
+        # wrong bit.
+        encoded = secded84_encode(data)
+        corrupted = list(encoded)
+        hit_words = []
+        for word_index, word_start in enumerate(range(0, len(corrupted), 8)):
+            flips = drawer.draw(
+                st.lists(st.integers(0, 7), min_size=2, max_size=2, unique=True)
+            )
+            hit_words.append(word_index)
+            for flip in flips:
+                corrupted[word_start + flip] ^= 1
+        _, _, erasures = secded84_decode(corrupted)
+        assert erasures == hit_words
+
+    def test_parity_bit_flip_leaves_data_intact(self):
+        data = [1, 0, 1, 1]
+        encoded = secded84_encode(data)
+        encoded[7] ^= 1  # the extended parity bit itself
+        decoded, corrections, erasures = secded84_decode(encoded)
+        assert decoded == data
+        assert corrections == 1
+        assert erasures == []
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            secded84_encode([1, 0, 1])
+        with pytest.raises(ValueError):
+            secded84_decode([1] * 7)
 
 
 class TestRepetition:

@@ -64,3 +64,73 @@ class TestQuietDelivery:
         result = SelfHealingChannel(channel, config).send(b"pinned!!")
         assert result.window_history == []
         assert all(a.window_cycles == 15_000 for a in result.attempts)
+
+
+class TestHybridArqCoding:
+    def test_adaptive_and_fixed_coding_mutually_exclusive(self):
+        with pytest.raises(ChannelError):
+            SelfHealingConfig(adaptive_coding=True, coding="rs")
+
+    def test_unknown_coding_profile_rejected(self, ready_channel):
+        _, channel = ready_channel
+        config = SelfHealingConfig(coding="rs_imaginary")
+        with pytest.raises(Exception):
+            SelfHealingChannel(channel, config)
+
+    def test_fixed_profile_annotates_every_attempt(self, ready_channel):
+        _, channel = ready_channel
+        config = SelfHealingConfig(coding="rs_interleaved")
+        result = SelfHealingChannel(channel, config).send(b"coded payload 16")
+        assert result.recovered == b"coded payload 16"
+        assert result.delivered
+        for attempt in result.attempts:
+            assert attempt.profile == "rs_interleaved"
+            assert attempt.fec_corrected >= 0
+            assert attempt.fec_erasures >= 0
+        # Telemetry flows: one coding/quality record per attempt.
+        assert len(result.coding_history) == len(result.attempts)
+        assert len(result.quality_history) == len(result.attempts)
+        for profile, _delivered, load in result.coding_history:
+            assert profile == "rs_interleaved"
+            assert 0.0 <= load <= 1.0
+
+    def test_fec_vs_arq_recovery_split_accounted(self, ready_channel):
+        _, channel = ready_channel
+        config = SelfHealingConfig(coding="rs_interleaved")
+        result = SelfHealingChannel(channel, config).send(b"split accounting!")
+        metrics = result.metrics
+        assert metrics.fec_corrected_frames >= 0
+        assert metrics.arq_recovered_frames >= 0
+        # A frame recovered by FEC on its first attempt is not also an ARQ
+        # recovery, and neither pool can exceed the delivered frames.
+        assert (
+            metrics.fec_corrected_frames + metrics.arq_recovered_frames
+            <= metrics.frames_delivered
+        )
+        # Frames whose winning attempt was a retry are exactly the ARQ pool.
+        winning_retries = sum(
+            1
+            for attempt in result.attempts
+            if attempt.delivered and attempt.attempt > 1
+        )
+        assert metrics.arq_recovered_frames == winning_retries
+
+    def test_adaptive_coding_walks_the_default_ladder(self, ready_channel):
+        from repro.coding import DEFAULT_LADDER
+
+        _, channel = ready_channel
+        config = SelfHealingConfig(adaptive_coding=True)
+        result = SelfHealingChannel(channel, config).send(b"adaptive ladder!")
+        assert result.recovered == b"adaptive ladder!"
+        names = {profile.name for profile in DEFAULT_LADDER}
+        assert all(attempt.profile in names for attempt in result.attempts)
+        # On a quiet machine the controller starts on the lightest rung.
+        assert result.attempts[0].profile == DEFAULT_LADDER[0].name
+
+    def test_uncoded_path_reports_raw_profile(self, ready_channel):
+        _, channel = ready_channel
+        result = SelfHealingChannel(channel).send(b"legacy!!")
+        assert all(attempt.profile == "raw" for attempt in result.attempts)
+        assert result.coding_history == []
+        assert result.quality_history == []
+        assert result.metrics.fec_corrected_frames == 0
