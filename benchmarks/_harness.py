@@ -1,6 +1,21 @@
-"""Helpers shared by the benchmark modules."""
+"""Helpers shared by the benchmark modules.
+
+Besides printing and archiving the rendered text figures (the historical
+``results/<name>.txt`` artifacts), every :func:`publish` call now also
+appends a machine-readable record — wall-clock seconds, python version,
+timestamp — to ``results/bench_history/<name>.json``, so the performance
+trajectory of each benchmark is a queryable series instead of a pile of
+text files.
+"""
 
 from __future__ import annotations
+
+import json
+import platform
+import time
+
+#: wall time of the most recent run_once call, consumed by publish()
+_LAST_WALL = {"seconds": None}
 
 
 def run_once(benchmark, experiment, *args, **kwargs):
@@ -8,12 +23,57 @@ def run_once(benchmark, experiment, *args, **kwargs):
 
     The experiments are multi-second whole-machine simulations; pedantic
     single-round mode records their wall time without re-running them.
+    The measured wall-clock is stashed for the next :func:`publish` call
+    to include in the bench-history record.
     """
-    return benchmark.pedantic(experiment, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    def timed(*call_args, **call_kwargs):
+        start = time.perf_counter()
+        result = experiment(*call_args, **call_kwargs)
+        _LAST_WALL["seconds"] = time.perf_counter() - start
+        return result
+
+    return benchmark.pedantic(timed, args=args, kwargs=kwargs, iterations=1, rounds=1)
 
 
-def publish(results_dir, name: str, text: str) -> None:
-    """Print a rendered figure and archive it under results/."""
+def bench_history_append(results_dir, name: str, record: dict) -> dict:
+    """Append ``record`` to ``results/bench_history/<name>.json``.
+
+    The file holds a JSON list, one record per run, oldest first; an
+    unreadable file is restarted rather than crashing the benchmark.
+    Returns the record as written (environment fields filled in).
+    """
+    entry = {
+        "bench": name,
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+    }
+    entry.update(record)
+    history_dir = results_dir / "bench_history"
+    history_dir.mkdir(exist_ok=True)
+    path = history_dir / f"{name}.json"
+    history = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                history = loaded
+        except (OSError, ValueError):
+            history = []
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
+def publish(results_dir, name: str, text: str, record: dict = None) -> None:
+    """Print a rendered figure, archive it under results/, and append the
+    machine-readable bench-history record (wall seconds from the last
+    :func:`run_once`, plus anything passed in ``record``)."""
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    wall, _LAST_WALL["seconds"] = _LAST_WALL["seconds"], None
+    entry = {"wall_seconds": wall}
+    if record:
+        entry.update(record)
+    bench_history_append(results_dir, name, entry)

@@ -1,0 +1,211 @@
+"""Throughput benchmarks for the sweep execution engine.
+
+Three measurements, each exercising one layer of the engine under
+``repro.experiments``:
+
+* **pool reuse** — many small ``run_trials`` calls with per-call pools
+  vs one persistent pool (``REPRO_POOL_PERSIST=1``): the repeated-sweep
+  pattern every figure harness produces;
+* **adaptive chunking** — a sweep of hundreds of tiny trials at the
+  historical ``chunksize=1`` vs the adaptive default;
+* **cache hits** — a cold sweep vs re-running it against a warm
+  content-addressed trial cache, plus the incremental case (the same
+  sweep grown by a few seeds).
+
+Every variant asserts bit-identical results against the baseline before
+reporting a time — a speedup that changes answers is a bug, not a win.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_runner_throughput.py``)
+to print the comparison and append machine-readable records under
+``results/bench_history/``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from repro.experiments import accounting, runner
+from repro.experiments.cache import TrialCache
+from repro.experiments.pool import (
+    POOL_PERSIST_ENV,
+    pool_stats,
+    shutdown_persistent_pool,
+)
+
+from _harness import bench_history_append, publish, run_once
+
+#: per-call sweeps in the pool-reuse measurement
+POOL_SWEEPS = 6
+POOL_TRIALS = 8
+CHUNK_TRIALS = 512
+CACHE_TRIALS = 10
+
+
+def _spin_trial(seed: int) -> int:
+    """A few milliseconds of deterministic arithmetic."""
+    acc = seed & 0x7FFFFFFF
+    for _ in range(20_000):
+        acc = (acc * 1103515245 + 12345) % 0x80000000
+    return acc
+
+
+def _tiny_trial(seed: int) -> int:
+    """Near-zero work: isolates per-trial IPC overhead."""
+    return (seed * 2654435761) % 0x100000000
+
+
+def _costly_trial(seed: int) -> int:
+    """Tens of milliseconds: what a cache hit saves."""
+    acc = seed & 0x7FFFFFFF
+    for _ in range(200_000):
+        acc = (acc * 1103515245 + 12345) % 0x80000000
+    return acc
+
+
+def _timed_sweeps(fn, seeds, sweeps: int, **kwargs):
+    start = time.perf_counter()
+    outputs = [runner.run_trials(fn, seeds, **kwargs) for _ in range(sweeps)]
+    return time.perf_counter() - start, outputs
+
+
+def measure_pool_reuse() -> dict:
+    """Per-call pools vs one persistent pool over repeated sweeps."""
+    seeds = list(range(POOL_TRIALS))
+    saved = os.environ.get(POOL_PERSIST_ENV)
+    try:
+        os.environ[POOL_PERSIST_ENV] = "0"
+        shutdown_persistent_pool()
+        fresh_seconds, fresh = _timed_sweeps(
+            _spin_trial, seeds, POOL_SWEEPS, jobs=2
+        )
+        os.environ[POOL_PERSIST_ENV] = "1"
+        before = pool_stats()
+        persistent_seconds, persistent = _timed_sweeps(
+            _spin_trial, seeds, POOL_SWEEPS, jobs=2
+        )
+        after = pool_stats()
+    finally:
+        shutdown_persistent_pool()
+        if saved is None:
+            os.environ.pop(POOL_PERSIST_ENV, None)
+        else:
+            os.environ[POOL_PERSIST_ENV] = saved
+    assert persistent == fresh, "pool persistence changed sweep results"
+    return {
+        "sweeps": POOL_SWEEPS,
+        "trials_per_sweep": POOL_TRIALS,
+        "per_call_pool_seconds": fresh_seconds,
+        "persistent_pool_seconds": persistent_seconds,
+        "speedup": fresh_seconds / persistent_seconds,
+        "pools_created_persistent": after["created"] - before["created"],
+        "pool_reuses": after["reused"] - before["reused"],
+    }
+
+
+def measure_chunking() -> dict:
+    """chunksize=1 vs the adaptive default on many tiny trials."""
+    seeds = list(range(CHUNK_TRIALS))
+    serial = [_tiny_trial(seed) for seed in seeds]
+    start = time.perf_counter()
+    unchunked = runner.run_trials(_tiny_trial, seeds, jobs=2, chunksize=1)
+    unchunked_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    adaptive = runner.run_trials(_tiny_trial, seeds, jobs=2)
+    adaptive_seconds = time.perf_counter() - start
+    assert unchunked == serial and adaptive == serial, (
+        "chunking changed sweep results"
+    )
+    return {
+        "trials": CHUNK_TRIALS,
+        "chunksize1_seconds": unchunked_seconds,
+        "adaptive_seconds": adaptive_seconds,
+        "speedup": unchunked_seconds / adaptive_seconds,
+    }
+
+
+def measure_cache_hits() -> dict:
+    """Cold sweep vs warm-cache re-run vs incremental growth."""
+    seeds = list(range(CACHE_TRIALS))
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = TrialCache(cache_dir)
+        start = time.perf_counter()
+        cold = runner.run_trials(_costly_trial, seeds, jobs=1, cache=cache)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = runner.run_trials(_costly_trial, seeds, jobs=1, cache=cache)
+        warm_seconds = time.perf_counter() - start
+        grown_seeds = seeds + [CACHE_TRIALS, CACHE_TRIALS + 1]
+        start = time.perf_counter()
+        grown = runner.run_trials(
+            _costly_trial, grown_seeds, jobs=1, cache=cache
+        )
+        incremental_seconds = time.perf_counter() - start
+        stats = cache.stats.to_dict()
+    assert warm == cold, "cache hits changed sweep results"
+    assert grown[:CACHE_TRIALS] == cold, "incremental sweep changed results"
+    assert stats["hits"] == 2 * CACHE_TRIALS, stats
+    return {
+        "trials": CACHE_TRIALS,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "incremental_seconds": incremental_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "cache_stats": stats,
+    }
+
+
+def _render(pool: dict, chunk: dict, cache: dict) -> str:
+    return "\n".join(
+        [
+            f"pool reuse : {pool['sweeps']}x{pool['trials_per_sweep']}-trial sweeps, "
+            f"per-call pools {pool['per_call_pool_seconds']:.3f}s vs persistent "
+            f"{pool['persistent_pool_seconds']:.3f}s ({pool['speedup']:.2f}x, "
+            f"{pool['pools_created_persistent']} pool(s) created, "
+            f"{pool['pool_reuses']} reuses)",
+            f"chunking   : {chunk['trials']} tiny trials, chunksize=1 "
+            f"{chunk['chunksize1_seconds']:.3f}s vs adaptive "
+            f"{chunk['adaptive_seconds']:.3f}s ({chunk['speedup']:.2f}x)",
+            f"trial cache: {cache['trials']} trials, cold {cache['cold_seconds']:.3f}s "
+            f"vs warm {cache['warm_seconds']:.3f}s ({cache['warm_speedup']:.1f}x); "
+            f"incremental +2 trials {cache['incremental_seconds']:.3f}s",
+        ]
+    )
+
+
+def _measure_all() -> dict:
+    return {
+        "pool_reuse": measure_pool_reuse(),
+        "chunking": measure_chunking(),
+        "cache": measure_cache_hits(),
+    }
+
+
+def test_runner_throughput(benchmark, results_dir):
+    record = run_once(benchmark, _measure_all)
+    publish(
+        results_dir,
+        "runner_throughput",
+        _render(record["pool_reuse"], record["chunking"], record["cache"]),
+        record=record,
+    )
+    # Reuse must not be slower than respawning, and a warm cache must beat
+    # computing (generous bounds: the shared CI box is noisy).
+    assert record["pool_reuse"]["persistent_pool_seconds"] <= (
+        record["pool_reuse"]["per_call_pool_seconds"] * 1.5
+    )
+    assert record["cache"]["warm_seconds"] < record["cache"]["cold_seconds"]
+    assert record["cache"]["incremental_seconds"] < record["cache"]["cold_seconds"]
+
+
+if __name__ == "__main__":
+    import pathlib
+
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    record = _measure_all()
+    text = _render(record["pool_reuse"], record["chunking"], record["cache"])
+    print(text)
+    bench_history_append(results_dir, "runner_throughput", record)
+    accounting.write_perf_baseline(str(results_dir / "perf_baseline.json"))

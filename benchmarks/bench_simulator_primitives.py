@@ -135,7 +135,18 @@ def collect_baseline() -> dict:
 def main() -> None:
     baseline = collect_baseline()
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    # Merge over the existing file: other writers (sweep accounting) own
+    # keys this bench must not clobber.
+    existing = {}
+    if RESULTS_PATH.exists():
+        try:
+            loaded = json.loads(RESULTS_PATH.read_text())
+            if isinstance(loaded, dict):
+                existing = loaded
+        except ValueError:
+            existing = {}
+    existing.update(baseline)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
     print(f"archived {RESULTS_PATH}")
     print(f"cache.access      : {baseline['cache_access_ops_per_second']:>12,.0f} ops/sec")
     print(f"scheduler (Busy)  : {baseline['scheduler_busy_ops_per_second']:>12,.0f} ops/sec")

@@ -11,6 +11,7 @@ returns a structured result with a ``render()``-able text form.  The
 
 from . import (
     ablations,
+    accounting,
     algorithm1,
     coding_sweep,
     defenses,
@@ -23,7 +24,14 @@ from . import (
     figure8,
     headline,
 )
+from .cache import TrialCache, TrialCacheStats, resolve_cache
 from .common import build_machine, build_ready_channel
+from .pool import (
+    PoolLease,
+    persistence_enabled,
+    resolve_chunksize,
+    shutdown_persistent_pool,
+)
 from .runner import (
     TrialFailure,
     derive_seeds,
@@ -33,8 +41,12 @@ from .runner import (
 )
 
 __all__ = [
+    "PoolLease",
+    "TrialCache",
+    "TrialCacheStats",
     "TrialFailure",
     "ablations",
+    "accounting",
     "algorithm1",
     "build_machine",
     "build_ready_channel",
@@ -49,7 +61,11 @@ __all__ = [
     "figure7",
     "figure8",
     "headline",
+    "persistence_enabled",
+    "resolve_cache",
+    "resolve_chunksize",
     "resolve_jobs",
     "run_trials",
     "run_trials_robust",
+    "shutdown_persistent_pool",
 ]

@@ -78,6 +78,7 @@ def run_two_phase(
     bits: int = 600,
     window_cycles: int = 15_000,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> TwoPhaseAblation:
     """Same payload through a two-phase and a one-phase trojan."""
     payload = tuple(random_bits(bits, np.random.default_rng(seed + 5)))
@@ -85,6 +86,8 @@ def run_two_phase(
         _two_phase_trial,
         [(True, seed, payload, window_cycles), (False, seed, payload, window_cycles)],
         jobs=jobs,
+        cache=cache,
+        label="ablation_two_phase",
     )
     return TwoPhaseAblation(two_phase=two, one_phase=one)
 
@@ -136,11 +139,14 @@ def run_policies(
     window_cycles: int = 15_000,
     policies: Tuple[str, ...] = ("rrip", "lru", "plru", "random"),
     jobs: Optional[int] = None,
+    cache=None,
 ) -> PolicyAblation:
     """Run the full attack against each replacement policy."""
     payload = tuple(random_bits(bits, np.random.default_rng(seed + 6)))
     tasks = [(policy, seed, payload, window_cycles) for policy in policies]
-    outcomes = run_trials(_policy_trial, tasks, jobs=jobs)
+    outcomes = run_trials(
+        _policy_trial, tasks, jobs=jobs, cache=cache, label="ablation_policies"
+    )
     metrics: Dict[str, ChannelMetrics] = {}
     failures: List[str] = []
     for policy, result in outcomes:
@@ -230,6 +236,7 @@ def run_coding(
     data_bits: int = 560,  # divisible by 4 (Hamming) and honest for repetition
     windows: Tuple[int, ...] = (7500, 10000, 15000),
     jobs: Optional[int] = None,
+    cache=None,
 ) -> CodingAblation:
     """Compare raw, Hamming(7,4), 3x repetition, SECDED(8,4) and the RS
     stacks over noisy windows.
@@ -240,7 +247,9 @@ def run_coding(
     """
     data = tuple(random_bits(data_bits, np.random.default_rng(seed + 7)))
     tasks = [(window, seed, data) for window in windows]
-    window_rows = run_trials(_coding_window_trial, tasks, jobs=jobs)
+    window_rows = run_trials(
+        _coding_window_trial, tasks, jobs=jobs, cache=cache, label="ablation_coding"
+    )
     rows: List[Tuple[str, int, float, float, float]] = []
     for trial_rows in window_rows:
         rows.extend(trial_rows)

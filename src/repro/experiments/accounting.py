@@ -1,0 +1,165 @@
+"""Sweep-level wall-clock and cache-hit accounting.
+
+Every :func:`repro.experiments.runner.run_trials` call records one
+:class:`SweepRecord` here — how many trials ran, how many came from the
+content-addressed cache, how the pool was used, and the wall-clock cost.
+The registry is process-local and append-only; aggregate it with
+:func:`summary` or fold it into the performance baseline with
+:func:`write_perf_baseline`, which merges a ``"sweep_accounting"`` block
+into ``results/perf_baseline.json`` next to the microbenchmark
+throughput numbers (the sweep archivers — ``fault_sweep.main``,
+``coding_sweep.main`` — and the runner-throughput benchmark both do
+this).
+
+Recording costs one list append per sweep; nothing here touches the
+filesystem until asked.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "SweepRecord",
+    "record_sweep",
+    "records",
+    "reset",
+    "summary",
+    "write_perf_baseline",
+]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One ``run_trials`` invocation's execution accounting."""
+
+    label: str
+    trials: int
+    executed: int
+    cache_hits: int
+    jobs: int
+    chunksize: int
+    parallel: bool
+    persistent_pool: bool
+    wall_seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "trials": self.trials,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "jobs": self.jobs,
+            "chunksize": self.chunksize,
+            "parallel": self.parallel,
+            "persistent_pool": self.persistent_pool,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+_RECORDS: List[SweepRecord] = []
+
+
+def record_sweep(
+    label: str,
+    trials: int,
+    executed: int,
+    cache_hits: int,
+    jobs: int,
+    chunksize: int,
+    parallel: bool,
+    persistent_pool: bool,
+    wall_seconds: float,
+) -> SweepRecord:
+    """Append one sweep's accounting to the process-local registry."""
+    record = SweepRecord(
+        label=label,
+        trials=trials,
+        executed=executed,
+        cache_hits=cache_hits,
+        jobs=jobs,
+        chunksize=chunksize,
+        parallel=parallel,
+        persistent_pool=persistent_pool,
+        wall_seconds=wall_seconds,
+    )
+    _RECORDS.append(record)
+    return record
+
+
+def records() -> Tuple[SweepRecord, ...]:
+    """Every record so far, oldest first."""
+    return tuple(_RECORDS)
+
+
+def reset() -> None:
+    """Drop all records (tests and fresh measurement campaigns)."""
+    _RECORDS.clear()
+
+
+def summary() -> Dict[str, dict]:
+    """Per-label aggregates: runs, trials, cache hits, wall seconds."""
+    aggregated: Dict[str, dict] = {}
+    for record in _RECORDS:
+        slot = aggregated.setdefault(
+            record.label,
+            {
+                "runs": 0,
+                "trials": 0,
+                "executed": 0,
+                "cache_hits": 0,
+                "wall_seconds": 0.0,
+            },
+        )
+        slot["runs"] += 1
+        slot["trials"] += record.trials
+        slot["executed"] += record.executed
+        slot["cache_hits"] += record.cache_hits
+        slot["wall_seconds"] += record.wall_seconds
+    for slot in aggregated.values():
+        slot["wall_seconds"] = round(slot["wall_seconds"], 6)
+        slot["cache_hit_rate"] = (
+            slot["cache_hits"] / slot["trials"] if slot["trials"] else 0.0
+        )
+    return aggregated
+
+
+def write_perf_baseline(path: str = "results/perf_baseline.json") -> dict:
+    """Merge the accounting summary into the performance baseline file.
+
+    The file's other keys (microbenchmark throughput numbers) are
+    preserved; only the ``"sweep_accounting"`` block is replaced — and
+    merged label-by-label with whatever a previous process recorded, so
+    successive sweep archivers accumulate instead of clobbering each
+    other.  Returns the full payload written.
+    """
+    data: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                data = loaded
+        except (OSError, UnicodeDecodeError, ValueError):
+            data = {}
+    existing = data.get("sweep_accounting")
+    merged = dict(existing) if isinstance(existing, dict) else {}
+    merged.update(summary())
+    data["sweep_accounting"] = merged
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return data

@@ -1,0 +1,412 @@
+"""Content-addressed cache of trial results for incremental sweeps.
+
+Trials are pure functions of ``(trial function, bound configuration,
+seed)`` — that is the invariant every sweep in this repo is built on, and
+it makes trial results perfectly cacheable: re-running a sweep whose
+inputs have not changed should cost file reads, not machine simulations,
+and *growing* a sweep (two more trials appended to a 60-trial coding
+sweep) should only compute the delta.
+
+Cache key
+    SHA-256 over the canonical JSON (the :mod:`repro.sanitizer.
+    fingerprint` conventions: sorted keys, compact separators,
+    numpy-scalar coercion) of::
+
+        {"fn": {module, qualname, source_sha256, bound config},
+         "seed": <the per-trial argument>,
+         "repro_version": <package version>}
+
+    The source hash means editing the trial function's body invalidates
+    its entries; the bound config covers everything attached with
+    :func:`functools.partial`; the version stamp fences off entries
+    written by other releases.  A trial function whose bound arguments do
+    not canonically JSON-encode is *uncacheable* and the sweep simply
+    runs uncached (counted in the stats, never an error).
+
+Storage
+    One JSON envelope per entry under ``REPRO_CACHE_DIR`` (two-level
+    fan-out by key prefix).  Payloads are canonical JSON when the result
+    round-trips exactly, else deterministic pickle (base64); either way a
+    SHA-256 checksum over the encoded payload is stored alongside, so a
+    truncated, bit-rotted or hand-edited entry is detected, discarded and
+    recomputed — never silently returned.  Writes are atomic (tmp file +
+    rename) and a size cap (``REPRO_CACHE_MAX_BYTES``, default 256 MiB)
+    evicts the oldest entries after each store.
+
+Verification
+    ``verify`` mode recomputes a deterministic sample of hits in-process
+    and asserts the recomputation encodes bit-identically to the stored
+    payload, raising :class:`~repro.errors.InvariantViolation` on any
+    divergence — the cached-equals-computed guarantee, spot-checked for
+    free alongside real sweeps.
+
+Only trust a cache directory you (or your CI job) wrote: pickle-codec
+entries execute the usual pickle machinery when loaded.
+"""
+
+from __future__ import annotations
+
+import base64
+import functools
+import hashlib
+import inspect
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..sanitizer.fingerprint import fingerprint_state
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_MAX_BYTES_ENV",
+    "DEFAULT_MAX_BYTES",
+    "TrialCache",
+    "TrialCacheStats",
+    "describe_trial_fn",
+    "resolve_cache",
+]
+
+#: environment variable naming the cache directory (unset = caching off)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: environment variable overriding the size cap in bytes
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+#: default size cap: generous for JSON trial records, bounded for CI
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+#: bump on any change to the entry file layout
+ENTRY_VERSION = 1
+
+#: one instance per directory per process, so hit/miss statistics
+#: accumulate across every sweep that touches the same cache
+_INSTANCES: Dict[str, "TrialCache"] = {}
+
+
+@dataclass
+class TrialCacheStats:
+    """Cumulative counters for one cache directory in this process."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    uncacheable: int = 0
+    evicted: int = 0
+    verified: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "uncacheable": self.uncacheable,
+            "evicted": self.evicted,
+            "verified": self.verified,
+        }
+
+
+def describe_trial_fn(fn) -> Optional[dict]:
+    """The cacheable identity of a trial function, or ``None``.
+
+    Peels :func:`functools.partial` layers (outermost first) into a bound
+    configuration, hashes the underlying function's source (falling back
+    to its bytecode for callables without retrievable source), and
+    returns a dict that canonically JSON-encodes.  ``None`` means the
+    function cannot be keyed — unhashable source *and* bytecode, or bound
+    arguments that do not JSON-encode — and the sweep must run uncached.
+    """
+    base = fn
+    bound = []
+    while isinstance(base, functools.partial):
+        bound.append(
+            {"args": list(base.args), "kwargs": dict(base.keywords or {})}
+        )
+        base = base.func
+    # Callable instances (e.g. a wrapper class) key on their class.
+    target = base if inspect.isroutine(base) else type(base)
+    try:
+        source = inspect.getsource(target)
+    except (OSError, TypeError):
+        source = None
+    if source is not None:
+        source_sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    else:
+        code = getattr(target, "__code__", None)
+        if code is None:
+            return None
+        source_sha = hashlib.sha256(
+            code.co_code + repr(code.co_consts).encode("utf-8")
+        ).hexdigest()
+    desc = {
+        "module": getattr(target, "__module__", None),
+        "qualname": getattr(target, "__qualname__", repr(target)),
+        "source_sha256": source_sha,
+        "bound": bound,
+    }
+    try:
+        _canonical_json(desc)
+    except (TypeError, ValueError):
+        return None
+    return desc
+
+
+def resolve_cache(cache=None) -> Optional["TrialCache"]:
+    """Map a ``cache=`` argument to a :class:`TrialCache` (or ``None``).
+
+    * a :class:`TrialCache` — used as-is;
+    * ``None`` — the default: a cache rooted at ``REPRO_CACHE_DIR`` when
+      that variable is set, otherwise no caching;
+    * ``True`` — like ``None`` but falls back to
+      ``~/.cache/repro/trials`` when the variable is unset;
+    * ``False`` — caching off regardless of the environment;
+    * a path string — a cache rooted there.
+
+    Instances are shared per-directory per-process, so statistics
+    accumulate across sweeps.
+    """
+    if isinstance(cache, TrialCache):
+        return cache
+    if cache is False:
+        return None
+    directory = os.environ.get(CACHE_DIR_ENV)
+    if isinstance(cache, (str, os.PathLike)):
+        directory = os.fspath(cache)
+    elif cache is True and not directory:
+        directory = os.path.join(
+            os.path.expanduser("~"), ".cache", "repro", "trials"
+        )
+    elif cache is None and not directory:
+        return None
+    elif cache not in (None, True):
+        raise ValueError(f"unsupported cache argument: {cache!r}")
+    key = os.path.abspath(directory)
+    instance = _INSTANCES.get(key)
+    if instance is None:
+        instance = TrialCache(key)
+        _INSTANCES[key] = instance
+    return instance
+
+
+def _jsonify(value):
+    """Numpy-scalar coercion, matching the fingerprint conventions."""
+    import numpy as np
+
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot canonically encode {type(value)!r}: {value!r}")
+
+
+def _canonical_json(value) -> str:
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+
+
+def _encode_payload(value) -> Tuple[str, str]:
+    """``(codec, blob)`` for one trial result.
+
+    Canonical JSON when — and only when — decoding it reproduces the
+    value exactly (a dict of numbers survives; anything with tuples,
+    dataclasses or numpy arrays falls through); deterministic pickle
+    otherwise.  Either representation is the byte string the checksum
+    and the bit-identical verification compare against.
+    """
+    try:
+        blob = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        if json.loads(blob) == value:
+            return "json", blob
+    except (TypeError, ValueError):
+        pass
+    return (
+        "pickle",
+        base64.b64encode(pickle.dumps(value, protocol=4)).decode("ascii"),
+    )
+
+
+def _payload_checksum(codec: str, blob: str) -> str:
+    return hashlib.sha256(f"{codec}:{blob}".encode("utf-8")).hexdigest()
+
+
+class TrialCache:
+    """Content-addressed store of trial results under one directory."""
+
+    def __init__(self, directory: str, max_bytes: Optional[int] = None):
+        self.directory = os.path.abspath(directory)
+        if max_bytes is None:
+            env = os.environ.get(CACHE_MAX_BYTES_ENV)
+            max_bytes = int(env) if env else DEFAULT_MAX_BYTES
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.stats = TrialCacheStats()
+
+    # -- keying ------------------------------------------------------------
+
+    def key(self, fn_desc: dict, seed) -> str:
+        """The content address of one trial: function identity + seed +
+        package version, hashed through the canonical-JSON fingerprint."""
+        from .. import __version__
+
+        return fingerprint_state(
+            {"fn": fn_desc, "seed": seed, "repro_version": __version__}
+        )
+
+    # -- storage -----------------------------------------------------------
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def load(self, key: str) -> Tuple[bool, object]:
+        """``(hit, value)``; a corrupt entry counts, is deleted, and
+        misses."""
+        path = self._entry_path(key)
+        if not os.path.exists(path):
+            self.stats.misses += 1
+            return False, None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, UnicodeDecodeError, ValueError):
+            return self._corrupt(path)
+        if (
+            not isinstance(entry, dict)
+            or not entry.get("__trial_cache_entry__")
+            or entry.get("version") != ENTRY_VERSION
+            or entry.get("key") != key
+            or entry.get("codec") not in ("json", "pickle")
+            or not isinstance(entry.get("payload"), str)
+        ):
+            return self._corrupt(path)
+        codec, blob = entry["codec"], entry["payload"]
+        if entry.get("checksum") != _payload_checksum(codec, blob):
+            return self._corrupt(path)
+        try:
+            if codec == "json":
+                value = json.loads(blob)
+            else:
+                value = pickle.loads(base64.b64decode(blob.encode("ascii")))
+        except Exception:  # noqa: BLE001 — any decode failure is corruption
+            return self._corrupt(path)
+        self.stats.hits += 1
+        return True, value
+
+    def _corrupt(self, path: str) -> Tuple[bool, object]:
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return False, None
+
+    def store(self, key: str, value, fn_desc: Optional[dict] = None) -> bool:
+        """Persist one result; ``False`` (uncacheable) when the value
+        cannot be deterministically encoded."""
+        try:
+            codec, blob = _encode_payload(value)
+        except Exception:  # noqa: BLE001 — unpicklable results stay uncached
+            self.stats.uncacheable += 1
+            return False
+        entry = {
+            "__trial_cache_entry__": True,
+            "version": ENTRY_VERSION,
+            "key": key,
+            "codec": codec,
+            "payload": blob,
+            "checksum": _payload_checksum(codec, blob),
+        }
+        if fn_desc is not None:
+            entry["fn"] = {
+                "module": fn_desc.get("module"),
+                "qualname": fn_desc.get("qualname"),
+            }
+        path = self._entry_path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        self.stats.stores += 1
+        self._enforce_cap()
+        return True
+
+    def _enforce_cap(self) -> None:
+        """Evict oldest entries (by mtime) until under the size cap."""
+        entries = []
+        total = 0
+        for root, _dirs, files in os.walk(self.directory):
+            for name in files:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(root, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        for _mtime, size, path in sorted(entries):
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self.stats.evicted += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
+
+    # -- verification ------------------------------------------------------
+
+    def selected_for_verify(self, key: str, fraction: float) -> bool:
+        """Deterministic content-keyed sampling: the same entries are
+        re-verified on every run, so coverage is reproducible."""
+        if fraction <= 0.0:
+            return False
+        if fraction >= 1.0:
+            return True
+        return (int(key[:8], 16) % 10_000) < int(fraction * 10_000)
+
+    def verify(self, key: str, cached, recomputed) -> None:
+        """Assert ``recomputed`` encodes bit-identically to ``cached``.
+
+        Raises :class:`~repro.errors.InvariantViolation` on divergence —
+        either the trial function stopped being a pure function of its
+        inputs, or the cache returned something it should not have.
+        """
+        from ..errors import InvariantViolation
+
+        cached_codec, cached_blob = _encode_payload(cached)
+        new_codec, new_blob = _encode_payload(recomputed)
+        self.stats.verified += 1
+        if (cached_codec, cached_blob) != (new_codec, new_blob):
+            raise InvariantViolation(
+                "trial-cache",
+                f"cache entry {key} is not bit-identical to recomputation "
+                f"(cached {cached_codec}/{len(cached_blob)}B vs recomputed "
+                f"{new_codec}/{len(new_blob)}B)",
+                dump={
+                    "key": key,
+                    "cached_codec": cached_codec,
+                    "recomputed_codec": new_codec,
+                    "cached_checksum": _payload_checksum(
+                        cached_codec, cached_blob
+                    ),
+                    "recomputed_checksum": _payload_checksum(
+                        new_codec, new_blob
+                    ),
+                },
+            )

@@ -44,6 +44,7 @@ from ..coding.stack import CodingStack, profile_by_name
 from ..core.protocol import SEQ_MODULUS
 from ..core.selfheal import SelfHealingChannel, SelfHealingConfig
 from ..faults.plan import preemption_storm
+from . import accounting
 from .common import build_ready_channel
 from .runner import TrialFailure, derive_seeds, run_trials
 
@@ -241,6 +242,7 @@ def run(
     intensities: Sequence[float] = DEFAULT_INTENSITIES,
     payload: bytes = DEFAULT_PAYLOAD,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> CodingSweepResult:
     """Run the sweep; deterministic for fixed arguments regardless of ``jobs``."""
     seeds = derive_seeds(seed, trials)
@@ -251,7 +253,9 @@ def run(
         for trial_seed in seeds
     ]
     fn = partial(_cell_trial, payload_hex=payload.hex())
-    outcomes = run_trials(fn, specs, jobs=jobs, on_error="record")
+    outcomes = run_trials(
+        fn, specs, jobs=jobs, on_error="record", cache=cache, label="coding_sweep"
+    )
 
     points: List[CodingFrontierPoint] = []
     per_trial: Dict[str, List[Dict]] = {}
@@ -317,6 +321,7 @@ def main(output_path: str = "results/coding_sweep.json") -> CodingSweepResult:
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
         handle.write("\n")
+    accounting.write_perf_baseline()
     print(render(result))
     print(f"\narchived to {output_path}")
     return result

@@ -93,7 +93,7 @@ def _benign_detection_trial(task: Tuple[str, int, int, int]) -> DetectionReport:
 
 
 def run_detection(
-    seed: int = 0, bits: int = 200, jobs: Optional[int] = None
+    seed: int = 0, bits: int = 200, jobs: Optional[int] = None, cache=None
 ) -> DetectionResult:
     """Score the detector against the channel and two benign workloads."""
     detector = MEEActivityDetector()
@@ -108,7 +108,13 @@ def run_detection(
         ("sequential-scan", 512, seed + 7, bits),
         ("page-walk", 4096, seed + 7, bits),
     ]
-    reports = run_trials(_benign_detection_trial, benign_tasks, jobs=jobs)
+    reports = run_trials(
+        _benign_detection_trial,
+        benign_tasks,
+        jobs=jobs,
+        cache=cache,
+        label="defense_detection",
+    )
     benign_reports = {task[0]: report for task, report in zip(benign_tasks, reports)}
 
     return DetectionResult(channel_report=channel_report, benign_reports=benign_reports)
@@ -170,13 +176,15 @@ def _partitioning_trial(task: Tuple[str, int, int]) -> Tuple[str, float]:
 
 
 def run_partitioning(
-    seed: int = 0, bits: int = 200, jobs: Optional[int] = None
+    seed: int = 0, bits: int = 200, jobs: Optional[int] = None, cache=None
 ) -> PartitioningResult:
     """Mount the attack against a baseline and a partitioned machine."""
     (_, baseline_error), (defended_outcome, defended_error) = run_trials(
         _partitioning_trial,
         [("baseline", seed, bits), ("partitioned", seed, bits)],
         jobs=jobs,
+        cache=cache,
+        label="defense_partitioning",
     )
     return PartitioningResult(
         baseline_error_rate=baseline_error,
@@ -240,11 +248,14 @@ def run_noise_injection(
     periods: Tuple[int, ...] = (0, 40_000, 10_000, 4_000),
     noise_core: int = 3,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> NoiseInjectionResult:
     """Sweep injector period (0 = defense off), one fresh channel per point."""
     payload = tuple(random_bits(bits, np.random.default_rng(seed + 1)))
     tasks = [(period, seed, payload, noise_core) for period in periods]
-    rows = run_trials(_noise_trial, tasks, jobs=jobs)
+    rows = run_trials(
+        _noise_trial, tasks, jobs=jobs, cache=cache, label="defense_noise_injection"
+    )
     return NoiseInjectionResult(rows=tuple(rows))
 
 
@@ -326,6 +337,7 @@ def run_scrubbing(
     benign_core: int = 2,
     scrub_core: int = 3,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> ScrubbingResult:
     """Sweep hardware scrub strength against the attack + a benign tenant.
 
@@ -338,7 +350,9 @@ def run_scrubbing(
         (lines, seed, payload, period_cycles, benign_core, scrub_core)
         for lines in lines_per_scrub
     ]
-    rows = run_trials(_scrub_trial, tasks, jobs=jobs)
+    rows = run_trials(
+        _scrub_trial, tasks, jobs=jobs, cache=cache, label="defense_scrubbing"
+    )
     return ScrubbingResult(rows=tuple(rows))
 
 

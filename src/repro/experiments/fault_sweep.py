@@ -39,6 +39,7 @@ from ..analysis.robustness import (
 )
 from ..core.selfheal import SelfHealingChannel, SelfHealingConfig
 from ..faults.plan import preemption_storm
+from . import accounting
 from .common import build_ready_channel
 from .runner import TrialFailure, derive_seeds, run_trials
 
@@ -115,6 +116,7 @@ def run(
     payload: bytes = DEFAULT_PAYLOAD,
     jobs: Optional[int] = None,
     storm_cycles: float = STORM_CYCLES,
+    cache=None,
 ) -> FaultSweepResult:
     """Run the sweep; deterministic for fixed arguments regardless of ``jobs``."""
     seeds = derive_seeds(seed, trials)
@@ -133,7 +135,9 @@ def run(
     fn = partial(
         _cell_trial, payload_hex=payload.hex(), storm_cycles=storm_cycles
     )
-    outcomes = run_trials(fn, specs, jobs=jobs, on_error="record")
+    outcomes = run_trials(
+        fn, specs, jobs=jobs, on_error="record", cache=cache, label="fault_sweep"
+    )
 
     points: List[RobustnessCurvePoint] = []
     per_trial: Dict[str, List[Dict]] = {}
@@ -201,6 +205,7 @@ def main(output_path: str = "results/fault_sweep.json") -> FaultSweepResult:
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
         handle.write("\n")
+    accounting.write_perf_baseline()
     print(render(result))
     print(f"\narchived to {output_path}")
     return result

@@ -50,7 +50,11 @@ def _figure6_trial(task: Tuple[str, int, Tuple[int, ...]]):
 
 
 def run(
-    seed: int = 0, bits: int = 30, pp_bits: int = None, jobs: Optional[int] = None
+    seed: int = 0,
+    bits: int = 30,
+    pp_bits: int = None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Figure6Result:
     """Send '0101...' over both channels on fresh machines.
 
@@ -67,6 +71,8 @@ def run(
             ("this-work", seed + 1, tuple(pattern)),
         ],
         jobs=jobs,
+        cache=cache,
+        label="figure6",
     )
     return Figure6Result(prime_probe=prime_probe, this_work=this_work)
 

@@ -76,12 +76,13 @@ def run(
     windows=DEFAULT_WINDOWS,
     bits_per_window: int = 600,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> Figure7Result:
     """Sweep the timing window, one independent trial per window size."""
     tasks = [
         (seed, window, index, bits_per_window) for index, window in enumerate(windows)
     ]
-    points = run_trials(_window_trial, tasks, jobs=jobs)
+    points = run_trials(_window_trial, tasks, jobs=jobs, cache=cache, label="figure7")
     return Figure7Result(points=tuple(points), bits_per_window=bits_per_window)
 
 

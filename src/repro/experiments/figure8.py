@@ -75,6 +75,7 @@ def run(
     window_cycles: int = 15_000,
     noise_core: int = 2,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> Figure8Result:
     """Transmit the 128-bit pattern under each environment.
 
@@ -87,7 +88,9 @@ def run(
         (name, seed + index, bit_count, window_cycles, noise_core)
         for index, name in enumerate(ENVIRONMENTS)
     ]
-    trial_results = run_trials(_environment_trial, tasks, jobs=jobs)
+    trial_results = run_trials(
+        _environment_trial, tasks, jobs=jobs, cache=cache, label="figure8"
+    )
     results = dict(zip(ENVIRONMENTS, trial_results))
     return Figure8Result(results=results, bits=bits)
 

@@ -1,0 +1,213 @@
+"""Persistent worker-pool management for the trial runner.
+
+Every sweep in the repo funnels through :func:`repro.experiments.runner.
+run_trials`, and historically every call paid a fresh
+``multiprocessing.Pool`` spawn — figure sweeps that call ``run_trials``
+once per sub-experiment (and ``run_trials_robust`` once per *retry
+round*) paid it many times over.  This module keeps one pool alive for
+the life of the process and hands it out on demand:
+
+* ``REPRO_POOL_PERSIST=1`` enables process-wide pool reuse: the first
+  parallel sweep creates the pool lazily, later sweeps (and retry
+  rounds) reuse it, and an ``atexit`` hook tears it down.  Any other
+  value (or unset) keeps the historical per-call pools — the safe
+  default for callers that fork their own state.
+* :class:`PoolLease` is the runner-facing handle.  It resolves the
+  persist decision once, creates the pool on first use, survives across
+  retry rounds, and knows how to *invalidate* itself — terminate a pool
+  whose workers may be stuck on a timed-out trial so the next round gets
+  a fresh one — without leaking the global slot.
+* :func:`resolve_chunksize` replaces the historical ``chunksize=1``
+  default with an adaptive split: long trials still go one at a time,
+  but a sweep of hundreds of tiny trials stops paying one IPC round-trip
+  per trial.
+
+Reuse is invisible to results: ``Pool.map`` preserves order, trials are
+pure functions of their seeds, and worker processes never carry state
+between trials that a trial could observe (trial functions build their
+own machines from scratch).  The bit-identical parallel/serial guarantee
+of the runner therefore holds with or without persistence.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import multiprocessing.pool as _mp_pool
+import os
+from typing import Optional
+
+__all__ = [
+    "POOL_PERSIST_ENV",
+    "PoolLease",
+    "persistence_enabled",
+    "pool_stats",
+    "resolve_chunksize",
+    "shutdown_persistent_pool",
+]
+
+#: environment variable enabling process-wide pool reuse ("1"/"true"/"on")
+POOL_PERSIST_ENV = "REPRO_POOL_PERSIST"
+
+#: adaptive chunking targets this many chunks per worker, so stragglers
+#: can rebalance, while one chunk never grows past ``MAX_CHUNKSIZE``
+#: trials (keeps per-chunk latency bounded for mixed-cost sweeps)
+CHUNKS_PER_WORKER = 4
+MAX_CHUNKSIZE = 32
+
+#: the process-wide pool: {"pool": Pool | None, "jobs": int}
+_PERSISTENT = {"pool": None, "jobs": 0}
+_ATEXIT_REGISTERED = False
+
+#: observability counters (see :func:`pool_stats`)
+_STATS = {"created": 0, "reused": 0, "invalidated": 0}
+
+
+def persistence_enabled() -> bool:
+    """Whether ``REPRO_POOL_PERSIST`` asks for process-wide pool reuse."""
+    return os.environ.get(POOL_PERSIST_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def resolve_chunksize(tasks: int, jobs: int, chunksize: Optional[int] = None) -> int:
+    """Effective ``Pool.map`` chunksize: explicit value, else adaptive.
+
+    The adaptive split aims for :data:`CHUNKS_PER_WORKER` chunks per
+    worker (so a slow chunk can be absorbed by idle workers) and caps a
+    chunk at :data:`MAX_CHUNKSIZE` trials.  Small sweeps — fewer tasks
+    than ``jobs * CHUNKS_PER_WORKER`` — resolve to 1, the historical
+    default, which is optimal for the long simulation trials the figure
+    sweeps run.  Chunking never affects results: ``Pool.map`` reorders
+    nothing, it only batches the IPC.
+    """
+    if chunksize is not None:
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        return chunksize
+    if jobs <= 1 or tasks <= 0:
+        return 1
+    adaptive = tasks // (jobs * CHUNKS_PER_WORKER)
+    return max(1, min(adaptive, MAX_CHUNKSIZE))
+
+
+def pool_stats() -> dict:
+    """Counters for pools created / persistent reuses / invalidations."""
+    return dict(_STATS)
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        # Platform without fork (e.g. Windows): spawn still works because
+        # trial functions are importable module-level callables.
+        return multiprocessing.get_context("spawn")
+
+
+def _create_pool(jobs: int):
+    _STATS["created"] += 1
+    return _pool_context().Pool(processes=jobs)
+
+
+def _pool_alive(pool) -> bool:
+    """Best-effort liveness check (guards against externally-closed pools)."""
+    return getattr(pool, "_state", _mp_pool.RUN) == _mp_pool.RUN
+
+
+def shutdown_persistent_pool() -> None:
+    """Terminate and forget the process-wide pool (idempotent)."""
+    pool = _PERSISTENT["pool"]
+    _PERSISTENT["pool"] = None
+    _PERSISTENT["jobs"] = 0
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def _borrow_persistent(jobs: int):
+    """The process-wide pool with exactly ``jobs`` workers, creating or
+    resizing (teardown + rebuild) as needed."""
+    global _ATEXIT_REGISTERED
+    pool = _PERSISTENT["pool"]
+    if pool is not None and _PERSISTENT["jobs"] == jobs and _pool_alive(pool):
+        _STATS["reused"] += 1
+        return pool
+    shutdown_persistent_pool()
+    pool = _create_pool(jobs)
+    _PERSISTENT["pool"] = pool
+    _PERSISTENT["jobs"] = jobs
+    if not _ATEXIT_REGISTERED:
+        atexit.register(shutdown_persistent_pool)
+        _ATEXIT_REGISTERED = True
+    return pool
+
+
+class PoolLease:
+    """One sweep's handle on a worker pool.
+
+    Created with the worker count, used across any number of rounds
+    (``lease.pool`` creates lazily and returns the same pool until
+    invalidated), and released exactly once:
+
+    * persistent mode (``REPRO_POOL_PERSIST=1`` or ``persist=True``):
+      the pool is the process-wide one; ``release`` leaves it alive for
+      the next sweep;
+    * per-call mode: the pool belongs to this lease; ``release``
+      terminates it (the historical ``with Pool(...)`` behavior).
+
+    ``invalidate`` terminates the current pool unconditionally — the
+    remedy when a timed-out trial leaves a worker wedged — and clears
+    the persistent slot if it held the same pool, so the next ``.pool``
+    access builds a fresh one.
+    """
+
+    def __init__(self, jobs: int, persist: Optional[bool] = None):
+        if jobs < 1:
+            raise ValueError(f"job count must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.persist = persistence_enabled() if persist is None else persist
+        self._pool = None
+
+    @property
+    def pool(self):
+        if self._pool is None or not _pool_alive(self._pool):
+            if self.persist:
+                self._pool = _borrow_persistent(self.jobs)
+            else:
+                self._pool = _create_pool(self.jobs)
+        return self._pool
+
+    def invalidate(self) -> None:
+        """Kill the current pool (stuck workers included); the next
+        ``.pool`` access creates a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        _STATS["invalidated"] += 1
+        if pool is _PERSISTENT["pool"]:
+            shutdown_persistent_pool()
+        else:
+            pool.terminate()
+            pool.join()
+
+    def release(self) -> None:
+        """Give the pool back: keep it (persistent) or tear it down."""
+        pool, self._pool = self._pool, None
+        if pool is None or self.persist:
+            return
+        pool.terminate()
+        pool.join()
+
+    def __enter__(self) -> "PoolLease":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # An in-flight exception may leave workers mid-task; never hand a
+        # dirty pool to the next sweep.
+        if exc_type is not None:
+            self.invalidate()
+        self.release()

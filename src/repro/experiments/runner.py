@@ -23,8 +23,23 @@ Job count resolution (first match wins):
 2. the ``REPRO_JOBS`` environment variable,
 3. serial execution.
 
-``jobs <= 1`` (or a single trial) runs serially in-process, with no pool
+``jobs=0`` (argument or environment) means "all available cores";
+``jobs == 1`` (or a single trial) runs serially in-process, with no pool
 overhead and identical results.
+
+Two execution-engine layers sit underneath (both default-off, both
+invisible to results):
+
+* :mod:`repro.experiments.pool` — ``REPRO_POOL_PERSIST=1`` keeps one
+  worker pool alive across every ``run_trials``/``run_trials_robust``
+  call in the process (retry rounds included) instead of spawning a pool
+  per call, and ``chunksize=None`` now resolves adaptively instead of
+  pinning 1;
+* :mod:`repro.experiments.cache` — ``REPRO_CACHE_DIR=<dir>`` (or
+  ``cache=``) consults a content-addressed trial cache keyed on the
+  trial function's source, its bound configuration, the seed and the
+  package version, so re-running a sweep only computes what changed —
+  and growing a sweep only computes the new trials.
 
 Long sweeps additionally need to survive individual trials going wrong:
 
@@ -41,12 +56,14 @@ Long sweeps additionally need to survive individual trials going wrong:
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import inspect
 import json
 import multiprocessing
 import os
 import tempfile
+import time
 import traceback as traceback_module
 import warnings
 from dataclasses import dataclass
@@ -55,6 +72,9 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 import numpy as np
 
 from ..errors import InvariantViolation
+from . import accounting
+from .cache import describe_trial_fn, resolve_cache
+from .pool import PoolLease, resolve_chunksize
 
 __all__ = [
     "TrialFailure",
@@ -87,11 +107,21 @@ def derive_seeds(root_seed: int, count: int) -> List[int]:
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Effective worker count: explicit ``jobs``, else ``REPRO_JOBS``, else 1.
+    """Effective worker count.
+
+    Resolution order (first match wins):
+
+    1. an explicit ``jobs`` argument;
+    2. the ``REPRO_JOBS`` environment variable;
+    3. serial execution (1).
+
+    At either of the first two stages, ``0`` means "all available
+    cores" (``os.cpu_count()``).  Negative or non-integer values are
+    rejected.
 
     Raises:
         ValueError: when an explicit or environment job count is not a
-            positive integer.
+            non-negative integer.
     """
     if jobs is None:
         env = os.environ.get(JOBS_ENV_VAR)
@@ -103,8 +133,10 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
             raise ValueError(
                 f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
             ) from None
-    if jobs < 1:
-        raise ValueError(f"job count must be >= 1, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"job count must be >= 0, got {jobs}")
     return jobs
 
 
@@ -185,15 +217,6 @@ class _CatchingTrial:
             return ("err", TrialFailure.from_exception(seed, exc))
 
 
-def _pool_context():
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:
-        # Platform without fork (e.g. Windows): spawn still works because
-        # trial functions are importable module-level callables.
-        return multiprocessing.get_context("spawn")
-
-
 def _result_fingerprint(value):
     """The comparable fingerprint of one trial result.
 
@@ -209,13 +232,28 @@ def _result_fingerprint(value):
     return value
 
 
+#: verify a ~10% deterministic sample of hits when ``cache_verify=True``
+DEFAULT_CACHE_VERIFY_FRACTION = 0.1
+
+
+def _sweep_label(fn: Callable) -> str:
+    """Accounting label: the underlying function's qualified name."""
+    base = fn
+    while isinstance(base, functools.partial):
+        base = base.func
+    return getattr(base, "__qualname__", None) or repr(base)
+
+
 def run_trials(
     fn: Callable[[int], T],
     seeds: Sequence[int],
     jobs: Optional[int] = None,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
     on_error: str = "raise",
     verify_fingerprints: bool = False,
+    cache=None,
+    cache_verify: Union[bool, float] = False,
+    label: Optional[str] = None,
 ) -> List[Union[T, TrialFailure]]:
     """Run ``fn(seed)`` for every seed, optionally across worker processes.
 
@@ -225,9 +263,12 @@ def run_trials(
         seeds: per-trial seeds, e.g. from :func:`derive_seeds` — or any
             picklable per-trial argument.
         jobs: worker processes; ``None`` defers to ``REPRO_JOBS`` and then
-            to serial execution.
-        chunksize: trials handed to a worker at a time; leave at 1 for
-            long trials, raise it for many tiny ones.
+            to serial execution; ``0`` means all available cores.
+        chunksize: trials handed to a worker at a time; ``None`` (the
+            default) picks adaptively — 1 for the usual few-long-trials
+            sweeps, larger batches for many tiny trials (see
+            :func:`repro.experiments.pool.resolve_chunksize`).  Never
+            affects results, only IPC batching.
         on_error: ``"raise"`` propagates the first trial exception (and,
             in parallel runs, abandons the sibling results — ``Pool.map``
             semantics); ``"record"`` returns a :class:`TrialFailure` in
@@ -238,25 +279,110 @@ def run_trials(
             the whole result) to match bit for bit; raises
             :class:`~repro.errors.InvariantViolation` on divergence.
             Doubles the work — a validation mode, not a production one.
+        cache: the content-addressed trial cache.  ``None`` (default)
+            enables caching iff ``REPRO_CACHE_DIR`` is set; ``False``
+            disables it; ``True``, a path, or a
+            :class:`~repro.experiments.cache.TrialCache` select one
+            explicitly (see :func:`~repro.experiments.cache.resolve_cache`).
+            Hits skip execution entirely — this is what makes re-runs and
+            *incremental* sweeps (same sweep, more seeds) cheap.  Only
+            successful results are cached, never :class:`TrialFailure`.
+        cache_verify: recompute a deterministic sample of cache hits
+            in-process and require bit-identical encodings (``True`` ≈
+            10%, or an explicit fraction; ``1.0`` re-verifies every hit).
+            Raises :class:`~repro.errors.InvariantViolation` on
+            divergence.
+        label: accounting label for this sweep (defaults to the trial
+            function's qualified name); every call appends a record to
+            :mod:`repro.experiments.accounting`.
 
     Returns:
         Trial results in seed order — identical to ``[fn(s) for s in
-        seeds]`` regardless of ``jobs``.
+        seeds]`` regardless of ``jobs``, chunking, pool persistence, or
+        cache state.
     """
     if on_error not in ("raise", "record"):
         raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    started = time.perf_counter()
     seeds = list(seeds)
     jobs = resolve_jobs(jobs)
     call = _CatchingTrial(fn) if on_error == "record" else fn
+
+    trial_cache = resolve_cache(cache)
+    keys: Optional[List[str]] = None
+    fn_desc = None
+    hits: Dict[int, object] = {}
+    if trial_cache is not None:
+        fn_desc = describe_trial_fn(fn)
+        if fn_desc is None:
+            trial_cache.stats.uncacheable += len(seeds)
+            trial_cache = None
+        else:
+            keys = [trial_cache.key(fn_desc, seed) for seed in seeds]
+            for index, key in enumerate(keys):
+                hit, value = trial_cache.load(key)
+                if hit:
+                    hits[index] = value
+
+    pending = [index for index in range(len(seeds)) if index not in hits]
+    computed: Dict[int, object] = {}
     parallel_ran = False
-    if jobs == 1 or len(seeds) <= 1:
-        raw = [call(seed) for seed in seeds]
-    else:
-        parallel_ran = True
-        jobs = min(jobs, len(seeds))
-        with _pool_context().Pool(processes=jobs) as pool:
-            raw = pool.map(call, seeds, chunksize=chunksize)
-    results = raw if on_error == "raise" else [value for _tag, value in raw]
+    effective_chunksize = 1
+    lease: Optional[PoolLease] = None
+    if pending:
+        pending_seeds = [seeds[index] for index in pending]
+        if jobs == 1 or len(pending_seeds) <= 1:
+            raw = [call(seed) for seed in pending_seeds]
+        else:
+            parallel_ran = True
+            workers = min(jobs, len(pending_seeds))
+            effective_chunksize = resolve_chunksize(
+                len(pending_seeds), workers, chunksize
+            )
+            with PoolLease(workers) as lease:
+                raw = lease.pool.map(
+                    call, pending_seeds, chunksize=effective_chunksize
+                )
+        values = raw if on_error == "raise" else [value for _tag, value in raw]
+        for index, value in zip(pending, values):
+            computed[index] = value
+        if trial_cache is not None:
+            for index in pending:
+                value = computed[index]
+                if not isinstance(value, TrialFailure):
+                    trial_cache.store(keys[index], value, fn_desc)
+
+    if trial_cache is not None and hits and cache_verify:
+        fraction = (
+            DEFAULT_CACHE_VERIFY_FRACTION
+            if cache_verify is True
+            else float(cache_verify)
+        )
+        selected = [
+            index
+            for index in sorted(hits)
+            if trial_cache.selected_for_verify(keys[index], fraction)
+        ]
+        if not selected and fraction > 0.0:
+            selected = [min(hits)]  # always spot-check at least one hit
+        for index in selected:
+            trial_cache.verify(keys[index], hits[index], fn(seeds[index]))
+
+    results = [
+        hits[index] if index in hits else computed[index]
+        for index in range(len(seeds))
+    ]
+    accounting.record_sweep(
+        label=label or _sweep_label(fn),
+        trials=len(seeds),
+        executed=len(pending),
+        cache_hits=len(hits),
+        jobs=jobs,
+        chunksize=effective_chunksize,
+        parallel=parallel_ran,
+        persistent_pool=bool(lease is not None and lease.persist),
+        wall_seconds=time.perf_counter() - started,
+    )
     if verify_fingerprints and parallel_ran:
         serial_raw = [call(seed) for seed in seeds]
         serial = (
@@ -506,11 +632,12 @@ def run_trials_robust(
       :class:`TrialFailure`;
     * with ``timeout_seconds``, each trial's result is awaited with that
       budget; a trial that exceeds it is recorded as timed out
-      (``timed_out=True``) and retried like a crash.  Hung workers are
-      killed when their round's pool is torn down, and the next round gets
-      a fresh pool.  Timeouts require pool execution, so ``jobs=1`` with a
-      timeout still runs in a single-worker pool (same results, but
-      killable);
+      (``timed_out=True``) and retried like a crash.  One pool is reused
+      across retry rounds (regardless of ``REPRO_POOL_PERSIST``; with it,
+      across whole sweeps too) — it is torn down and rebuilt only when a
+      round actually times out, to kill the wedged worker.  Timeouts
+      require pool execution, so ``jobs=1`` with a timeout still runs in
+      a single-worker pool (same results, but killable);
     * with ``checkpoint_path``, every completed slot is persisted (atomic
       write) after each round, and a rerun with the same seed list resumes
       from the file instead of recomputing.  A corrupt, truncated, or
@@ -552,16 +679,21 @@ def run_trials_robust(
         (index, seed, 1) for index, seed in enumerate(seeds) if index not in results
     ]
     call = _CatchingTrial(fn)
+    use_pool = not (jobs == 1 and timeout_seconds is None)
+    lease = PoolLease(min(jobs, max(len(pending), 1))) if use_pool else None
 
-    while pending:
-        outcomes: List[tuple] = []  # (index, seed, attempt, tag, value)
-        if jobs == 1 and timeout_seconds is None:
-            for index, seed, attempt in pending:
-                tag, value = call(seed, slots.get(index))
-                outcomes.append((index, seed, attempt, tag, value))
-        else:
-            workers = min(jobs, len(pending))
-            with _pool_context().Pool(processes=workers) as pool:
+    try:
+        while pending:
+            outcomes: List[tuple] = []  # (index, seed, attempt, tag, value)
+            if not use_pool:
+                for index, seed, attempt in pending:
+                    tag, value = call(seed, slots.get(index))
+                    outcomes.append((index, seed, attempt, tag, value))
+            else:
+                # One pool serves every retry round; it is only torn down
+                # (and lazily rebuilt) when a timeout leaves a worker
+                # wedged on a trial that will never return.
+                pool = lease.pool
                 handles = [
                     (
                         index,
@@ -571,10 +703,12 @@ def run_trials_robust(
                     )
                     for index, seed, attempt in pending
                 ]
+                timed_out = False
                 for index, seed, attempt, handle in handles:
                     try:
                         tag, value = handle.get(timeout_seconds)
                     except multiprocessing.TimeoutError:
+                        timed_out = True
                         tag, value = (
                             "err",
                             TrialFailure(
@@ -589,31 +723,38 @@ def run_trials_robust(
                             ),
                         )
                     outcomes.append((index, seed, attempt, tag, value))
-                # Leaving the with-block terminates the pool, killing any
-                # worker still stuck on a timed-out trial.
+                if timed_out:
+                    lease.invalidate()
 
-        retry: List[tuple] = []
-        for index, seed, attempt, tag, value in outcomes:
-            if tag == "ok":
-                results[index] = value
-                slot = slots.get(index)
-                if slot is not None:
-                    slot.clear()
-            elif attempt < max_attempts:
-                retry.append((index, seed, attempt + 1))
-            else:
-                if isinstance(value, TrialFailure):
-                    value = TrialFailure(
-                        seed=value.seed,
-                        error_type=value.error_type,
-                        message=value.message,
-                        traceback=value.traceback,
-                        attempts=attempt,
-                        timed_out=value.timed_out,
-                    )
-                results[index] = value
-        if checkpoint_path:
-            _save_checkpoint(checkpoint_path, seeds, results)
-        pending = retry
+            retry: List[tuple] = []
+            for index, seed, attempt, tag, value in outcomes:
+                if tag == "ok":
+                    results[index] = value
+                    slot = slots.get(index)
+                    if slot is not None:
+                        slot.clear()
+                elif attempt < max_attempts:
+                    retry.append((index, seed, attempt + 1))
+                else:
+                    if isinstance(value, TrialFailure):
+                        value = TrialFailure(
+                            seed=value.seed,
+                            error_type=value.error_type,
+                            message=value.message,
+                            traceback=value.traceback,
+                            attempts=attempt,
+                            timed_out=value.timed_out,
+                        )
+                    results[index] = value
+            if checkpoint_path:
+                _save_checkpoint(checkpoint_path, seeds, results)
+            pending = retry
+    except BaseException:
+        if lease is not None:
+            lease.invalidate()
+        raise
+    finally:
+        if lease is not None:
+            lease.release()
 
     return [results[index] for index in range(len(seeds))]

@@ -1,0 +1,296 @@
+"""Unit tests for the content-addressed trial cache.
+
+The satellite contract this file pins down: same (fn, config, seed) hits
+and returns bit-identical results; changed trial-function source, changed
+config, or changed seed each miss; a corrupted entry is detected and
+recomputed, never silently returned.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.experiments import accounting
+from repro.experiments.cache import (
+    CACHE_DIR_ENV,
+    TrialCache,
+    describe_trial_fn,
+    resolve_cache,
+)
+from repro.experiments.runner import TrialFailure, run_trials
+
+
+def _double(seed: int) -> int:
+    return seed * 2
+
+
+def _configured(seed: int, offset: int = 0, scale: int = 1) -> int:
+    return seed * scale + offset
+
+
+def _structured(seed: int) -> dict:
+    return {"seed": seed, "values": [seed, seed + 1], "nested": {"ok": True}}
+
+
+def _tupled(seed: int):
+    # Tuples do not survive a JSON round-trip: forces the pickle codec.
+    return (seed, (seed + 1, seed + 2))
+
+
+def _explode_on_odd(seed: int) -> int:
+    if seed % 2:
+        raise RuntimeError(f"seed {seed} is odd")
+    return seed * 10
+
+
+def _unencodable(seed: int):
+    return lambda: seed  # neither JSON nor pickle can store this
+
+
+def _write_module(path, body: str):
+    path.write_text(body)
+    name = path.stem
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def cache(tmp_path) -> TrialCache:
+    return TrialCache(str(tmp_path / "cache"))
+
+
+class TestKeying:
+    def test_same_inputs_same_key(self, cache):
+        desc = describe_trial_fn(_double)
+        assert cache.key(desc, 7) == cache.key(describe_trial_fn(_double), 7)
+
+    def test_changed_seed_misses(self, cache):
+        desc = describe_trial_fn(_double)
+        assert cache.key(desc, 7) != cache.key(desc, 8)
+
+    def test_changed_config_misses(self, cache):
+        one = describe_trial_fn(functools.partial(_configured, offset=1))
+        two = describe_trial_fn(functools.partial(_configured, offset=2))
+        assert cache.key(one, 7) != cache.key(two, 7)
+
+    def test_changed_source_misses(self, cache, tmp_path):
+        # The real invalidation event: the trial function's body is
+        # edited between runs, same module, same qualname, same config.
+        module_path = tmp_path / "cached_trial_mod.py"
+        module = _write_module(module_path, "def trial(seed):\n    return seed * 2\n")
+        key_before = cache.key(describe_trial_fn(module.trial), 7)
+        module = _write_module(module_path, "def trial(seed):\n    return seed * 3\n")
+        key_after = cache.key(describe_trial_fn(module.trial), 7)
+        assert key_before != key_after
+
+    def test_tuple_seed_keys(self, cache):
+        desc = describe_trial_fn(_double)
+        assert cache.key(desc, ("a", 1, (2, 3))) != cache.key(desc, ("a", 1, (2, 4)))
+
+    def test_unencodable_bound_config_is_uncacheable(self):
+        assert describe_trial_fn(functools.partial(_configured, offset=object())) is None
+
+
+class TestHitPath:
+    def test_warm_run_hits_and_is_bit_identical(self, cache):
+        seeds = list(range(8))
+        cold = run_trials(_structured, seeds, jobs=1, cache=cache)
+        warm = run_trials(_structured, seeds, jobs=1, cache=cache)
+        assert warm == cold
+        assert cache.stats.hits == len(seeds)
+        assert cache.stats.stores == len(seeds)
+
+    def test_pickle_codec_round_trips_tuples(self, cache):
+        cold = run_trials(_tupled, [1, 2], jobs=1, cache=cache)
+        warm = run_trials(_tupled, [1, 2], jobs=1, cache=cache)
+        assert warm == cold
+        assert isinstance(warm[0], tuple)
+
+    def test_incremental_sweep_computes_only_the_delta(self, cache):
+        run_trials(_double, list(range(6)), jobs=1, cache=cache)
+        assert cache.stats.stores == 6
+        grown = run_trials(_double, list(range(8)), jobs=1, cache=cache)
+        assert grown == [seed * 2 for seed in range(8)]
+        assert cache.stats.hits == 6
+        assert cache.stats.stores == 8  # only the two new trials ran
+
+    def test_parallel_and_serial_share_entries(self, cache):
+        cold = run_trials(_double, list(range(6)), jobs=2, cache=cache)
+        warm = run_trials(_double, list(range(6)), jobs=1, cache=cache)
+        assert warm == cold
+        assert cache.stats.hits == 6
+
+    def test_failures_are_not_cached(self, cache):
+        first = run_trials(
+            _explode_on_odd, [0, 1, 2], jobs=1, on_error="record", cache=cache
+        )
+        assert isinstance(first[1], TrialFailure)
+        assert cache.stats.stores == 2  # the two successes only
+        second = run_trials(
+            _explode_on_odd, [0, 1, 2], jobs=1, on_error="record", cache=cache
+        )
+        assert cache.stats.hits == 2  # the failure re-ran
+        assert isinstance(second[1], TrialFailure)
+
+    def test_unencodable_results_stay_uncached(self, cache):
+        results = run_trials(_unencodable, [1, 2], jobs=1, cache=cache)
+        assert results[0]() == 1
+        assert cache.stats.stores == 0
+        assert cache.stats.uncacheable == 2
+
+
+class TestCorruption:
+    def _entry_paths(self, cache):
+        paths = []
+        for root, _dirs, files in os.walk(cache.directory):
+            paths.extend(os.path.join(root, f) for f in files if f.endswith(".json"))
+        return sorted(paths)
+
+    def test_truncated_entry_recomputed(self, cache):
+        cold = run_trials(_structured, [5], jobs=1, cache=cache)
+        [path] = self._entry_paths(cache)
+        with open(path, "w") as handle:
+            handle.write('{"__trial_cache_entry__": true, "ver')
+        again = run_trials(_structured, [5], jobs=1, cache=cache)
+        assert again == cold
+        assert cache.stats.corrupt == 1
+        # The recompute replaced the bad entry with a valid one.
+        with open(path) as handle:
+            assert json.load(handle)["__trial_cache_entry__"] is True
+        run_trials(_structured, [5], jobs=1, cache=cache)
+        assert cache.stats.hits == 1
+
+    def test_tampered_payload_detected_by_checksum(self, cache):
+        cold = run_trials(_structured, [5], jobs=1, cache=cache)
+        [path] = self._entry_paths(cache)
+        with open(path) as handle:
+            entry = json.load(handle)
+        entry["payload"] = entry["payload"].replace("5", "6")
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+        again = run_trials(_structured, [5], jobs=1, cache=cache)
+        assert again == cold  # recomputed, never the tampered value
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_version_discarded(self, cache):
+        run_trials(_structured, [5], jobs=1, cache=cache)
+        [path] = self._entry_paths(cache)
+        with open(path) as handle:
+            entry = json.load(handle)
+        entry["version"] = 99
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+        run_trials(_structured, [5], jobs=1, cache=cache)
+        assert cache.stats.corrupt == 1
+        assert cache.stats.hits == 0
+
+
+class TestVerification:
+    def test_verify_full_fraction_passes_on_honest_cache(self, cache):
+        run_trials(_structured, list(range(4)), jobs=1, cache=cache)
+        results = run_trials(
+            _structured, list(range(4)), jobs=1, cache=cache, cache_verify=1.0
+        )
+        assert results == [_structured(seed) for seed in range(4)]
+        assert cache.stats.verified == 4
+
+    def test_verify_detects_stale_entry(self, cache):
+        # A checksum-consistent but *wrong* entry (the checksum guards
+        # bit rot, not logic changes): verification must catch it.
+        desc = describe_trial_fn(_double)
+        key = cache.key(desc, 3)
+        cache.store(key, 999, desc)
+        with pytest.raises(InvariantViolation, match="bit-identical"):
+            run_trials(_double, [3], jobs=1, cache=cache, cache_verify=1.0)
+
+    def test_verify_true_samples_at_least_one(self, cache):
+        run_trials(_double, list(range(5)), jobs=1, cache=cache)
+        run_trials(_double, list(range(5)), jobs=1, cache=cache, cache_verify=True)
+        assert cache.stats.verified >= 1
+
+    def test_sampling_is_deterministic(self, cache):
+        desc = describe_trial_fn(_double)
+        key = cache.key(desc, 1)
+        assert cache.selected_for_verify(key, 0.5) == cache.selected_for_verify(key, 0.5)
+        assert cache.selected_for_verify(key, 1.0)
+        assert not cache.selected_for_verify(key, 0.0)
+
+
+class TestSizeCap:
+    def test_oldest_entries_evicted(self, tmp_path):
+        cache = TrialCache(str(tmp_path / "small"), max_bytes=2000)
+        desc = describe_trial_fn(_double)
+        keys = [cache.key(desc, seed) for seed in range(12)]
+        for index, key in enumerate(keys):
+            cache.store(key, index, desc)
+            os.utime(cache._entry_path(key), (1000 + index, 1000 + index))
+        assert cache.stats.evicted > 0
+        hit_new, _ = cache.load(keys[-1])
+        assert hit_new  # newest survives
+
+    def test_cap_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            TrialCache(str(tmp_path), max_bytes=0)
+
+
+class TestResolveCache:
+    def test_env_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert resolve_cache(None) is None
+
+    def test_false_wins_over_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert resolve_cache(False) is None
+
+    def test_env_dir_shared_instance(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "c"))
+        first = resolve_cache(None)
+        second = resolve_cache(None)
+        assert first is second  # stats accumulate across sweeps
+
+    def test_explicit_path(self, tmp_path):
+        cache = resolve_cache(str(tmp_path / "explicit"))
+        assert isinstance(cache, TrialCache)
+
+    def test_instance_passthrough(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        assert resolve_cache(cache) is cache
+
+
+class TestAccounting:
+    def test_run_trials_records_cache_hits(self, cache):
+        accounting.reset()
+        run_trials(_double, list(range(4)), jobs=1, cache=cache, label="unit-sweep")
+        run_trials(_double, list(range(4)), jobs=1, cache=cache, label="unit-sweep")
+        records = accounting.records()
+        assert [r.cache_hits for r in records] == [0, 4]
+        assert [r.executed for r in records] == [4, 0]
+        summary = accounting.summary()["unit-sweep"]
+        assert summary["runs"] == 2
+        assert summary["cache_hits"] == 4
+        assert summary["cache_hit_rate"] == 0.5
+        accounting.reset()
+
+    def test_write_perf_baseline_preserves_other_keys(self, tmp_path, cache):
+        accounting.reset()
+        path = str(tmp_path / "perf_baseline.json")
+        with open(path, "w") as handle:
+            json.dump({"cache_access_ops_per_second": 123.0}, handle)
+        run_trials(_double, [1, 2], jobs=1, cache=cache, label="baseline-sweep")
+        data = accounting.write_perf_baseline(path)
+        assert data["cache_access_ops_per_second"] == 123.0
+        assert data["sweep_accounting"]["baseline-sweep"]["trials"] == 2
+        with open(path) as handle:
+            on_disk = json.load(handle)
+        assert on_disk == data
+        accounting.reset()

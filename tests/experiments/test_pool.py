@@ -1,0 +1,173 @@
+"""Unit tests for the persistent worker pool and adaptive chunking."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.pool import (
+    CHUNKS_PER_WORKER,
+    MAX_CHUNKSIZE,
+    POOL_PERSIST_ENV,
+    PoolLease,
+    _PERSISTENT,
+    persistence_enabled,
+    pool_stats,
+    resolve_chunksize,
+    shutdown_persistent_pool,
+)
+from repro.experiments.runner import run_trials, run_trials_robust
+
+
+def _pid_trial(seed: int):
+    return (os.getpid(), seed)
+
+
+def _square(seed: int) -> int:
+    return seed * seed
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool_state(monkeypatch):
+    """Every test starts and ends without a process-wide pool."""
+    monkeypatch.delenv(POOL_PERSIST_ENV, raising=False)
+    shutdown_persistent_pool()
+    yield
+    shutdown_persistent_pool()
+
+
+class TestPersistenceGate:
+    def test_off_by_default(self):
+        assert not persistence_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "on"])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv(POOL_PERSIST_ENV, value)
+        assert persistence_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "", "2"])
+    def test_other_values_stay_off(self, monkeypatch, value):
+        monkeypatch.setenv(POOL_PERSIST_ENV, value)
+        assert not persistence_enabled()
+
+
+class TestResolveChunksize:
+    def test_explicit_wins(self):
+        assert resolve_chunksize(1000, 4, chunksize=7) == 7
+
+    def test_explicit_validated(self):
+        with pytest.raises(ValueError):
+            resolve_chunksize(10, 2, chunksize=0)
+
+    def test_small_sweeps_stay_at_one(self):
+        # The figure sweeps: a handful of long trials — chunking would
+        # serialize them onto too few workers.
+        assert resolve_chunksize(7, 4) == 1
+        assert resolve_chunksize(4 * CHUNKS_PER_WORKER, 4) == 1
+
+    def test_large_sweeps_batch(self):
+        assert resolve_chunksize(128, 2) == 128 // (2 * CHUNKS_PER_WORKER)
+
+    def test_capped(self):
+        assert resolve_chunksize(10_000_000, 2) == MAX_CHUNKSIZE
+
+    def test_serial_is_one(self):
+        assert resolve_chunksize(1000, 1) == 1
+
+
+class TestPoolLease:
+    def test_per_call_lease_tears_down(self):
+        lease = PoolLease(2, persist=False)
+        pool = lease.pool
+        assert pool is lease.pool  # same pool within the lease
+        lease.release()
+        assert _PERSISTENT["pool"] is None
+
+    def test_persistent_lease_survives_release(self):
+        lease = PoolLease(2, persist=True)
+        pool = lease.pool
+        lease.release()
+        assert _PERSISTENT["pool"] is pool
+        second = PoolLease(2, persist=True)
+        assert second.pool is pool
+        second.release()
+
+    def test_jobs_mismatch_rebuilds(self):
+        first = PoolLease(2, persist=True)
+        pool = first.pool
+        first.release()
+        second = PoolLease(3, persist=True)
+        assert second.pool is not pool
+        second.release()
+
+    def test_invalidate_clears_global(self):
+        lease = PoolLease(2, persist=True)
+        pool = lease.pool
+        lease.invalidate()
+        assert _PERSISTENT["pool"] is None
+        assert lease.pool is not pool  # rebuilt on demand
+        lease.release()
+
+    def test_exception_in_with_block_invalidates(self):
+        with pytest.raises(RuntimeError):
+            with PoolLease(2, persist=True) as lease:
+                _ = lease.pool
+                raise RuntimeError("sweep crashed")
+        assert _PERSISTENT["pool"] is None
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv(POOL_PERSIST_ENV, "1")
+        assert PoolLease(2).persist
+        monkeypatch.delenv(POOL_PERSIST_ENV)
+        assert not PoolLease(2).persist
+
+    def test_job_count_validated(self):
+        with pytest.raises(ValueError):
+            PoolLease(0)
+
+
+class TestRunTrialsPersistence:
+    def test_persistent_pool_reused_across_run_trials(self, monkeypatch):
+        monkeypatch.setenv(POOL_PERSIST_ENV, "1")
+        before = pool_stats()
+        first = run_trials(_pid_trial, list(range(6)), jobs=2)
+        second = run_trials(_pid_trial, list(range(6)), jobs=2)
+        after = pool_stats()
+        assert after["created"] - before["created"] == 1
+        assert after["reused"] - before["reused"] >= 1
+        # One two-worker pool served both sweeps: at most two distinct
+        # worker PIDs across the twelve trials.  (Exact per-sweep PID sets
+        # depend on OS scheduling — a one-CPU box may let a single worker
+        # drain a whole sweep.)
+        pids = {pid for run in (first, second) for pid, _ in run}
+        assert len(pids) <= 2
+
+    def test_per_call_pools_when_disabled(self, monkeypatch):
+        monkeypatch.delenv(POOL_PERSIST_ENV, raising=False)
+        before = pool_stats()
+        run_trials(_square, list(range(6)), jobs=2)
+        run_trials(_square, list(range(6)), jobs=2)
+        after = pool_stats()
+        assert after["created"] - before["created"] == 2
+        assert _PERSISTENT["pool"] is None
+
+    def test_results_identical_with_and_without_persistence(self, monkeypatch):
+        seeds = list(range(12))
+        expected = [seed * seed for seed in seeds]
+        monkeypatch.setenv(POOL_PERSIST_ENV, "1")
+        assert run_trials(_square, seeds, jobs=3) == expected
+        monkeypatch.delenv(POOL_PERSIST_ENV)
+        assert run_trials(_square, seeds, jobs=3) == expected
+
+    def test_robust_runner_returns_pool_to_global(self, monkeypatch):
+        monkeypatch.setenv(POOL_PERSIST_ENV, "1")
+        before = pool_stats()
+        assert run_trials_robust(
+            _square, [1, 2, 3], jobs=2, timeout_seconds=30.0
+        ) == [1, 4, 9]
+        assert _PERSISTENT["pool"] is not None
+        assert run_trials(_square, [4], jobs=2) == [16]  # single trial: serial
+        assert run_trials(_square, [4, 5], jobs=2) == [16, 25]
+        after = pool_stats()
+        assert after["created"] - before["created"] == 1

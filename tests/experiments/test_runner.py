@@ -78,15 +78,28 @@ class TestResolveJobs:
         with pytest.raises(ValueError):
             resolve_jobs(None)
 
-    def test_nonpositive_rejected(self):
+    def test_negative_rejected(self):
         with pytest.raises(ValueError):
-            resolve_jobs(0)
+            resolve_jobs(-1)
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        monkeypatch.setenv(JOBS_ENV_VAR, "0")
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
 
 
 class TestRunTrials:
     def test_serial_matches_list_comprehension(self):
         seeds = list(range(10))
         assert run_trials(_square, seeds, jobs=1) == [s * s for s in seeds]
+
+    def test_adaptive_chunking_matches_serial(self):
+        # Enough trials that the adaptive default batches them (>1 per
+        # chunk); order and values must still match the serial run.
+        seeds = list(range(100))
+        expected = [s * s for s in seeds]
+        assert run_trials(_square, seeds, jobs=2) == expected
+        assert run_trials(_square, seeds, jobs=2, chunksize=16) == expected
 
     def test_parallel_matches_serial_in_order(self):
         seeds = list(range(10))
@@ -148,10 +161,41 @@ class TestErrorRecording:
         assert failure.to_dict()["__trial_failure__"] is True
 
 
+_WORKER_ATTEMPTS: dict = {}
+
+
+def _fail_first_attempt(seed: int) -> int:
+    """Fails the first time a given worker process sees a seed.
+
+    Succeeding on retry therefore requires the retry round to land in the
+    *same* worker process — i.e. the pool must be reused across rounds.
+    A fresh pool per round (the old behavior) forks a clean process whose
+    attempt count restarts at zero, so every retry fails identically.
+    """
+    count = _WORKER_ATTEMPTS.get(seed, 0) + 1
+    _WORKER_ATTEMPTS[seed] = count
+    if count == 1:
+        raise RuntimeError(f"flaky first attempt for seed {seed}")
+    return seed * 7
+
+
 class TestRunTrialsRobust:
     def test_matches_run_trials_when_nothing_fails(self):
         seeds = list(range(6))
         assert run_trials_robust(_square, seeds, jobs=1) == [s * s for s in seeds]
+
+    def test_pool_reused_across_retry_rounds(self):
+        # timeout_seconds forces the pooled path even at jobs=1; with
+        # max_attempts=2 the retry only succeeds if round 2 reaches the
+        # same worker process that failed in round 1.
+        results = run_trials_robust(
+            _fail_first_attempt,
+            [3],
+            jobs=1,
+            timeout_seconds=60.0,
+            max_attempts=2,
+        )
+        assert results == [21]
 
     def test_retries_exhaust_to_failure_record(self):
         results = run_trials_robust(_explode_on_odd, [1, 2], jobs=1, max_attempts=3)
